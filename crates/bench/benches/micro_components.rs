@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the simulator's hot components: cache
+//! access, stack-distance profiling, TLB lookup, nested page walks and
+//! DRAM timing. These measure the *simulator's* performance (so the
+//! experiment harness's runtime stays predictable), not the modelled
+//! machine's.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csalt_cache::Cache;
+use csalt_dram::DramModel;
+use csalt_profiler::StackDistanceProfiler;
+use csalt_ptw::{FrameAllocator, GuestAddressSpace, HugePagePolicy, NestedWalker};
+use csalt_tlb::SramTlb;
+use csalt_types::{
+    Asid, DramTimings, EntryKind, LineAddr, PageSize, PhysAddr, PhysFrame, ReplacementKind,
+    SystemConfig, VirtAddr, VirtPage,
+};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut cache = Cache::from_geometry(&SystemConfig::skylake().l3, ReplacementKind::TrueLru);
+    let mut i = 0u64;
+    c.bench_function("l3_cache_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            let line = LineAddr::from_line_number(i % 300_000);
+            black_box(cache.access(line, EntryKind::Data, i % 7 == 0))
+        })
+    });
+}
+
+fn bench_partitioned_cache_access(c: &mut Criterion) {
+    let mut cache = Cache::from_geometry(&SystemConfig::skylake().l3, ReplacementKind::TrueLru);
+    cache.set_partition(10);
+    let mut i = 0u64;
+    c.bench_function("l3_cache_access_partitioned", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            let line = LineAddr::from_line_number(i % 300_000);
+            let kind = if i % 3 == 0 { EntryKind::Tlb } else { EntryKind::Data };
+            black_box(cache.access(line, kind, false))
+        })
+    });
+}
+
+fn bench_profiler_record(c: &mut Criterion) {
+    let mut prof = StackDistanceProfiler::new(8192, 16, 4);
+    let mut i = 0u64;
+    c.bench_function("stack_distance_record", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(prof.record(i % 8192, i % 64, EntryKind::Data))
+        })
+    });
+}
+
+fn bench_l2_tlb_lookup(c: &mut Criterion) {
+    let mut tlb = SramTlb::new(SystemConfig::skylake().l2_tlb);
+    let asid = Asid::new(1);
+    for vpn in 0..1536 {
+        tlb.insert(
+            VirtPage::from_vpn(vpn, PageSize::Size4K),
+            asid,
+            PhysFrame::from_pfn(vpn, PageSize::Size4K),
+        );
+    }
+    let mut i = 0u64;
+    c.bench_function("l2_tlb_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(tlb.lookup(VirtPage::from_vpn(i % 2048, PageSize::Size4K), asid))
+        })
+    });
+}
+
+fn bench_nested_walk(c: &mut Criterion) {
+    let mut host = FrameAllocator::new(0, 64 << 30);
+    let mut space = GuestAddressSpace::new(
+        Asid::new(1),
+        1 << 40,
+        16 << 30,
+        HugePagePolicy::NONE,
+        &mut host,
+    );
+    let mut walker = NestedWalker::new(SystemConfig::skylake().psc);
+    let mut i = 0u64;
+    c.bench_function("nested_page_walk", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x1000);
+            black_box(walker.walk(&mut space, VirtAddr::new(i % (1 << 30)), &mut host))
+        })
+    });
+}
+
+fn bench_dram_access(c: &mut Criterion) {
+    let mut dram = DramModel::new(DramTimings::ddr4_2133(), 4.0);
+    let mut i = 0u64;
+    c.bench_function("dram_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(dram.access(PhysAddr::new(i % (1 << 30)), false))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_partitioned_cache_access,
+    bench_profiler_record,
+    bench_l2_tlb_lookup,
+    bench_nested_walk,
+    bench_dram_access
+);
+criterion_main!(benches);

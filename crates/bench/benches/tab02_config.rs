@@ -1,0 +1,54 @@
+//! Prints Table 2: the evaluated system parameters, as encoded in
+//! `SystemConfig::skylake()`.
+
+use csalt_types::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::skylake();
+    println!("== Table 2: experimental parameters ==");
+    println!("frequency            {} GHz", c.core_ghz);
+    println!("cores                {}", c.cores);
+    let cache = |name: &str, g: &csalt_types::CacheGeometry| {
+        println!(
+            "{name:<20} {} KiB, {}-way, {} cycles",
+            g.size_bytes >> 10,
+            g.ways,
+            g.latency
+        );
+    };
+    cache("l1 d-cache", &c.l1d);
+    cache("l2 unified cache", &c.l2);
+    cache("l3 unified cache", &c.l3);
+    println!(
+        "l1 tlb (4K)          {} entry, {}-way, {} cycles",
+        c.l1_tlb_4k.entries, c.l1_tlb_4k.ways, c.l1_tlb_4k.latency
+    );
+    println!(
+        "l1 tlb (2M)          {} entry, {}-way, {} cycles",
+        c.l1_tlb_2m.entries, c.l1_tlb_2m.ways, c.l1_tlb_2m.latency
+    );
+    println!(
+        "l2 unified tlb       {} entry, {}-way, {} cycles",
+        c.l2_tlb.entries, c.l2_tlb.ways, c.l2_tlb.latency
+    );
+    println!(
+        "psc                  PML4 {} / PDP {} / PDE {} entries, {} cycles",
+        c.psc.pml4_entries, c.psc.pdp_entries, c.psc.pde_entries, c.psc.latency
+    );
+    let dram = |name: &str, t: &csalt_types::DramTimings| {
+        println!(
+            "{name:<20} {} MHz bus, {}-bit, {} B row buffer, {}-{}-{}",
+            t.bus_mhz, t.bus_bits, t.row_buffer_bytes, t.t_cas, t.t_rcd, t.t_rp
+        );
+    };
+    dram("die-stacked dram", &c.die_stacked);
+    dram("ddr4", &c.ddr);
+    println!(
+        "pom-tlb              {} MiB, {}-way, {} B entries",
+        c.pom_tlb.size_bytes >> 20,
+        c.pom_tlb.ways,
+        c.pom_tlb.entry_bytes
+    );
+    println!();
+    println!("paper: matches Table 2 of the paper exactly (verified in csalt-types tests).");
+}

@@ -1,0 +1,79 @@
+//! Shared plumbing for the per-figure bench targets.
+//!
+//! Every `cargo bench --bench figNN_*` target regenerates one table or
+//! figure of the paper: it runs the corresponding experiment from
+//! `csalt_sim::experiments`, prints the paper-style rows to stdout, and
+//! appends the machine-readable result to `target/csalt-results/`.
+
+use csalt_sim::experiments::Table;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Paper-reported reference values for one experiment, printed next to
+/// the measured rows so divergence is visible at a glance.
+pub struct PaperReference {
+    /// Human-readable summary of what the paper measured.
+    pub summary: &'static str,
+}
+
+/// Runs one experiment end to end: prints the measured table, the
+/// paper's reference summary, and persists JSON for EXPERIMENTS.md.
+pub fn report(table: &Table, reference: &PaperReference) {
+    println!("{}", table.render());
+    println!("paper: {}\n", reference.summary);
+    if let Err(e) = persist(table) {
+        eprintln!("warning: could not persist results: {e}");
+    }
+}
+
+/// Writes the table as JSON under `target/csalt-results/<id>.json`.
+fn persist(table: &Table) -> std::io::Result<()> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    // Slug from the full id (not just the part before the colon) so
+    // distinct extensions/ablations never collide on one file.
+    let slug: String = table
+        .id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                ' '
+            }
+        })
+        .collect::<String>()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join("_")
+        .chars()
+        .take(60)
+        .collect();
+    let path = dir.join(format!("{slug}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(serde_json::to_string_pretty(table).expect("table serializes").as_bytes())?;
+    println!("(results written to {})", path.display());
+    Ok(())
+}
+
+/// Directory for machine-readable experiment outputs: the *workspace*
+/// target directory (cargo runs bench binaries with the package root as
+/// CWD, so a relative path would land under `crates/bench/`).
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("csalt-results");
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/csalt-results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_under_target() {
+        let d = results_dir();
+        assert!(d.ends_with("csalt-results"));
+    }
+}

@@ -1,0 +1,570 @@
+//! The set-associative data cache with way partitioning and per-line
+//! Data/TLB classification.
+//!
+//! Implements the cache behaviour Section 3.1 of the paper specifies:
+//!
+//! * **Lookup** scans *all* ways of the set regardless of the partition —
+//!   after a repartition, lines of either kind may temporarily reside in
+//!   ways now assigned to the other kind.
+//! * **Replacement** honours the partition: an incoming data line evicts
+//!   the LRU line among ways `0..N`, an incoming TLB line the LRU line
+//!   among ways `N..K`.
+//! * Each line carries its [`EntryKind`] so occupancy scans (Figure 3) and
+//!   per-kind statistics are possible; in hardware this classification is
+//!   by address range and costs no metadata.
+
+use crate::replacement::{way_range_mask, SetReplacement, WayMask};
+use csalt_types::{EntryKind, HitMissStats, LineAddr, ReplacementKind};
+use serde::{Deserialize, Serialize};
+
+/// Where an incoming line is placed in the recency stack on a fill.
+///
+/// Ordinary caches insert at MRU; DIP's bimodal insertion places most
+/// fills at LRU so that single-use lines are evicted quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InsertPos {
+    /// Insert at the most-recently-used position (conventional).
+    Mru,
+    /// Insert at the least-recently-used position (DIP/BIP insertion).
+    Lru,
+}
+
+/// A line evicted by a fill, to be written back if dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Its content classification.
+    pub kind: EntryKind,
+    /// Whether it must be written back to the next level.
+    pub dirty: bool,
+}
+
+/// Result of [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A line displaced by the fill (misses only; `None` if an invalid
+    /// way absorbed the fill).
+    pub evicted: Option<Evicted>,
+}
+
+/// Per-kind cache statistics plus fill/eviction/writeback counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Hits/misses for data-classified accesses.
+    pub data: HitMissStats,
+    /// Hits/misses for TLB-classified accesses.
+    pub tlb: HitMissStats,
+    /// Lines filled.
+    pub fills: u64,
+    /// Valid lines evicted.
+    pub evictions: u64,
+    /// Dirty evictions (writebacks generated).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Combined hits/misses over both kinds.
+    pub fn total(&self) -> HitMissStats {
+        self.data + self.tlb
+    }
+
+    /// Stats for one kind.
+    pub fn by_kind(&self, kind: EntryKind) -> HitMissStats {
+        match kind {
+            EntryKind::Data => self.data,
+            EntryKind::Tlb => self.tlb,
+        }
+    }
+}
+
+/// Snapshot of how much of the cache each entry kind occupies (Figure 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Valid lines classified as data.
+    pub data_lines: u64,
+    /// Valid lines classified as TLB.
+    pub tlb_lines: u64,
+    /// Total line capacity (valid or not).
+    pub capacity_lines: u64,
+}
+
+impl Occupancy {
+    /// Fraction of total capacity holding TLB entries — the quantity
+    /// Figure 3 plots.
+    pub fn tlb_fraction(&self) -> f64 {
+        if self.capacity_lines == 0 {
+            0.0
+        } else {
+            self.tlb_lines as f64 / self.capacity_lines as f64
+        }
+    }
+
+    /// Fraction of total capacity holding valid lines of any kind.
+    pub fn valid_fraction(&self) -> f64 {
+        if self.capacity_lines == 0 {
+            0.0
+        } else {
+            (self.data_lines + self.tlb_lines) as f64 / self.capacity_lines as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    kind: EntryKind,
+    dirty: bool,
+    valid: bool,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        kind: EntryKind::Data,
+        dirty: false,
+        valid: false,
+    };
+}
+
+/// A set-associative, write-back, write-allocate cache with optional way
+/// partitioning between data and TLB lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: u32,
+    lines: Vec<Line>,
+    repl: Vec<SetReplacement>,
+    /// `Some(n)` ⇒ ways `0..n` belong to data, `n..K` to TLB entries.
+    data_ways: Option<u32>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache with `sets` sets of `ways` ways under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a positive power of two or `ways` is not in
+    /// `1..=64`.
+    pub fn new(sets: u64, ways: u32, policy: ReplacementKind) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^k");
+        assert!((1..=64).contains(&ways), "ways must be in 1..=64");
+        Self {
+            sets,
+            ways,
+            lines: vec![Line::INVALID; (sets * ways as u64) as usize],
+            repl: (0..sets)
+                .map(|_| SetReplacement::new(policy, ways))
+                .collect(),
+            data_ways: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Builds a cache from a [`csalt_types::CacheGeometry`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not validate.
+    pub fn from_geometry(geom: &csalt_types::CacheGeometry, policy: ReplacementKind) -> Self {
+        geom.validate("cache").expect("geometry must be valid");
+        Self::new(geom.sets(), geom.ways, policy)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Current partition: ways reserved for data, if partitioned.
+    pub fn data_ways(&self) -> Option<u32> {
+        self.data_ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Sets the way partition: `data_ways` ways for data lines, the rest
+    /// for TLB lines. Takes effect on subsequent replacements only — no
+    /// lines move (§3.1 "Cache Replacement").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= data_ways < ways` (each kind keeps ≥ 1 way, as
+    /// guaranteed by the partitioning algorithm's `Nmin`).
+    pub fn set_partition(&mut self, data_ways: u32) {
+        assert!(
+            data_ways >= 1 && data_ways < self.ways,
+            "partition must leave at least one way per kind"
+        );
+        self.data_ways = Some(data_ways);
+    }
+
+    /// Removes the partition (unmanaged replacement over all ways).
+    pub fn clear_partition(&mut self) {
+        self.data_ways = None;
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> u64 {
+        line.line_number() & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.line_number() / self.sets
+    }
+
+    #[inline]
+    fn slot(&self, set: u64, way: u32) -> usize {
+        (set * self.ways as u64 + way as u64) as usize
+    }
+
+    /// Reconstructs a line address from set + stored tag.
+    #[inline]
+    fn line_addr(&self, set: u64, tag: u64) -> LineAddr {
+        LineAddr::from_line_number(tag * self.sets + set)
+    }
+
+    /// The replacement candidate mask for an incoming line of `kind`.
+    #[inline]
+    fn partition_mask(&self, kind: EntryKind) -> WayMask {
+        match (self.data_ways, kind) {
+            (Some(n), EntryKind::Data) => way_range_mask(0, n),
+            (Some(n), EntryKind::Tlb) => way_range_mask(n, self.ways),
+            (None, _) => way_range_mask(0, self.ways),
+        }
+    }
+
+    /// Checks for presence without disturbing replacement state or stats.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        (0..self.ways).any(|w| {
+            let l = &self.lines[self.slot(set, w)];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Performs one access with conventional MRU insertion.
+    ///
+    /// See [`Cache::access_with_insertion`].
+    pub fn access(&mut self, line: LineAddr, kind: EntryKind, write: bool) -> AccessOutcome {
+        self.access_with_insertion(line, kind, write, InsertPos::Mru)
+    }
+
+    /// Performs one access: lookup over all ways; on a miss, fills the
+    /// line, evicting the replacement victim from the partition's way
+    /// range for `kind`. `insert` selects the fill's recency position
+    /// (DIP support). Returns whether it hit and any evicted line.
+    pub fn access_with_insertion(
+        &mut self,
+        line: LineAddr,
+        kind: EntryKind,
+        write: bool,
+        insert: InsertPos,
+    ) -> AccessOutcome {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+
+        // Lookup: all K ways are scanned irrespective of partition.
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == tag {
+                self.lines[slot].dirty |= write;
+                self.repl[set as usize].touch(way);
+                self.kind_stats_mut(kind).record_hit();
+                return AccessOutcome { hit: true, evicted: None };
+            }
+        }
+        self.kind_stats_mut(kind).record_miss();
+
+        // Fill. Prefer an invalid way inside the partition range; else
+        // evict the policy's victim within the range.
+        let mask = self.partition_mask(kind);
+        let invalid_way = (0..self.ways)
+            .filter(|&w| mask & (1u64 << w) != 0)
+            .find(|&w| !self.lines[self.slot(set, w)].valid);
+        let (way, evicted) = match invalid_way {
+            Some(w) => (w, None),
+            None => {
+                let w = self.repl[set as usize].victim(mask);
+                let old = self.lines[self.slot(set, w)];
+                debug_assert!(old.valid);
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (
+                    w,
+                    Some(Evicted {
+                        line: self.line_addr(set, old.tag),
+                        kind: old.kind,
+                        dirty: old.dirty,
+                    }),
+                )
+            }
+        };
+
+        let slot = self.slot(set, way);
+        self.lines[slot] = Line {
+            tag,
+            kind,
+            dirty: write,
+            valid: true,
+        };
+        self.stats.fills += 1;
+        // Mru: make the fill most-recent (or RRIP's SRRIP long insert);
+        // Lru: leave it the preferred victim (LIP/BIP; BRRIP for RRIP
+        // storage).
+        self.repl[set as usize].on_fill(way, insert == InsertPos::Lru);
+
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Invalidates a line if present, returning it (for writeback by the
+    /// caller if dirty). Used for inclusive-hierarchy back-invalidation.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == tag {
+                let old = self.lines[slot];
+                self.lines[slot] = Line::INVALID;
+                return Some(Evicted {
+                    line: self.line_addr(set, old.tag),
+                    kind: old.kind,
+                    dirty: old.dirty,
+                });
+            }
+        }
+        None
+    }
+
+    /// Scans the array and reports per-kind occupancy (Figure 3's metric;
+    /// the paper's simulator does exactly this scan periodically).
+    pub fn occupancy(&self) -> Occupancy {
+        let mut occ = Occupancy {
+            capacity_lines: self.sets * self.ways as u64,
+            ..Occupancy::default()
+        };
+        for l in &self.lines {
+            if l.valid {
+                match l.kind {
+                    EntryKind::Data => occ.data_lines += 1,
+                    EntryKind::Tlb => occ.tlb_lines += 1,
+                }
+            }
+        }
+        occ
+    }
+
+    /// The estimated LRU stack position the given line currently holds,
+    /// if present (exact under True-LRU). Exposed for profiler coupling
+    /// and tests.
+    pub fn stack_position_of(&self, line: LineAddr) -> Option<u32> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        (0..self.ways)
+            .find(|&w| {
+                let l = &self.lines[self.slot(set, w)];
+                l.valid && l.tag == tag
+            })
+            .map(|w| self.repl[set as usize].stack_position(w))
+    }
+
+    #[inline]
+    fn kind_stats_mut(&mut self, kind: EntryKind) -> &mut HitMissStats {
+        match kind {
+            EntryKind::Data => &mut self.stats.data,
+            EntryKind::Tlb => &mut self.stats.tlb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    fn small_cache() -> Cache {
+        Cache::new(4, 4, ReplacementKind::TrueLru)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        let a = line(0x100);
+        assert!(!c.access(a, EntryKind::Data, false).hit);
+        assert!(c.access(a, EntryKind::Data, false).hit);
+        assert_eq!(c.stats().data.hits, 1);
+        assert_eq!(c.stats().data.misses, 1);
+        assert!(c.probe(a));
+    }
+
+    #[test]
+    fn distinct_tags_same_set_coexist_up_to_ways() {
+        let mut c = small_cache();
+        // Same set (stride = sets), 4 distinct tags fill all ways.
+        for i in 0..4 {
+            assert!(!c.access(line(i * 4), EntryKind::Data, false).hit);
+        }
+        for i in 0..4 {
+            assert!(c.access(line(i * 4), EntryKind::Data, false).hit);
+        }
+        // Fifth tag evicts LRU (the first inserted).
+        let out = c.access(line(16), EntryKind::Data, false);
+        assert!(!out.hit);
+        assert_eq!(out.evicted.expect("evicts").line, line(0));
+    }
+
+    #[test]
+    fn write_sets_dirty_and_eviction_reports_writeback() {
+        let mut c = small_cache();
+        c.access(line(0), EntryKind::Data, true);
+        for i in 1..4 {
+            c.access(line(i * 4), EntryKind::Data, false);
+        }
+        let out = c.access(line(16), EntryKind::Data, false);
+        let ev = out.evicted.expect("eviction");
+        assert!(ev.dirty, "written line must evict dirty");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn partition_confines_victims() {
+        let mut c = small_cache();
+        c.set_partition(2); // ways 0-1 data, 2-3 TLB
+        // Fill 2 data lines and 2 TLB lines (same set).
+        c.access(line(0), EntryKind::Data, false);
+        c.access(line(4), EntryKind::Data, false);
+        c.access(line(8), EntryKind::Tlb, false);
+        c.access(line(12), EntryKind::Tlb, false);
+        // New data line must evict a *data* line, not a TLB line.
+        let out = c.access(line(16), EntryKind::Data, false);
+        assert_eq!(out.evicted.expect("eviction").kind, EntryKind::Data);
+        // New TLB line must evict a TLB line.
+        let out = c.access(line(20), EntryKind::Tlb, false);
+        assert_eq!(out.evicted.expect("eviction").kind, EntryKind::Tlb);
+    }
+
+    #[test]
+    fn lookup_hits_across_partition_boundary() {
+        let mut c = small_cache();
+        // Fill a TLB line with no partition: it may land in any way.
+        c.access(line(8), EntryKind::Tlb, false);
+        // Now partition so that its way nominally belongs to data.
+        c.set_partition(3);
+        // Lookup must still hit (all ways scanned).
+        assert!(c.access(line(8), EntryKind::Tlb, false).hit);
+    }
+
+    #[test]
+    fn repartition_moves_no_lines() {
+        let mut c = small_cache();
+        for i in 0..4 {
+            c.access(line(i * 4), EntryKind::Data, false);
+        }
+        let occ_before = c.occupancy();
+        c.set_partition(1);
+        assert_eq!(c.occupancy(), occ_before);
+        c.clear_partition();
+        assert_eq!(c.occupancy(), occ_before);
+    }
+
+    #[test]
+    fn occupancy_counts_kinds() {
+        let mut c = small_cache();
+        c.access(line(0), EntryKind::Data, false);
+        c.access(line(1), EntryKind::Tlb, false);
+        c.access(line(2), EntryKind::Tlb, false);
+        let occ = c.occupancy();
+        assert_eq!(occ.data_lines, 1);
+        assert_eq!(occ.tlb_lines, 2);
+        assert_eq!(occ.capacity_lines, 16);
+        assert!((occ.tlb_fraction() - 2.0 / 16.0).abs() < 1e-12);
+        assert!((occ.valid_fraction() - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_insertion_is_evicted_first() {
+        let mut c = small_cache();
+        for i in 0..4 {
+            c.access(line(i * 4), EntryKind::Data, false);
+        }
+        // Fill a new line at LRU position.
+        c.access_with_insertion(line(16), EntryKind::Data, false, InsertPos::Lru);
+        // The next miss should evict the LRU-inserted line, not an older
+        // MRU-inserted one... except way recency: the LRU-inserted line
+        // inherited its victim way's (LRU) position.
+        let out = c.access(line(20), EntryKind::Data, false);
+        assert_eq!(out.evicted.expect("eviction").line, line(16));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache();
+        c.access(line(7), EntryKind::Data, true);
+        let ev = c.invalidate(line(7)).expect("line present");
+        assert!(ev.dirty);
+        assert!(!c.probe(line(7)));
+        assert!(c.invalidate(line(7)).is_none());
+    }
+
+    #[test]
+    fn from_geometry_derives_shape() {
+        let geom = csalt_types::SystemConfig::skylake().l2;
+        let c = Cache::from_geometry(&geom, ReplacementKind::TrueLru);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.ways(), 4);
+    }
+
+    #[test]
+    fn stack_position_of_tracks_recency() {
+        let mut c = small_cache();
+        c.access(line(0), EntryKind::Data, false);
+        c.access(line(4), EntryKind::Data, false);
+        assert_eq!(c.stack_position_of(line(4)), Some(0));
+        assert_eq!(c.stack_position_of(line(0)), Some(1));
+        assert_eq!(c.stack_position_of(line(8)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way per kind")]
+    fn full_partition_rejected() {
+        let mut c = small_cache();
+        c.set_partition(4);
+    }
+
+    #[test]
+    fn per_kind_stats_are_separate() {
+        let mut c = small_cache();
+        c.access(line(0), EntryKind::Data, false);
+        c.access(line(64), EntryKind::Tlb, false);
+        c.access(line(64), EntryKind::Tlb, false);
+        assert_eq!(c.stats().data.misses, 1);
+        assert_eq!(c.stats().tlb.misses, 1);
+        assert_eq!(c.stats().tlb.hits, 1);
+        assert_eq!(c.stats().total().accesses(), 3);
+        assert_eq!(c.stats().by_kind(EntryKind::Tlb).hits, 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Dynamic Insertion Policy (DIP) — Qureshi et al., ISCA 2007.
+//!
+//! The paper compares CSALT against DIP implemented *on top of POM-TLB*
+//! (§5.2): DIP observes all incoming traffic — data and TLB entries alike,
+//! without distinguishing them — and uses set dueling to choose between
+//! conventional MRU insertion and Bimodal Insertion (BIP: insert at LRU,
+//! promoting to MRU with a small probability ε = 1/32).
+//!
+//! A few *leader sets* are statically dedicated to each policy; misses in
+//! a leader set nudge a saturating PSEL counter toward the other policy,
+//! and all *follower sets* use whichever policy PSEL currently favours.
+
+use crate::cache::InsertPos;
+use serde::{Deserialize, Serialize};
+
+/// Which insertion policy a set follows this access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DuelRole {
+    /// Leader set dedicated to conventional LRU (MRU-insert).
+    LeaderLru,
+    /// Leader set dedicated to BIP.
+    LeaderBip,
+    /// Follower set: obeys the PSEL winner.
+    Follower,
+}
+
+/// Set-dueling DIP controller for one cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DipController {
+    sets: u64,
+    /// 10-bit saturating policy selector; ≥ midpoint ⇒ BIP wins.
+    psel: u32,
+    psel_max: u32,
+    /// Every `leader_stride`-th set is an LRU leader; the next one a BIP
+    /// leader (the "complement-select" simplification).
+    leader_stride: u64,
+    /// BIP promotes to MRU once every `bip_epsilon` fills.
+    bip_epsilon: u32,
+    bip_counter: u32,
+}
+
+impl DipController {
+    /// Creates a controller for a cache with `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: u64) -> Self {
+        assert!(sets > 0, "cache must have sets");
+        // 32 leader pairs for large caches, fewer for tiny ones.
+        let leader_stride = (sets / 64).max(2);
+        Self {
+            sets,
+            psel: 511,
+            psel_max: 1023,
+            leader_stride,
+            bip_epsilon: 32,
+            bip_counter: 0,
+        }
+    }
+
+    /// Classifies a set as LRU leader, BIP leader or follower.
+    pub fn role(&self, set: u64) -> DuelRole {
+        debug_assert!(set < self.sets);
+        if set % self.leader_stride == 0 {
+            DuelRole::LeaderLru
+        } else if set % self.leader_stride == 1 {
+            DuelRole::LeaderBip
+        } else {
+            DuelRole::Follower
+        }
+    }
+
+    /// `true` when the PSEL counter currently favours BIP for followers.
+    pub fn bip_selected(&self) -> bool {
+        self.psel > self.psel_max / 2
+    }
+
+    /// Records a miss in `set`, updating PSEL if the set is a leader.
+    /// Misses in LRU leaders vote for BIP and vice versa.
+    pub fn record_miss(&mut self, set: u64) {
+        match self.role(set) {
+            DuelRole::LeaderLru => self.psel = (self.psel + 1).min(self.psel_max),
+            DuelRole::LeaderBip => self.psel = self.psel.saturating_sub(1),
+            DuelRole::Follower => {}
+        }
+    }
+
+    /// The insertion position to use for a fill into `set`, advancing the
+    /// BIP ε-counter when BIP insertion applies.
+    pub fn insertion_for(&mut self, set: u64) -> InsertPos {
+        let use_bip = match self.role(set) {
+            DuelRole::LeaderLru => false,
+            DuelRole::LeaderBip => true,
+            DuelRole::Follower => self.bip_selected(),
+        };
+        if !use_bip {
+            return InsertPos::Mru;
+        }
+        self.bip_counter = (self.bip_counter + 1) % self.bip_epsilon;
+        if self.bip_counter == 0 {
+            InsertPos::Mru
+        } else {
+            InsertPos::Lru
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_partition_sets() {
+        let d = DipController::new(1024);
+        let mut lru = 0;
+        let mut bip = 0;
+        let mut fol = 0;
+        for s in 0..1024 {
+            match d.role(s) {
+                DuelRole::LeaderLru => lru += 1,
+                DuelRole::LeaderBip => bip += 1,
+                DuelRole::Follower => fol += 1,
+            }
+        }
+        assert_eq!(lru, bip, "balanced leader sets");
+        assert!(lru >= 2);
+        assert_eq!(lru + bip + fol, 1024);
+    }
+
+    #[test]
+    fn psel_moves_toward_better_policy() {
+        let mut d = DipController::new(1024);
+        assert!(!d.bip_selected());
+        // Hammer misses into LRU leader sets: BIP should win.
+        let lru_leader = 0;
+        for _ in 0..600 {
+            d.record_miss(lru_leader);
+        }
+        assert!(d.bip_selected());
+        // Now hammer BIP leaders: LRU should win again.
+        let bip_leader = 1;
+        for _ in 0..1200 {
+            d.record_miss(bip_leader);
+        }
+        assert!(!d.bip_selected());
+    }
+
+    #[test]
+    fn psel_saturates() {
+        let mut d = DipController::new(64);
+        for _ in 0..10_000 {
+            d.record_miss(0); // LRU leader
+        }
+        assert!(d.bip_selected());
+        for _ in 0..100_000 {
+            d.record_miss(1); // BIP leader
+        }
+        assert!(!d.bip_selected()); // must not underflow
+    }
+
+    #[test]
+    fn bip_leader_mostly_inserts_at_lru() {
+        let mut d = DipController::new(1024);
+        let bip_leader = 1;
+        let mut mru = 0;
+        for _ in 0..320 {
+            if d.insertion_for(bip_leader) == InsertPos::Mru {
+                mru += 1;
+            }
+        }
+        // ε = 1/32 ⇒ exactly 10 MRU promotions in 320 fills.
+        assert_eq!(mru, 10);
+    }
+
+    #[test]
+    fn lru_leader_always_inserts_mru() {
+        let mut d = DipController::new(1024);
+        for _ in 0..100 {
+            assert_eq!(d.insertion_for(0), InsertPos::Mru);
+        }
+    }
+
+    #[test]
+    fn followers_obey_psel() {
+        let mut d = DipController::new(1024);
+        let follower = 5;
+        assert_eq!(d.insertion_for(follower), InsertPos::Mru);
+        for _ in 0..600 {
+            d.record_miss(0);
+        }
+        // BIP now selected: follower fills mostly at LRU.
+        let lru_fills = (0..64)
+            .filter(|_| d.insertion_for(follower) == InsertPos::Lru)
+            .count();
+        assert!(lru_fills >= 60);
+    }
+
+    #[test]
+    fn tiny_cache_still_has_leaders() {
+        let d = DipController::new(4);
+        assert_eq!(d.role(0), DuelRole::LeaderLru);
+        assert_eq!(d.role(1), DuelRole::LeaderBip);
+    }
+}

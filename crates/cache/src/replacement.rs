@@ -1,0 +1,533 @@
+//! Per-set replacement state: True-LRU, NRU and binary-tree pseudo-LRU.
+//!
+//! CSALT's partitioning algorithms need two things from the replacement
+//! policy (§3.1, §3.4 of the paper):
+//!
+//! 1. victim selection *restricted to a subset of ways* (the partition's
+//!    range for the incoming line's kind), and
+//! 2. an estimate of the accessed way's LRU *stack position*, which feeds
+//!    the stack-distance profilers. With True-LRU the position is exact;
+//!    for NRU and BT-PLRU the paper leverages Kędzierski et al. (IPDPS'10)
+//!    to estimate it, at a small accuracy cost.
+//!
+//! [`SetReplacement`] provides both operations behind one interface so the
+//! cache proper is policy-agnostic.
+
+use csalt_types::ReplacementKind;
+
+/// Bitmask of candidate ways (bit *i* set ⇒ way *i* may be chosen).
+pub type WayMask = u64;
+
+/// Builds a mask covering ways `lo..hi` (exclusive upper bound).
+///
+/// # Panics
+///
+/// Panics if `hi < lo` or `hi > 64`.
+#[inline]
+pub fn way_range_mask(lo: u32, hi: u32) -> WayMask {
+    assert!(hi >= lo && hi <= 64, "invalid way range {lo}..{hi}");
+    if hi == lo {
+        return 0;
+    }
+    let width = hi - lo;
+    if width == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
+/// Replacement metadata for one cache set.
+///
+/// All variants support the same three operations: [`touch`] (on hit or
+/// fill), [`victim`] (choose a way to evict from a candidate mask) and
+/// [`stack_position`] (exact or estimated LRU stack depth of a way).
+///
+/// [`touch`]: SetReplacement::touch
+/// [`victim`]: SetReplacement::victim
+/// [`stack_position`]: SetReplacement::stack_position
+#[derive(Debug, Clone)]
+pub enum SetReplacement {
+    /// Exact recency order; `order[0]` is the MRU way.
+    TrueLru {
+        /// Way indices ordered MRU → LRU.
+        order: Vec<u8>,
+    },
+    /// One "not recently used" bit per way (1 = not recently used).
+    Nru {
+        /// NRU bits; bit *i* set means way *i* has not been used recently.
+        bits: WayMask,
+        /// Number of ways.
+        ways: u32,
+    },
+    /// Binary-tree pseudo-LRU. `tree` holds `ways - 1` internal-node bits
+    /// in heap order; a 0 bit points left (lower half), 1 points right.
+    BtPlru {
+        /// Internal-node direction bits, heap-ordered, bit 1 = root.
+        tree: u64,
+        /// Number of ways (must be a power of two).
+        ways: u32,
+    },
+    /// 2-bit Re-Reference Interval Prediction (Jaleel et al., ISCA'10).
+    /// RRPV 0 = near-immediate re-reference, 3 = distant (victim).
+    /// Combined with set dueling over insertion position this realizes
+    /// DRRIP, one of the replacement baselines the paper's related work
+    /// (§6) discusses.
+    Rrip {
+        /// Per-way 2-bit re-reference prediction values.
+        rrpv: Vec<u8>,
+    },
+}
+
+impl SetReplacement {
+    /// Creates fresh state for a `ways`-way set under the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0, exceeds 64, or (for BT-PLRU) is not a power
+    /// of two.
+    pub fn new(kind: ReplacementKind, ways: u32) -> Self {
+        assert!((1..=64).contains(&ways), "ways must be in 1..=64");
+        match kind {
+            ReplacementKind::TrueLru => SetReplacement::TrueLru {
+                // Initial order: way 0 is MRU ... way K-1 is LRU; with an
+                // empty set, victims come from the high ways first.
+                order: (0..ways as u8).collect(),
+            },
+            ReplacementKind::Nru => SetReplacement::Nru {
+                bits: way_range_mask(0, ways),
+                ways,
+            },
+            ReplacementKind::BtPlru => {
+                assert!(
+                    ways.is_power_of_two(),
+                    "BT-PLRU requires power-of-two associativity"
+                );
+                SetReplacement::BtPlru { tree: 0, ways }
+            }
+            ReplacementKind::Rrip => SetReplacement::Rrip {
+                // Everything starts distant, so cold ways are victims.
+                rrpv: vec![3; ways as usize],
+            },
+        }
+    }
+
+    /// Number of ways this state covers.
+    pub fn ways(&self) -> u32 {
+        match self {
+            SetReplacement::TrueLru { order } => order.len() as u32,
+            SetReplacement::Nru { ways, .. } | SetReplacement::BtPlru { ways, .. } => *ways,
+            SetReplacement::Rrip { rrpv } => rrpv.len() as u32,
+        }
+    }
+
+    /// Marks `way` most-recently-used (called on every hit and fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: u32) {
+        assert!(way < self.ways(), "way {way} out of range");
+        match self {
+            SetReplacement::TrueLru { order } => {
+                let pos = order
+                    .iter()
+                    .position(|&w| w as u32 == way)
+                    .expect("every way present in recency order");
+                let w = order.remove(pos);
+                order.insert(0, w);
+            }
+            SetReplacement::Nru { bits, ways } => {
+                *bits &= !(1u64 << way);
+                // When every way becomes recently-used, reset all other
+                // bits, keeping this way marked used (standard NRU).
+                if *bits == 0 {
+                    *bits = way_range_mask(0, *ways) & !(1u64 << way);
+                }
+            }
+            SetReplacement::BtPlru { tree, ways } => {
+                // Walk root → leaf, setting each node to point *away*
+                // from the touched way.
+                let levels = ways.trailing_zeros();
+                let mut node = 1u32; // heap index, root = 1
+                for level in (0..levels).rev() {
+                    let bit = (way >> level) & 1;
+                    // Point away: store the complement of the direction
+                    // taken.
+                    if bit == 0 {
+                        *tree |= 1u64 << node; // we went left; point right
+                    } else {
+                        *tree &= !(1u64 << node); // we went right; point left
+                    }
+                    node = node * 2 + bit;
+                }
+            }
+            SetReplacement::Rrip { rrpv } => {
+                // Hit promotion: predict near-immediate re-reference.
+                rrpv[way as usize] = 0;
+            }
+        }
+    }
+
+    /// Fill hook: establishes the inserted way's replacement state.
+    /// For recency policies, `distant` leaves the way at its inherited
+    /// (victim) recency — the LIP/BIP realization — while a normal fill
+    /// touches it to MRU. For RRIP storage, `distant` is BRRIP's RRPV-3
+    /// insertion and normal is SRRIP's RRPV-2 long insertion.
+    pub fn on_fill(&mut self, way: u32, distant: bool) {
+        match self {
+            SetReplacement::Rrip { rrpv } => {
+                rrpv[way as usize] = if distant { 3 } else { 2 };
+            }
+            _ => {
+                if !distant {
+                    self.touch(way);
+                }
+            }
+        }
+    }
+
+    /// Chooses the eviction victim among the ways allowed by `mask`.
+    ///
+    /// For True-LRU this is the least-recently-used allowed way. For NRU,
+    /// the lowest allowed way with its NRU bit set (resetting allowed bits
+    /// if none is set — the partition-local variant of NRU's global reset).
+    /// For BT-PLRU, the tree is walked toward the pointed-to half whenever
+    /// that half still contains an allowed way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` selects no way within range.
+    pub fn victim(&mut self, mask: WayMask) -> u32 {
+        let full = way_range_mask(0, self.ways());
+        let mask = mask & full;
+        assert!(mask != 0, "victim mask selects no way");
+        match self {
+            SetReplacement::TrueLru { order } => order
+                .iter()
+                .rev()
+                .map(|&w| w as u32)
+                .find(|&w| mask & (1u64 << w) != 0)
+                .expect("mask verified nonempty"),
+            SetReplacement::Nru { bits, .. } => {
+                if *bits & mask == 0 {
+                    // All allowed ways recently used: age them.
+                    *bits |= mask;
+                }
+                (*bits & mask).trailing_zeros()
+            }
+            SetReplacement::BtPlru { tree, ways } => {
+                let levels = ways.trailing_zeros();
+                let mut node = 1u32;
+                let mut way = 0u32;
+                for level in (0..levels).rev() {
+                    let point_right = (*tree >> node) & 1 == 1;
+                    let half = 1u32 << level;
+                    let left_mask = subtree_mask(way, half);
+                    let right_mask = subtree_mask(way + half, half);
+                    let go_right = if point_right {
+                        mask & right_mask != 0
+                    } else {
+                        // Pointed left, but only if an allowed way exists.
+                        mask & left_mask == 0
+                    };
+                    if go_right {
+                        way += half;
+                        node = node * 2 + 1;
+                    } else {
+                        node *= 2;
+                    }
+                }
+                debug_assert!(mask & (1u64 << way) != 0);
+                way
+            }
+            SetReplacement::Rrip { rrpv } => {
+                // Find the first allowed way predicted "distant" (RRPV
+                // 3); age the allowed ways until one appears.
+                loop {
+                    if let Some(w) = (0..rrpv.len() as u32)
+                        .find(|&w| mask & (1u64 << w) != 0 && rrpv[w as usize] >= 3)
+                    {
+                        return w;
+                    }
+                    for w in 0..rrpv.len() {
+                        if mask & (1u64 << w) != 0 {
+                            rrpv[w] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact (True-LRU) or estimated (NRU / BT-PLRU, per Kędzierski et
+    /// al.) LRU stack position of `way`; 0 is MRU, `ways-1` is LRU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn stack_position(&self, way: u32) -> u32 {
+        assert!(way < self.ways(), "way {way} out of range");
+        match self {
+            SetReplacement::TrueLru { order } => order
+                .iter()
+                .position(|&w| w as u32 == way)
+                .expect("every way present") as u32,
+            SetReplacement::Nru { bits, ways } => {
+                // Recently-used ways are estimated to occupy the upper
+                // (MRU) half of the stack, others the lower half; within a
+                // half, order by way index for determinism.
+                let used_mask = way_range_mask(0, *ways) & !*bits;
+                let is_used = bits & (1u64 << way) == 0;
+                if is_used {
+                    rank_within(used_mask, way)
+                } else {
+                    used_mask.count_ones() + rank_within(*bits, way)
+                }
+            }
+            SetReplacement::BtPlru { tree, ways } => {
+                // Identifier-based estimate: each tree node on the path
+                // that points *away* from this way counts as evidence of
+                // recency; accumulate binary weights to place the way in
+                // the stack (Kędzierski et al. §IV-B).
+                let levels = ways.trailing_zeros();
+                let mut node = 1u32;
+                let mut position = 0u32;
+                for level in (0..levels).rev() {
+                    let bit = (way >> level) & 1;
+                    let points_right = (*tree >> node) & 1 == 1;
+                    // If the node points toward this way's half, the way
+                    // is closer to being the victim: add that level's
+                    // weight.
+                    let toward = (bit == 1) == points_right;
+                    if toward {
+                        position += 1u32 << level;
+                    }
+                    node = node * 2 + bit;
+                }
+                position
+            }
+            SetReplacement::Rrip { rrpv } => {
+                // Estimate: quarter of the stack per RRPV step, ranked
+                // by way index within a step for determinism.
+                let k = rrpv.len() as u32;
+                let v = rrpv[way as usize] as u32;
+                let rank = (0..way).filter(|&w| rrpv[w as usize] as u32 == v).count() as u32;
+                (v * k / 4 + rank).min(k - 1)
+            }
+        }
+    }
+}
+
+/// Mask covering `count` ways starting at `start`.
+#[inline]
+fn subtree_mask(start: u32, count: u32) -> WayMask {
+    way_range_mask(start, start + count)
+}
+
+/// Rank (0-based) of `way` among the set bits of `mask`.
+#[inline]
+fn rank_within(mask: WayMask, way: u32) -> u32 {
+    (mask & ((1u64 << way) - 1)).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn way_range_mask_basics() {
+        assert_eq!(way_range_mask(0, 4), 0b1111);
+        assert_eq!(way_range_mask(2, 5), 0b11100);
+        assert_eq!(way_range_mask(3, 3), 0);
+        assert_eq!(way_range_mask(0, 64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way range")]
+    fn way_range_mask_rejects_inverted() {
+        way_range_mask(5, 2);
+    }
+
+    #[test]
+    fn true_lru_exact_order() {
+        let mut r = SetReplacement::new(ReplacementKind::TrueLru, 4);
+        r.touch(2); // order: 2 0 1 3
+        r.touch(1); // order: 1 2 0 3
+        assert_eq!(r.stack_position(1), 0);
+        assert_eq!(r.stack_position(2), 1);
+        assert_eq!(r.stack_position(0), 2);
+        assert_eq!(r.stack_position(3), 3);
+        assert_eq!(r.victim(way_range_mask(0, 4)), 3);
+        // Restricted to ways {0,1}: LRU among them is 0.
+        assert_eq!(r.victim(0b0011), 0);
+    }
+
+    #[test]
+    fn true_lru_victim_respects_partition() {
+        let mut r = SetReplacement::new(ReplacementKind::TrueLru, 8);
+        for w in [7, 6, 5, 4, 3, 2, 1, 0] {
+            r.touch(w); // 0 is now MRU, 7 LRU
+        }
+        // Only ways 0..4 allowed: victim must be way 3 (the LRU of those).
+        assert_eq!(r.victim(way_range_mask(0, 4)), 3);
+        // Only ways 4..8 allowed: victim must be way 7.
+        assert_eq!(r.victim(way_range_mask(4, 8)), 7);
+    }
+
+    #[test]
+    fn nru_victims_prefer_unused() {
+        let mut r = SetReplacement::new(ReplacementKind::Nru, 4);
+        r.touch(0);
+        r.touch(1);
+        // Ways 2,3 still "not recently used".
+        assert_eq!(r.victim(way_range_mask(0, 4)), 2);
+        r.touch(2);
+        r.touch(3); // all used → internal reset keeps 3 used
+        let v = r.victim(way_range_mask(0, 4));
+        assert_ne!(v, 3, "most recent way should not be the victim");
+    }
+
+    #[test]
+    fn nru_partition_local_reset() {
+        let mut r = SetReplacement::new(ReplacementKind::Nru, 4);
+        for w in 0..4 {
+            r.touch(w);
+        }
+        // After global use, restricting to {0,1} must still yield a victim.
+        let v = r.victim(0b0011);
+        assert!(v < 2);
+    }
+
+    #[test]
+    fn nru_stack_positions_rank_used_before_unused() {
+        let mut r = SetReplacement::new(ReplacementKind::Nru, 4);
+        r.touch(3);
+        // Used way 3 must rank above (closer to MRU than) unused ways.
+        let p3 = r.stack_position(3);
+        for w in 0..3 {
+            assert!(p3 < r.stack_position(w));
+        }
+    }
+
+    #[test]
+    fn btplru_touch_protects_way() {
+        let mut r = SetReplacement::new(ReplacementKind::BtPlru, 8);
+        r.touch(5);
+        let v = r.victim(way_range_mask(0, 8));
+        assert_ne!(v, 5, "just-touched way must not be the victim");
+    }
+
+    #[test]
+    fn btplru_victim_respects_partition() {
+        let mut r = SetReplacement::new(ReplacementKind::BtPlru, 8);
+        for w in 0..8 {
+            r.touch(w);
+        }
+        for _ in 0..16 {
+            let v = r.victim(way_range_mask(0, 3));
+            assert!(v < 3, "victim {v} escaped partition");
+            r.touch(v);
+        }
+    }
+
+    #[test]
+    fn btplru_stack_position_monotone_for_fresh_touch() {
+        let mut r = SetReplacement::new(ReplacementKind::BtPlru, 8);
+        r.touch(4);
+        assert_eq!(r.stack_position(4), 0, "touched way estimated MRU");
+        // The PLRU victim should have the maximal estimate.
+        let v = r.victim(way_range_mask(0, 8));
+        let pv = r.stack_position(v);
+        for w in 0..8 {
+            assert!(r.stack_position(w) <= pv);
+        }
+    }
+
+    #[test]
+    fn victim_cycle_covers_all_ways_true_lru() {
+        // Repeatedly evicting + touching the victim must cycle fairly.
+        let mut r = SetReplacement::new(ReplacementKind::TrueLru, 4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let v = r.victim(way_range_mask(0, 4));
+            seen.insert(v);
+            r.touch(v);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "victim mask selects no way")]
+    fn empty_mask_panics() {
+        let mut r = SetReplacement::new(ReplacementKind::TrueLru, 4);
+        r.victim(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn btplru_rejects_non_power_of_two() {
+        SetReplacement::new(ReplacementKind::BtPlru, 12);
+    }
+
+    #[test]
+    fn rrip_victims_prefer_distant_ways() {
+        let mut r = SetReplacement::new(ReplacementKind::Rrip, 4);
+        // Fill all 4 ways with long (SRRIP) insertions.
+        for w in 0..4 {
+            let v = r.victim(way_range_mask(0, 4));
+            assert_eq!(v, w, "cold fill takes ways in order");
+            r.on_fill(v, false);
+        }
+        // Touch way 1: it becomes near-immediate.
+        r.touch(1);
+        // Aging must find a victim and it must not be way 1.
+        let v = r.victim(way_range_mask(0, 4));
+        assert_ne!(v, 1);
+    }
+
+    #[test]
+    fn rrip_distant_insertion_is_next_victim() {
+        let mut r = SetReplacement::new(ReplacementKind::Rrip, 4);
+        for w in 0..4 {
+            r.on_fill(w, false); // RRPV 2
+        }
+        r.on_fill(2, true); // BRRIP distant insert at way 2
+        assert_eq!(r.victim(way_range_mask(0, 4)), 2);
+    }
+
+    #[test]
+    fn rrip_respects_partition_mask() {
+        let mut r = SetReplacement::new(ReplacementKind::Rrip, 8);
+        for w in 0..8 {
+            r.on_fill(w, false);
+            r.touch(w); // everything near-immediate
+        }
+        for _ in 0..16 {
+            let v = r.victim(way_range_mask(2, 5));
+            assert!((2..5).contains(&v), "victim {v} escaped mask");
+            r.touch(v);
+        }
+    }
+
+    #[test]
+    fn rrip_stack_positions_rank_by_rrpv() {
+        let mut r = SetReplacement::new(ReplacementKind::Rrip, 8);
+        for w in 0..8 {
+            r.on_fill(w, false);
+        }
+        r.touch(3); // RRPV 0 → most recent
+        assert!(r.stack_position(3) < r.stack_position(0));
+    }
+
+    #[test]
+    fn twelve_way_nru_works() {
+        // The paper's L2 TLB is 12-way; NRU must handle non-power-of-two.
+        let mut r = SetReplacement::new(ReplacementKind::Nru, 12);
+        for w in 0..12 {
+            r.touch(w);
+        }
+        let v = r.victim(way_range_mask(0, 12));
+        assert!(v < 12);
+    }
+}

@@ -1,0 +1,45 @@
+//! The CSALT system: the paper's memory hierarchy (Figure 4) with every
+//! evaluated translation scheme behind one interface.
+//!
+//! [`MemoryHierarchy`] assembles the substrates from the sibling crates
+//! — SRAM TLBs, data caches, POM-TLB, TSB, page walkers, DRAM — and
+//! dispatches on [`csalt_types::TranslationScheme`]:
+//!
+//! | scheme | translation path | cache management |
+//! |---|---|---|
+//! | `Conventional` | L1/L2 TLB → 2D page walk | none |
+//! | `PomTlb` | L1/L2 TLB → large L3 TLB → walk | none (LRU) |
+//! | `CsaltD` | same | dynamic MU partitioning |
+//! | `CsaltCd` | same | criticality-weighted partitioning |
+//! | `Dip` | same | set-dueling insertion |
+//! | `Tsb` | L1/L2 TLB → software TSB → walk | none |
+//! | `StaticPartition` | same as POM-TLB | fixed way split |
+//!
+//! # Example
+//!
+//! ```
+//! use csalt_core::MemoryHierarchy;
+//! use csalt_ptw::HugePagePolicy;
+//! use csalt_types::{CoreId, MemAccess, SystemConfig, TranslationScheme, VirtAddr};
+//!
+//! let cfg = SystemConfig::skylake();
+//! let mut hier = MemoryHierarchy::new(
+//!     &cfg,
+//!     TranslationScheme::CsaltCd,
+//!     true, // virtualized
+//!     HugePagePolicy::NONE,
+//!     1,
+//! );
+//! let ctx = hier.add_context();
+//! let charge = hier.access(CoreId::new(0), ctx, MemAccess::read(VirtAddr::new(0x1000), 4));
+//! assert!(charge.walked, "first touch of a page must walk");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod managed;
+
+pub use hierarchy::{AccessCharge, HierarchySnapshot, MemoryHierarchy};
+pub use managed::{CacheManagement, ManagedCache, PartitionSample};

@@ -1,0 +1,172 @@
+//! Runtime criticality-weight estimation for CSALT-CD (§3.2).
+//!
+//! CSALT-CD scales each kind's stack-distance profile by the performance
+//! gain of a hit of that kind in the cache being partitioned. The paper
+//! derives the gains from counters modern processors already expose:
+//!
+//! * a **data** hit in the L3 avoids a DRAM access, so
+//!   `S_Dat = avg_dram_latency / l3_latency`;
+//! * a **translation** hit in the L3 avoids both the POM-TLB access *and*
+//!   (because a translation is blocking) the dependent DRAM access, so
+//!   `S_Tr = (avg_pom_tlb_latency + avg_dram_latency) / l3_latency`.
+//!
+//! The estimator accumulates observed service latencies and produces
+//! [`Weights`] on demand; an exponential decay keeps it responsive to
+//! phase changes across epochs.
+
+use crate::partition::Weights;
+use csalt_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Accumulates observed memory-system latencies and derives the
+/// criticality weights of Equation 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalityEstimator {
+    /// Hit latency of the cache being partitioned (denominator).
+    cache_latency: f64,
+    dram_latency_sum: f64,
+    dram_samples: f64,
+    pom_latency_sum: f64,
+    pom_samples: f64,
+    /// Fallbacks until first samples arrive (typical Table 2 values).
+    default_dram: f64,
+    default_pom: f64,
+}
+
+impl CriticalityEstimator {
+    /// Creates an estimator for a cache with the given hit latency.
+    ///
+    /// `default_dram` / `default_pom` seed the averages before any real
+    /// sample has been observed (use the devices' best-case latencies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is not positive.
+    pub fn new(cache_latency: Cycle, default_dram: Cycle, default_pom: Cycle) -> Self {
+        assert!(
+            cache_latency > 0 && default_dram > 0 && default_pom > 0,
+            "latencies must be positive"
+        );
+        Self {
+            cache_latency: cache_latency as f64,
+            dram_latency_sum: 0.0,
+            dram_samples: 0.0,
+            pom_latency_sum: 0.0,
+            pom_samples: 0.0,
+            default_dram: default_dram as f64,
+            default_pom: default_pom as f64,
+        }
+    }
+
+    /// Records the observed service latency of one off-chip DRAM access.
+    pub fn record_dram(&mut self, latency: Cycle) {
+        self.dram_latency_sum += latency as f64;
+        self.dram_samples += 1.0;
+    }
+
+    /// Records the observed service latency of one POM-TLB access
+    /// (die-stacked DRAM).
+    pub fn record_pom_tlb(&mut self, latency: Cycle) {
+        self.pom_latency_sum += latency as f64;
+        self.pom_samples += 1.0;
+    }
+
+    /// Average observed DRAM latency (or the default seed).
+    pub fn avg_dram(&self) -> f64 {
+        if self.dram_samples > 0.0 {
+            self.dram_latency_sum / self.dram_samples
+        } else {
+            self.default_dram
+        }
+    }
+
+    /// Average observed POM-TLB latency (or the default seed).
+    pub fn avg_pom_tlb(&self) -> f64 {
+        if self.pom_samples > 0.0 {
+            self.pom_latency_sum / self.pom_samples
+        } else {
+            self.default_pom
+        }
+    }
+
+    /// Current criticality weights (§3.2): the gains are never allowed to
+    /// drop below 1 — a hit cannot be *worse* than the miss it avoids.
+    pub fn weights(&self) -> Weights {
+        let s_dat = (self.avg_dram() / self.cache_latency).max(1.0);
+        let s_tr = ((self.avg_pom_tlb() + self.avg_dram()) / self.cache_latency).max(1.0);
+        Weights::new(s_dat, s_tr)
+    }
+
+    /// Halves the accumulated history so newer epochs dominate — called
+    /// at each epoch boundary.
+    pub fn decay(&mut self) {
+        self.dram_latency_sum /= 2.0;
+        self.dram_samples /= 2.0;
+        self.pom_latency_sum /= 2.0;
+        self.pom_samples /= 2.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_used_before_samples() {
+        let e = CriticalityEstimator::new(42, 168, 84);
+        assert_eq!(e.avg_dram(), 168.0);
+        assert_eq!(e.avg_pom_tlb(), 84.0);
+        let w = e.weights();
+        assert!((w.s_dat - 4.0).abs() < 1e-12);
+        assert!((w.s_tr - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_override_defaults() {
+        let mut e = CriticalityEstimator::new(42, 168, 84);
+        e.record_dram(210);
+        e.record_dram(210);
+        e.record_pom_tlb(126);
+        assert_eq!(e.avg_dram(), 210.0);
+        assert_eq!(e.avg_pom_tlb(), 126.0);
+        let w = e.weights();
+        assert!((w.s_dat - 5.0).abs() < 1e-12);
+        assert!((w.s_tr - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tlb_weight_exceeds_data_weight() {
+        // Blocking translation always carries the extra POM-TLB term.
+        let mut e = CriticalityEstimator::new(12, 150, 80);
+        e.record_dram(140);
+        e.record_pom_tlb(90);
+        let w = e.weights();
+        assert!(w.s_tr > w.s_dat);
+    }
+
+    #[test]
+    fn weights_floor_at_one() {
+        let e = CriticalityEstimator::new(42, 1, 1);
+        let w = e.weights();
+        assert_eq!(w.s_dat, 1.0);
+        assert!(w.s_tr >= 1.0);
+    }
+
+    #[test]
+    fn decay_preserves_average_but_weights_recency() {
+        let mut e = CriticalityEstimator::new(42, 168, 84);
+        e.record_dram(100);
+        e.record_dram(100);
+        e.decay();
+        assert_eq!(e.avg_dram(), 100.0, "decay keeps the mean");
+        // One new fast sample now moves the mean further than before.
+        e.record_dram(10);
+        assert!(e.avg_dram() < 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_rejected() {
+        CriticalityEstimator::new(0, 100, 50);
+    }
+}

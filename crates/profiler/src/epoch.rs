@@ -1,0 +1,92 @@
+//! Epoch bookkeeping: CSALT repartitions each cache at fixed access-count
+//! intervals (256 K accesses by default; Figure 15 sweeps 128 K–512 K).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts cache accesses and signals epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochController {
+    length: u64,
+    count: u64,
+    epochs_completed: u64,
+}
+
+impl EpochController {
+    /// Creates a controller with the given epoch length (in accesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn new(length: u64) -> Self {
+        assert!(length > 0, "epoch length must be positive");
+        Self {
+            length,
+            count: 0,
+            epochs_completed: 0,
+        }
+    }
+
+    /// The configured epoch length.
+    pub fn length(&self) -> u64 {
+        self.length
+    }
+
+    /// Number of completed epochs so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs_completed
+    }
+
+    /// Accesses recorded in the current (incomplete) epoch.
+    pub fn current_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Records one access; returns `true` exactly at epoch boundaries
+    /// (every `length`-th access), at which point the caller recomputes
+    /// the partition and resets its profiler counters.
+    pub fn tick(&mut self) -> bool {
+        self.count += 1;
+        if self.count >= self.length {
+            self.count = 0;
+            self.epochs_completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_fires_every_length_ticks() {
+        let mut e = EpochController::new(4);
+        assert!(!e.tick());
+        assert!(!e.tick());
+        assert!(!e.tick());
+        assert!(e.tick());
+        assert_eq!(e.epochs_completed(), 1);
+        assert_eq!(e.current_count(), 0);
+        for _ in 0..3 {
+            assert!(!e.tick());
+        }
+        assert!(e.tick());
+        assert_eq!(e.epochs_completed(), 2);
+    }
+
+    #[test]
+    fn length_one_fires_every_tick() {
+        let mut e = EpochController::new(1);
+        assert!(e.tick());
+        assert!(e.tick());
+        assert_eq!(e.epochs_completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        EpochController::new(0);
+    }
+}

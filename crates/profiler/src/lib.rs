@@ -1,0 +1,48 @@
+//! CSALT's profiling and partitioning machinery (§3 of the paper).
+//!
+//! This crate implements the paper's primary contribution in isolation
+//! from any particular cache:
+//!
+//! * [`StackDistanceProfiler`] — per-kind Mattson stack-distance (MSA)
+//!   profilers over shadow LRU tag directories, the hit-rate prediction
+//!   model of §3.1.
+//! * [`choose_partition`] / [`weighted_marginal_utility`] — Algorithms
+//!   1–3: marginal-utility maximization (CSALT-D) and its
+//!   criticality-weighted variant (CSALT-CD, Equation 2).
+//! * [`CriticalityEstimator`] — derives the `S_Dat` / `S_Tr` weights from
+//!   runtime latency observations (§3.2).
+//! * [`EpochController`] — the fixed-interval repartitioning cadence
+//!   (256 K accesses by default, swept in Figure 15).
+//!
+//! # Example
+//!
+//! ```
+//! use csalt_profiler::{choose_partition, StackDistanceProfiler, Weights};
+//! use csalt_types::EntryKind;
+//!
+//! let mut prof = StackDistanceProfiler::new(64, 8, 1);
+//! for i in 0..1000u64 {
+//!     prof.record(i % 64, i % 4, EntryKind::Data); // hot data
+//!     prof.record(i % 64, i, EntryKind::Tlb);      // streaming TLB
+//! }
+//! let decision = choose_partition(
+//!     &prof.counts(EntryKind::Data),
+//!     &prof.counts(EntryKind::Tlb),
+//!     1,
+//!     Weights::UNIT,
+//! );
+//! assert!(decision.data_ways >= 1 && decision.tlb_ways >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod criticality;
+mod epoch;
+mod msa;
+mod partition;
+
+pub use criticality::CriticalityEstimator;
+pub use epoch::EpochController;
+pub use msa::{LruStackCounts, StackDistanceProfiler};
+pub use partition::{choose_partition, weighted_marginal_utility, PartitionDecision, Weights};

@@ -1,0 +1,233 @@
+//! The CSALT partitioning algorithms: Marginal Utility (Algorithm 1–2)
+//! and Criticality-Weighted Marginal Utility (Algorithm 3).
+//!
+//! Given the two per-kind stack-distance profiles of an epoch, the
+//! controller picks the way split `N` (data ways) that maximizes
+//!
+//! * CSALT-D:  `MU(N)   = Σ_{i<N} D_LRU[i] + Σ_{j<K-N} TLB_LRU[j]`  (Eq. 1)
+//! * CSALT-CD: `CWMU(N) = S_dat·Σ_{i<N} D_LRU[i] + S_tr·Σ_{j<K-N} TLB_LRU[j]` (Eq. 2)
+//!
+//! where the criticality weights `S_dat` / `S_tr` are the estimated
+//! performance gain of a hit of each kind (§3.2).
+
+use crate::msa::LruStackCounts;
+use serde::{Deserialize, Serialize};
+
+/// Criticality weights applied to the two profiles (Eq. 2). `UNIT` makes
+/// CWMU degenerate to plain MU, i.e. CSALT-D.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Performance gain of a data hit in this cache (`S_Dat`).
+    pub s_dat: f64,
+    /// Performance gain of a translation hit in this cache (`S_Tr`).
+    pub s_tr: f64,
+}
+
+impl Weights {
+    /// Unweighted (CSALT-D) configuration.
+    pub const UNIT: Weights = Weights {
+        s_dat: 1.0,
+        s_tr: 1.0,
+    };
+
+    /// Builds weights, clamping non-finite or non-positive inputs to 1.
+    pub fn new(s_dat: f64, s_tr: f64) -> Self {
+        let sanitize = |w: f64| if w.is_finite() && w > 0.0 { w } else { 1.0 };
+        Self {
+            s_dat: sanitize(s_dat),
+            s_tr: sanitize(s_tr),
+        }
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights::UNIT
+    }
+}
+
+/// Computes the criticality-weighted marginal utility of granting `n`
+/// ways (of `k`) to data — Algorithm 2 (with `UNIT` weights) and
+/// Algorithm 3 (general).
+///
+/// # Panics
+///
+/// Panics if the two profiles disagree on associativity or `n > K`.
+pub fn weighted_marginal_utility(
+    data: &LruStackCounts,
+    tlb: &LruStackCounts,
+    n: u32,
+    weights: Weights,
+) -> f64 {
+    let k = data.ways();
+    assert_eq!(k, tlb.ways(), "profiles must cover the same cache");
+    assert!(n <= k, "cannot grant more ways than exist");
+    weights.s_dat * data.hits_with_ways(n) as f64
+        + weights.s_tr * tlb.hits_with_ways(k - n) as f64
+}
+
+/// The outcome of an epoch's partitioning decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionDecision {
+    /// Ways granted to data entries.
+    pub data_ways: u32,
+    /// Ways granted to TLB entries (`K - data_ways`).
+    pub tlb_ways: u32,
+    /// The winning (weighted) marginal utility.
+    pub utility: f64,
+}
+
+/// Algorithm 1: evaluates every allowed split and returns the argmax.
+///
+/// `n_min` ways are always reserved for each kind (the paper's `Nmin`
+/// lower bound keeps either stream from being starved entirely). Ties are
+/// broken toward the *largest* data allocation, matching the paper's
+/// worked example where `P4 (N=7)` wins: in practice the data stream is
+/// the larger contributor and extra TLB ways with zero marginal hits are
+/// wasted.
+///
+/// # Panics
+///
+/// Panics if the profiles disagree on associativity or `2*n_min > K`.
+pub fn choose_partition(
+    data: &LruStackCounts,
+    tlb: &LruStackCounts,
+    n_min: u32,
+    weights: Weights,
+) -> PartitionDecision {
+    let k = data.ways();
+    assert_eq!(k, tlb.ways(), "profiles must cover the same cache");
+    assert!(n_min >= 1 && 2 * n_min <= k, "n_min leaves no feasible split");
+
+    let mut best_n = n_min;
+    let mut best_mu = f64::NEG_INFINITY;
+    for n in n_min..=(k - n_min) {
+        let mu = weighted_marginal_utility(data, tlb, n, weights);
+        if mu >= best_mu {
+            best_mu = mu;
+            best_n = n;
+        }
+    }
+    PartitionDecision {
+        data_ways: best_n,
+        tlb_ways: k - best_n,
+        utility: best_mu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 5 example: an 8-way cache whose profiles make
+    /// partition P4 (N = 7) the winner with MU = 50.
+    fn figure5_profiles() -> (LruStackCounts, LruStackCounts) {
+        // DATA LRU stack: values at LRU0..LRU7, then the miss slot LRU8.
+        let data = LruStackCounts::new(vec![3, 11, 12, 8, 9, 2, 1, 4, 10]);
+        // TLB LRU stack.
+        let tlb = LruStackCounts::new(vec![7, 10, 12, 5, 1, 0, 8, 15, 1]);
+        (data, tlb)
+    }
+
+    #[test]
+    fn figure5_marginal_utilities_follow_equation_1() {
+        // The printed MU values in the paper's §3.1 example (34/30/40/50)
+        // are not reproducible from the stacks it displays — the example's
+        // arithmetic is inconsistent. We therefore verify Equation 1
+        // itself: MU(N) = Σ_{i<N} D[i] + Σ_{j<K-N} T[j], against exact
+        // hand-computed prefix sums for the displayed stacks.
+        let (d, t) = figure5_profiles();
+        let expect = [
+            (1, 3 + 43),
+            (2, 14 + 35),
+            (3, 26 + 35),
+            (4, 34 + 34),
+            (5, 43 + 29),
+            (6, 45 + 17),
+            (7, 46 + 7),
+        ];
+        for (n, mu) in expect {
+            let got = weighted_marginal_utility(&d, &t, n, Weights::UNIT);
+            assert_eq!(got, mu as f64, "MU({n})");
+        }
+        // Exhaustive argmax over the feasible splits is N = 5 (MU = 72).
+        let dec = choose_partition(&d, &t, 1, Weights::UNIT);
+        assert_eq!(dec.data_ways, 5);
+        assert_eq!(dec.utility, 72.0);
+    }
+
+    #[test]
+    fn mu_is_sum_of_prefixes() {
+        let d = LruStackCounts::new(vec![5, 5, 0, 0, 100]);
+        let t = LruStackCounts::new(vec![10, 0, 0, 0, 100]);
+        let mu = weighted_marginal_utility(&d, &t, 2, Weights::UNIT);
+        // data prefix (2 ways) = 10, tlb prefix (2 ways) = 10.
+        assert_eq!(mu, 20.0);
+    }
+
+    #[test]
+    fn data_heavy_profile_wins_data_ways() {
+        // Data hits spread deep; TLB hits nonexistent.
+        let d = LruStackCounts::new(vec![10, 10, 10, 10, 10, 10, 10, 10, 0]);
+        let t = LruStackCounts::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 50]);
+        let dec = choose_partition(&d, &t, 1, Weights::UNIT);
+        assert_eq!(dec.data_ways, 7, "maximum allowed data allocation");
+    }
+
+    #[test]
+    fn tlb_heavy_profile_wins_tlb_ways() {
+        let d = LruStackCounts::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 50]);
+        let t = LruStackCounts::new(vec![10, 10, 10, 10, 10, 10, 10, 10, 0]);
+        let dec = choose_partition(&d, &t, 1, Weights::UNIT);
+        assert_eq!(dec.data_ways, 1, "minimum data allocation");
+        assert_eq!(dec.tlb_ways, 7);
+    }
+
+    #[test]
+    fn weights_shift_the_decision() {
+        // Symmetric profiles: unweighted, ties break to large data N.
+        let d = LruStackCounts::new(vec![10, 10, 10, 10, 0]);
+        let t = LruStackCounts::new(vec![10, 10, 10, 10, 0]);
+        let unweighted = choose_partition(&d, &t, 1, Weights::UNIT);
+        // Heavy TLB criticality must pull ways toward TLB.
+        let tlb_critical = choose_partition(&d, &t, 1, Weights::new(1.0, 10.0));
+        assert!(tlb_critical.data_ways <= unweighted.data_ways);
+        assert_eq!(tlb_critical.data_ways, 1);
+    }
+
+    #[test]
+    fn n_min_is_respected() {
+        let d = LruStackCounts::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        let t = LruStackCounts::new(vec![100, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let dec = choose_partition(&d, &t, 2, Weights::UNIT);
+        assert!(dec.data_ways >= 2);
+        assert!(dec.tlb_ways >= 2);
+    }
+
+    #[test]
+    fn utility_reported_matches_recomputation() {
+        let (d, t) = figure5_profiles();
+        let dec = choose_partition(&d, &t, 1, Weights::UNIT);
+        let mu = weighted_marginal_utility(&d, &t, dec.data_ways, Weights::UNIT);
+        assert_eq!(dec.utility, mu);
+    }
+
+    #[test]
+    fn weights_sanitize_bad_inputs() {
+        let w = Weights::new(f64::NAN, -3.0);
+        assert_eq!(w.s_dat, 1.0);
+        assert_eq!(w.s_tr, 1.0);
+        let w2 = Weights::new(2.5, 0.0);
+        assert_eq!(w2.s_dat, 2.5);
+        assert_eq!(w2.s_tr, 1.0);
+        assert_eq!(Weights::default(), Weights::UNIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feasible split")]
+    fn infeasible_n_min_panics() {
+        let d = LruStackCounts::new(vec![0, 0, 1]);
+        let t = LruStackCounts::new(vec![0, 0, 1]);
+        choose_partition(&d, &t, 2, Weights::UNIT);
+    }
+}

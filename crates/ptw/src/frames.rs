@@ -1,0 +1,185 @@
+//! Physical frame allocation for simulated address spaces.
+//!
+//! Both the host machine's physical memory and each VM's guest-physical
+//! space are modelled as regions a [`FrameAllocator`] hands frames out
+//! of. Allocation is a deterministic bump with a light multiplicative
+//! scramble so that consecutively-allocated pages do not all land in the
+//! same DRAM bank/row pattern (real allocators interleave similarly).
+
+use csalt_types::{PageSize, PhysAddr, PhysFrame};
+
+/// A bump allocator over a physical region, with 4 KiB and 2 MiB frame
+/// support.
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    base: u64,
+    size: u64,
+    next: u64,
+    scramble: bool,
+    allocated_4k: u64,
+    allocated_2m: u64,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 2 MiB-aligned or `size` is not a positive
+    /// multiple of 2 MiB (so both frame sizes tile the region exactly).
+    pub fn new(base: u64, size: u64) -> Self {
+        let two_m = PageSize::Size2M.bytes();
+        assert!(base % two_m == 0, "base must be 2 MiB aligned");
+        assert!(size > 0 && size % two_m == 0, "size must be 2 MiB granular");
+        Self {
+            base,
+            size,
+            next: base,
+            scramble: true,
+            allocated_4k: 0,
+            allocated_2m: 0,
+        }
+    }
+
+    /// Disables frame-number scrambling (useful for address-exactness
+    /// tests).
+    pub fn without_scramble(mut self) -> Self {
+        self.scramble = false;
+        self
+    }
+
+    /// Region base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Bytes already handed out.
+    pub fn used(&self) -> u64 {
+        self.next - self.base
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> u64 {
+        self.base + self.size - self.next
+    }
+
+    /// Frames of each size handed out so far: `(4 KiB, 2 MiB)`.
+    pub fn allocation_counts(&self) -> (u64, u64) {
+        (self.allocated_4k, self.allocated_2m)
+    }
+
+    /// Allocates one frame of `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region is exhausted — simulated footprints are
+    /// sized by the experiment, so exhaustion is a configuration bug.
+    pub fn alloc(&mut self, size: PageSize) -> PhysFrame {
+        let bytes = size.bytes();
+        // Align the bump pointer up to the frame size.
+        let aligned = self.next.div_ceil(bytes) * bytes;
+        assert!(
+            aligned + bytes <= self.base + self.size,
+            "frame allocator exhausted: {} of {} bytes used",
+            self.used(),
+            self.size
+        );
+        self.next = aligned + bytes;
+        match size {
+            PageSize::Size4K => self.allocated_4k += 1,
+            PageSize::Size2M => self.allocated_2m += 1,
+            PageSize::Size1G => {}
+        }
+        let addr = if self.scramble && size == PageSize::Size4K {
+            self.scramble_4k(aligned)
+        } else {
+            aligned
+        };
+        PhysAddr::new(addr).frame(size)
+    }
+
+    /// Permutes a 4 KiB frame within its 2 MiB super-frame with an
+    /// invertible affine map, spreading sequential allocations across
+    /// DRAM rows without ever colliding (the map is a bijection on the
+    /// 512 sub-frames).
+    fn scramble_4k(&self, addr: u64) -> u64 {
+        let two_m = PageSize::Size2M.bytes();
+        let super_base = addr / two_m * two_m;
+        let sub = (addr - super_base) / PageSize::Size4K.bytes();
+        // 165 is odd ⇒ coprime with 512 ⇒ bijective modulo 512.
+        let scrambled = (sub * 165 + 91) % 512;
+        super_base + scrambled * PageSize::Size4K.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const MB2: u64 = 2 << 20;
+
+    #[test]
+    fn frames_are_unique_and_in_region() {
+        let mut a = FrameAllocator::new(0, 16 * MB2);
+        let mut seen = HashSet::new();
+        for _ in 0..(16 * 512) {
+            let f = a.alloc(PageSize::Size4K);
+            assert!(seen.insert(f.base().raw()), "duplicate frame {f:?}");
+            assert!(f.base().raw() < 16 * MB2);
+            assert_eq!(f.base().raw() % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn exhaustion_panics() {
+        let mut a = FrameAllocator::new(0, MB2);
+        for _ in 0..512 {
+            a.alloc(PageSize::Size4K);
+        }
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.alloc(PageSize::Size4K)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mixed_sizes_do_not_overlap() {
+        let mut a = FrameAllocator::new(MB2 * 8, 64 * MB2);
+        let f4 = a.alloc(PageSize::Size4K);
+        let f2 = a.alloc(PageSize::Size2M);
+        let f4b = a.alloc(PageSize::Size4K);
+        // 2 MiB frame is 2 MiB aligned.
+        assert_eq!(f2.base().raw() % MB2, 0);
+        let r2 = f2.base().raw()..f2.base().raw() + MB2;
+        assert!(!r2.contains(&f4.base().raw()));
+        assert!(!r2.contains(&f4b.base().raw()));
+        assert_eq!(a.allocation_counts(), (2, 1));
+    }
+
+    #[test]
+    fn unscrambled_is_sequential() {
+        let mut a = FrameAllocator::new(0, MB2).without_scramble();
+        let f0 = a.alloc(PageSize::Size4K);
+        let f1 = a.alloc(PageSize::Size4K);
+        assert_eq!(f0.base().raw(), 0);
+        assert_eq!(f1.base().raw(), 4096);
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut a = FrameAllocator::new(0, 4 * MB2);
+        assert_eq!(a.used(), 0);
+        a.alloc(PageSize::Size4K);
+        assert_eq!(a.used(), 4096);
+        assert_eq!(a.remaining(), 4 * MB2 - 4096);
+        a.alloc(PageSize::Size2M); // aligns up
+        assert_eq!(a.used(), 2 * MB2);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 MiB aligned")]
+    fn misaligned_base_rejected() {
+        FrameAllocator::new(4096, MB2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Page tables and page walkers for the CSALT simulator.
+//!
+//! Implements the translation substrate of §2.1 / Figure 2 of the paper:
+//!
+//! * [`FrameAllocator`] — deterministic physical-frame allocation for
+//!   machine memory and per-VM guest-physical spaces.
+//! * [`RadixPageTable`] — lazily-built 4-level x86-64 radix tables whose
+//!   nodes occupy real simulated frames, so walks yield the physical
+//!   addresses of the PTEs they read.
+//! * [`PagingStructureCache`] — the PML4/PDP/PDE MMU caches of Table 2.
+//! * [`NativeWalker`] — the 1D walk (≤ 4 accesses, Figure 2a).
+//! * [`NestedWalker`] / [`GuestAddressSpace`] — the 2D virtualized walk
+//!   (≤ 24 accesses, Figure 2b), with guest- and host-side PSCs.
+//!
+//! # Example
+//!
+//! ```
+//! use csalt_ptw::{FrameAllocator, HugePagePolicy, NativeWalker};
+//! use csalt_types::{Asid, SystemConfig, VirtAddr};
+//!
+//! let mut mem = FrameAllocator::new(0, 64 << 20);
+//! let mut walker = NativeWalker::new(
+//!     Asid::new(0),
+//!     &mut mem,
+//!     HugePagePolicy::NONE,
+//!     SystemConfig::skylake().psc,
+//! );
+//! let out = walker.walk(VirtAddr::new(0x1234_5000), &mut mem);
+//! assert_eq!(out.accesses.len(), 4); // cold 1D walk reads 4 PTEs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frames;
+mod psc;
+mod radix;
+mod walker;
+
+pub use frames::FrameAllocator;
+pub use psc::{PagingStructureCache, PscStart};
+pub use radix::{HugePagePolicy, PteRef, RadixPageTable, WalkPath};
+pub use walker::{GuestAddressSpace, NativeWalker, NestedWalker, WalkOutcome, WalkStats};

@@ -1,0 +1,296 @@
+//! Paging-Structure Caches (Intel PSC / AMD PWC): small MMU caches that
+//! hold partial translations so a walk can skip upper page-table levels.
+//!
+//! Table 2 gives the evaluated sizes: 2 PML4 entries, 4 PDP entries,
+//! 32 PDE entries, all with 2-cycle hits. A PSC entry at level *L* maps a
+//! virtual-address prefix (the indices of levels 4..L+1) to the physical
+//! base of the level-*L* table, letting the walker start reading there.
+
+use csalt_types::{Asid, Cycle, PhysAddr, PscConfig, VirtAddr};
+
+/// One fully-associative LRU cache of prefix → table-base mappings.
+#[derive(Debug, Clone)]
+struct PrefixCache {
+    capacity: usize,
+    /// MRU-first entries of `((asid, prefix), table_base)`.
+    entries: Vec<((Asid, u64), PhysAddr)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PrefixCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: (Asid, u64)) -> Option<PhysAddr> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let e = self.entries.remove(pos);
+            let pa = e.1;
+            self.entries.insert(0, e);
+            self.hits += 1;
+            Some(pa)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    fn insert(&mut self, key: (Asid, u64), table: PhysAddr) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, table));
+        self.entries.truncate(self.capacity);
+    }
+}
+
+/// Where a PSC-assisted walk starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PscStart {
+    /// The level whose table the walker reads first (4 if nothing hit).
+    pub level: u8,
+    /// That table's physical base (the root when `level == 4`).
+    pub table: PhysAddr,
+    /// Number of PSC lookups that hit while resolving the start point.
+    pub hits: u32,
+}
+
+/// The three-level paging-structure cache of Table 2.
+///
+/// `lookup` finds the deepest cached prefix for a virtual address;
+/// `fill` installs the table bases discovered by a completed walk.
+#[derive(Debug, Clone)]
+pub struct PagingStructureCache {
+    /// Caches the L3-table base keyed by the root-to-L4 indices (PML4
+    /// cache).
+    pml4: PrefixCache,
+    /// Caches the L2-table base keyed by root-to-L3 indices (PDP cache).
+    pdp: PrefixCache,
+    /// Caches the L1-table base keyed by root-to-L2 indices (PDE cache).
+    pde: PrefixCache,
+    latency: Cycle,
+    /// Depth of the tables being walked (4, or 5 for LA57).
+    root_level: u8,
+}
+
+impl PagingStructureCache {
+    /// Builds the PSC for 4-level tables.
+    pub fn new(cfg: PscConfig) -> Self {
+        Self::with_root_level(cfg, 4)
+    }
+
+    /// Builds the PSC for tables of the given depth (4 or 5). With
+    /// 5-level paging each prefix key additionally includes the PML5
+    /// index, so subtrees under different roots never alias.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `root_level` is 4 or 5.
+    pub fn with_root_level(cfg: PscConfig, root_level: u8) -> Self {
+        assert!(root_level == 4 || root_level == 5, "4- or 5-level only");
+        Self {
+            pml4: PrefixCache::new(cfg.pml4_entries as usize),
+            pdp: PrefixCache::new(cfg.pdp_entries as usize),
+            pde: PrefixCache::new(cfg.pde_entries as usize),
+            latency: cfg.latency,
+            root_level,
+        }
+    }
+
+    /// PSC hit latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Total hits across the three caches.
+    pub fn hits(&self) -> u64 {
+        self.pml4.hits + self.pdp.hits + self.pde.hits
+    }
+
+    /// Total misses across the three caches.
+    pub fn misses(&self) -> u64 {
+        self.pml4.misses + self.pdp.misses + self.pde.misses
+    }
+
+    /// The prefix key for a level's cache: the 9-bit indices of all
+    /// levels above `table_level`, up to the root.
+    #[inline]
+    fn prefix(&self, va: VirtAddr, table_level: u8) -> u64 {
+        let mut key = 0u64;
+        for l in ((table_level + 1)..=self.root_level).rev() {
+            key = (key << 9) | va.pt_index(l);
+        }
+        key
+    }
+
+    /// Finds the deepest starting point the PSC can provide for `va`,
+    /// probing PDE, then PDP, then PML4 (deepest skip first — one probe
+    /// sequence per walk as in hardware).
+    pub fn lookup(&mut self, asid: Asid, va: VirtAddr, root: PhysAddr) -> PscStart {
+        let mut hits = 0;
+        let pde_key = (asid, self.prefix(va, 1));
+        if let Some(t) = self.pde.lookup(pde_key) {
+            return PscStart {
+                level: 1,
+                table: t,
+                hits: 1,
+            };
+        }
+        let pdp_key = (asid, self.prefix(va, 2));
+        if let Some(t) = self.pdp.lookup(pdp_key) {
+            return PscStart {
+                level: 2,
+                table: t,
+                hits: 1,
+            };
+        }
+        let pml4_key = (asid, self.prefix(va, 3));
+        if let Some(t) = self.pml4.lookup(pml4_key) {
+            hits += 1;
+            return PscStart {
+                level: 3,
+                table: t,
+                hits,
+            };
+        }
+        PscStart {
+            level: self.root_level,
+            table: root,
+            hits: 0,
+        }
+    }
+
+    /// Installs the table base discovered for `table_level` (3, 2 or 1)
+    /// during a walk of `va`.
+    pub fn fill(&mut self, asid: Asid, va: VirtAddr, table_level: u8, table: PhysAddr) {
+        let key = (asid, self.prefix(va, table_level));
+        match table_level {
+            3 => self.pml4.insert(key, table),
+            2 => self.pdp.insert(key, table),
+            1 => self.pde.insert(key, table),
+            _ => {}
+        }
+    }
+
+    /// Invalidates everything (e.g. on a simulated TLB shootdown).
+    pub fn flush(&mut self) {
+        self.pml4.entries.clear();
+        self.pdp.entries.clear();
+        self.pde.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psc() -> PagingStructureCache {
+        PagingStructureCache::new(PscConfig {
+            pml4_entries: 2,
+            pdp_entries: 4,
+            pde_entries: 32,
+            latency: 2,
+        })
+    }
+
+    const ROOT: PhysAddr = PhysAddr::new(0x1000);
+
+    #[test]
+    fn cold_lookup_starts_at_root() {
+        let mut p = psc();
+        let s = p.lookup(Asid::new(1), VirtAddr::new(0x7fff_0000_0000), ROOT);
+        assert_eq!(s.level, 4);
+        assert_eq!(s.table, ROOT);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn pde_fill_skips_to_level_one() {
+        let mut p = psc();
+        let a = Asid::new(1);
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        p.fill(a, va, 1, PhysAddr::new(0x9000));
+        let s = p.lookup(a, va, ROOT);
+        assert_eq!(s.level, 1);
+        assert_eq!(s.table, PhysAddr::new(0x9000));
+        // Same 2 MiB region, different page offset: same PDE entry.
+        let near = VirtAddr::new(0x7f12_3456_8000);
+        assert_eq!(p.lookup(a, near, ROOT).level, 1);
+    }
+
+    #[test]
+    fn deeper_cache_wins_over_shallower() {
+        let mut p = psc();
+        let a = Asid::new(1);
+        let va = VirtAddr::new(0x10_0000_0000);
+        p.fill(a, va, 3, PhysAddr::new(0x2000));
+        p.fill(a, va, 2, PhysAddr::new(0x3000));
+        let s = p.lookup(a, va, ROOT);
+        assert_eq!(s.level, 2, "PDP skip beats PML4 skip");
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut p = psc();
+        let va = VirtAddr::new(0x7000_0000);
+        p.fill(Asid::new(1), va, 1, PhysAddr::new(0x9000));
+        assert_eq!(p.lookup(Asid::new(2), va, ROOT).level, 4);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut p = psc(); // PML4 capacity = 2
+        let a = Asid::new(0);
+        // Three distinct L4 indices.
+        let va1 = VirtAddr::new(1u64 << 39);
+        let va2 = VirtAddr::new(2u64 << 39);
+        let va3 = VirtAddr::new(3u64 << 39);
+        p.fill(a, va1, 3, PhysAddr::new(0x100));
+        p.fill(a, va2, 3, PhysAddr::new(0x200));
+        p.fill(a, va3, 3, PhysAddr::new(0x300)); // evicts va1's entry
+        assert_eq!(p.lookup(a, va1, ROOT).level, 4);
+        assert_eq!(p.lookup(a, va2, ROOT).level, 3);
+        assert_eq!(p.lookup(a, va3, ROOT).level, 3);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut p = psc();
+        let a = Asid::new(0);
+        let va = VirtAddr::new(0x1234_5000);
+        p.fill(a, va, 1, PhysAddr::new(0x9000));
+        p.flush();
+        assert_eq!(p.lookup(a, va, ROOT).level, 4);
+    }
+
+    #[test]
+    fn distinct_prefixes_do_not_alias() {
+        let mut p = psc();
+        let a = Asid::new(0);
+        // Same L2 index bits but different L3 index must not alias in
+        // the PDE cache.
+        let va1 = VirtAddr::new(0x0000_0040_0000); // L3=0, L2=2
+        let va2 = VirtAddr::new(0x0000_8040_0000); // L3=2, L2=2
+        p.fill(a, va1, 1, PhysAddr::new(0xaaaa000));
+        let s = p.lookup(a, va2, ROOT);
+        assert_eq!(s.level, 4, "no false PDE hit");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = psc();
+        let a = Asid::new(0);
+        let va = VirtAddr::new(0x5000);
+        p.lookup(a, va, ROOT); // 3 misses (pde, pdp, pml4)
+        p.fill(a, va, 1, PhysAddr::new(0x9000));
+        p.lookup(a, va, ROOT); // 1 hit (pde)
+        assert_eq!(p.hits(), 1);
+        assert!(p.misses() >= 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! A 4-level x86-64-style radix page table, built lazily over a simulated
+//! physical address space.
+//!
+//! Each table node occupies a real 4 KiB frame in its address space, so a
+//! walk yields the *physical addresses of the PTEs it reads* — these are
+//! what the conventional translation scheme feeds through the data caches
+//! (and what pollutes them, §2.2).
+
+use crate::frames::FrameAllocator;
+use csalt_types::{PageSize, PhysAddr, PhysFrame, VirtAddr, VirtPage};
+use std::collections::HashMap;
+
+/// A page-table entry as stored in a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PtEntry {
+    /// Points at the next-level table's frame base.
+    Table(PhysAddr),
+    /// Terminal mapping (at level 1 for 4 KiB pages, level 2 for 2 MiB).
+    Leaf(PhysFrame),
+}
+
+/// One PTE reference performed during a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteRef {
+    /// Physical address of the 8-byte entry that was read.
+    pub addr: PhysAddr,
+    /// The level it belongs to (4 = root … 1 = leaf level).
+    pub level: u8,
+}
+
+/// The outcome of walking (and, if needed, demand-mapping) an address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkPath {
+    /// The terminal frame translating the address.
+    pub frame: PhysFrame,
+    /// The PTE reads performed, root first (1–4 entries).
+    pub refs: Vec<PteRef>,
+}
+
+/// Chooses terminal page sizes for demand mapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HugePagePolicy {
+    /// Fraction of 2 MiB-aligned regions backed by huge pages, in
+    /// `[0, 1]`. Transparent Huge Pages promotes hot regions; the
+    /// decision here is a deterministic per-region hash.
+    pub fraction_2m: f64,
+}
+
+impl HugePagePolicy {
+    /// No huge pages: everything is 4 KiB.
+    pub const NONE: HugePagePolicy = HugePagePolicy { fraction_2m: 0.0 };
+
+    /// Decides whether the 2 MiB region containing `va` is a huge page.
+    pub fn is_huge(&self, va: VirtAddr) -> bool {
+        if self.fraction_2m <= 0.0 {
+            return false;
+        }
+        if self.fraction_2m >= 1.0 {
+            return true;
+        }
+        let region = va.raw() >> PageSize::Size2M.shift();
+        let h = region
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(17)
+            .wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.fraction_2m
+    }
+}
+
+/// A lazily-populated 4-level radix page table.
+///
+/// The table's nodes and leaf frames live in the address space served by
+/// the [`FrameAllocator`] passed to [`RadixPageTable::walk_or_map`] — a
+/// guest table allocates guest-physical frames, the host table
+/// host-physical frames.
+#[derive(Debug, Clone)]
+pub struct RadixPageTable {
+    root: PhysAddr,
+    nodes: HashMap<u64, HashMap<u16, PtEntry>>,
+    policy: HugePagePolicy,
+    levels: u8,
+    mapped_pages: u64,
+}
+
+impl RadixPageTable {
+    /// Creates an empty 4-level table whose root node is allocated from
+    /// `alloc`.
+    pub fn new(alloc: &mut FrameAllocator, policy: HugePagePolicy) -> Self {
+        Self::with_levels(alloc, policy, 4)
+    }
+
+    /// Creates a table with the given depth: 4 (x86-64) or 5 (Intel's
+    /// LA57 extension — the paper's introduction notes 5-level paging
+    /// "will only strengthen the motivation" for CSALT, and the
+    /// `ext_5level` bench quantifies exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(alloc: &mut FrameAllocator, policy: HugePagePolicy, levels: u8) -> Self {
+        assert!(levels == 4 || levels == 5, "only 4- or 5-level paging");
+        let root = alloc.alloc(PageSize::Size4K).base();
+        let mut nodes = HashMap::new();
+        nodes.insert(root.raw(), HashMap::new());
+        Self {
+            root,
+            nodes,
+            policy,
+            levels,
+            mapped_pages: 0,
+        }
+    }
+
+    /// The table's depth (4 or 5).
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// The root node's physical address (the CR3 analogue).
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// Number of terminal pages mapped so far.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// The address of the 8-byte PTE at (`table`, `index`).
+    #[inline]
+    fn pte_addr(table: PhysAddr, index: u64) -> PhysAddr {
+        PhysAddr::new(table.raw() + index * 8)
+    }
+
+    /// Walks `va`, demand-allocating intermediate tables and the terminal
+    /// frame (honouring the huge-page policy) when absent. Returns the
+    /// terminal frame and the ordered PTE reads.
+    pub fn walk_or_map(&mut self, va: VirtAddr, alloc: &mut FrameAllocator) -> WalkPath {
+        let huge = self.policy.is_huge(va);
+        let leaf_level = if huge { 2 } else { 1 };
+        let mut table = self.root;
+        let mut refs = Vec::with_capacity(self.levels as usize);
+        for level in (1..=self.levels).rev() {
+            let index = va.pt_index(level);
+            refs.push(PteRef {
+                addr: Self::pte_addr(table, index),
+                level,
+            });
+            let node = self
+                .nodes
+                .get_mut(&table.raw())
+                .expect("walked tables always exist");
+            if level == leaf_level {
+                let mut newly_mapped = false;
+                let entry = node.entry(index as u16).or_insert_with(|| {
+                    newly_mapped = true;
+                    let size = if huge { PageSize::Size2M } else { PageSize::Size4K };
+                    PtEntry::Leaf(alloc.alloc(size))
+                });
+                let PtEntry::Leaf(frame) = *entry else {
+                    unreachable!("leaf level holds only leaves");
+                };
+                if newly_mapped {
+                    self.mapped_pages += 1;
+                }
+                return WalkPath { frame, refs };
+            }
+            let next = match node.get(&(index as u16)) {
+                Some(PtEntry::Table(pa)) => *pa,
+                Some(PtEntry::Leaf(_)) => unreachable!("leaf above leaf level"),
+                None => {
+                    let pa = alloc.alloc(PageSize::Size4K).base();
+                    self.nodes
+                        .get_mut(&table.raw())
+                        .expect("exists")
+                        .insert(index as u16, PtEntry::Table(pa));
+                    self.nodes.insert(pa.raw(), HashMap::new());
+                    pa
+                }
+            };
+            table = next;
+        }
+        unreachable!("loop always returns at the leaf level")
+    }
+
+    /// Walks `va` without mapping; `None` if the address is unmapped.
+    pub fn walk(&self, va: VirtAddr) -> Option<WalkPath> {
+        let mut table = self.root;
+        let mut refs = Vec::with_capacity(self.levels as usize);
+        for level in (1..=self.levels).rev() {
+            let index = va.pt_index(level);
+            refs.push(PteRef {
+                addr: Self::pte_addr(table, index),
+                level,
+            });
+            match self.nodes.get(&table.raw())?.get(&(index as u16))? {
+                PtEntry::Leaf(frame) => return Some(WalkPath { frame: *frame, refs }),
+                PtEntry::Table(pa) => table = *pa,
+            }
+        }
+        None
+    }
+
+    /// The terminal virtual page `va` belongs to once mapped (size per
+    /// the huge-page policy).
+    pub fn terminal_page(&self, va: VirtAddr) -> VirtPage {
+        let size = if self.policy.is_huge(va) {
+            PageSize::Size2M
+        } else {
+            PageSize::Size4K
+        };
+        va.page(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB2: u64 = 2 << 20;
+
+    fn alloc() -> FrameAllocator {
+        FrameAllocator::new(0, 256 * MB2).without_scramble()
+    }
+
+    #[test]
+    fn walk_or_map_takes_four_levels_for_4k() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        let path = pt.walk_or_map(va, &mut a);
+        assert_eq!(path.refs.len(), 4);
+        assert_eq!(
+            path.refs.iter().map(|r| r.level).collect::<Vec<_>>(),
+            vec![4, 3, 2, 1]
+        );
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn translation_is_stable() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let va = VirtAddr::new(0x1234_5678);
+        let first = pt.walk_or_map(va, &mut a);
+        let second = pt.walk_or_map(va, &mut a);
+        assert_eq!(first.frame, second.frame);
+        assert_eq!(first.refs, second.refs);
+        assert_eq!(pt.mapped_pages(), 1, "no double mapping");
+    }
+
+    #[test]
+    fn nearby_pages_share_upper_tables() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let p1 = pt.walk_or_map(VirtAddr::new(0x1000), &mut a);
+        let p2 = pt.walk_or_map(VirtAddr::new(0x2000), &mut a);
+        // Same L4..L2 tables, different leaf PTE slots.
+        for i in 0..3 {
+            assert_eq!(
+                p1.refs[i].addr.raw() & !0xfff,
+                p2.refs[i].addr.raw() & !0xfff,
+                "level {} table differs", 4 - i
+            );
+        }
+        assert_ne!(p1.refs[3].addr, p2.refs[3].addr);
+        assert_ne!(p1.frame, p2.frame);
+    }
+
+    #[test]
+    fn distant_pages_use_distinct_tables() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let p1 = pt.walk_or_map(VirtAddr::new(0x0000_0000_1000), &mut a);
+        let p2 = pt.walk_or_map(VirtAddr::new(0x7f00_0000_1000), &mut a);
+        // Only the root is shared.
+        assert_eq!(p1.refs[0].addr.raw() & !0xfff, p2.refs[0].addr.raw() & !0xfff);
+        assert_ne!(p1.refs[1].addr.raw() & !0xfff, p2.refs[1].addr.raw() & !0xfff);
+    }
+
+    #[test]
+    fn walk_without_map_returns_none_for_unmapped() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        assert!(pt.walk(VirtAddr::new(0x5000)).is_none());
+        pt.walk_or_map(VirtAddr::new(0x5000), &mut a);
+        let w = pt.walk(VirtAddr::new(0x5000)).expect("mapped now");
+        assert_eq!(w.refs.len(), 4);
+    }
+
+    #[test]
+    fn huge_pages_terminate_at_level_2() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy { fraction_2m: 1.0 });
+        let va = VirtAddr::new(0x4030_2010);
+        let path = pt.walk_or_map(va, &mut a);
+        assert_eq!(path.refs.len(), 3, "L4, L3, L2 only");
+        assert_eq!(path.frame.size(), PageSize::Size2M);
+        assert_eq!(pt.terminal_page(va).size(), PageSize::Size2M);
+    }
+
+    #[test]
+    fn huge_policy_fraction_is_roughly_respected() {
+        let policy = HugePagePolicy { fraction_2m: 0.3 };
+        let huge = (0..10_000)
+            .filter(|i| policy.is_huge(VirtAddr::new(i * MB2)))
+            .count();
+        assert!((2500..3500).contains(&huge), "got {huge}");
+        assert!(!HugePagePolicy::NONE.is_huge(VirtAddr::new(0)));
+    }
+
+    #[test]
+    fn frame_translates_full_address() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let va = VirtAddr::new(0xabc_def0);
+        let path = pt.walk_or_map(va, &mut a);
+        let pa = path.frame.translate(va);
+        assert_eq!(pa.page_offset(PageSize::Size4K), va.page_offset(PageSize::Size4K));
+    }
+
+    #[test]
+    fn pte_addresses_lie_within_their_table_frame() {
+        let mut a = alloc();
+        let mut pt = RadixPageTable::new(&mut a, HugePagePolicy::NONE);
+        let path = pt.walk_or_map(VirtAddr::new(0x7fff_ffff_f000), &mut a);
+        for r in &path.refs {
+            let offset = r.addr.raw() & 0xfff;
+            assert!(offset < 4096 && offset % 8 == 0);
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! The page walkers: native 1-dimensional and virtualized 2-dimensional
+//! (nested) walks, with paging-structure-cache acceleration (Figure 2 of
+//! the paper).
+//!
+//! A native walk reads up to 4 PTEs. A nested walk interleaves guest and
+//! host dimensions: each guest-level PTE is named by a guest-physical
+//! address that must itself be host-walked before the PTE can be read, so
+//! the worst case is `5 host walks × 4 + 4 guest PTE reads = 24` memory
+//! accesses — the cost Table 1 shows exploding under virtualization. The
+//! walkers return the ordered physical addresses of every access so the
+//! memory hierarchy can charge (and cache) them.
+
+use crate::frames::FrameAllocator;
+use crate::psc::PagingStructureCache;
+use crate::radix::{HugePagePolicy, RadixPageTable, WalkPath};
+use csalt_types::{Asid, PhysAddr, PhysFrame, PscConfig, VirtAddr, VirtPage};
+
+/// Counters shared by both walkers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Completed walks.
+    pub walks: u64,
+    /// Total memory accesses issued (PTE reads).
+    pub memory_accesses: u64,
+    /// Accesses skipped thanks to the PSC.
+    pub psc_skipped: u64,
+}
+
+impl WalkStats {
+    /// Average memory accesses per walk.
+    pub fn avg_accesses(&self) -> f64 {
+        if self.walks == 0 {
+            0.0
+        } else {
+            self.memory_accesses as f64 / self.walks as f64
+        }
+    }
+}
+
+/// The outcome of a translation-producing walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkOutcome {
+    /// The terminal virtual page the translation covers (its size is the
+    /// effective size — `min(guest, host)` for nested walks).
+    pub page: VirtPage,
+    /// The frame backing that page in machine-physical memory.
+    pub frame: PhysFrame,
+    /// Ordered machine-physical addresses of every PTE read performed;
+    /// the caller routes these through the cache hierarchy.
+    pub accesses: Vec<PhysAddr>,
+}
+
+/// A native (non-virtualized) address space: one page table over machine
+/// memory, walked in one dimension.
+#[derive(Debug)]
+pub struct NativeWalker {
+    table: RadixPageTable,
+    psc: PagingStructureCache,
+    asid: Asid,
+    stats: WalkStats,
+}
+
+impl NativeWalker {
+    /// Creates a walker over 4-level tables.
+    pub fn new(
+        asid: Asid,
+        alloc: &mut FrameAllocator,
+        policy: HugePagePolicy,
+        psc_cfg: PscConfig,
+    ) -> Self {
+        Self::with_levels(asid, alloc, policy, psc_cfg, 4)
+    }
+
+    /// Creates a walker over tables of the given depth (4 or 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(
+        asid: Asid,
+        alloc: &mut FrameAllocator,
+        policy: HugePagePolicy,
+        psc_cfg: PscConfig,
+        levels: u8,
+    ) -> Self {
+        Self {
+            table: RadixPageTable::with_levels(alloc, policy, levels),
+            psc: PagingStructureCache::with_root_level(psc_cfg, levels),
+            asid,
+            stats: WalkStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &WalkStats {
+        &self.stats
+    }
+
+    /// The underlying page table (for inspection).
+    pub fn table(&self) -> &RadixPageTable {
+        &self.table
+    }
+
+    /// Walks `va`, demand-mapping as needed. PSC hits skip upper-level
+    /// reads.
+    pub fn walk(&mut self, va: VirtAddr, alloc: &mut FrameAllocator) -> WalkOutcome {
+        let path = self.table.walk_or_map(va, alloc);
+        let start = self.psc.lookup(self.asid, va, self.table.root());
+        let accesses: Vec<PhysAddr> = path
+            .refs
+            .iter()
+            .filter(|r| r.level <= start.level)
+            .map(|r| r.addr)
+            .collect();
+        self.fill_psc(va, &path);
+        self.stats.walks += 1;
+        self.stats.memory_accesses += accesses.len() as u64;
+        self.stats.psc_skipped += (path.refs.len() - accesses.len()) as u64;
+        WalkOutcome {
+            page: self.table.terminal_page(va),
+            frame: path.frame,
+            accesses,
+        }
+    }
+
+    fn fill_psc(&mut self, va: VirtAddr, path: &WalkPath) {
+        // Each ref at level l was read from the level-l table; the table
+        // *discovered* by that read serves level l-1. Fill caches for
+        // every non-root table on the path.
+        for r in &path.refs {
+            if r.level < 4 {
+                self.psc
+                    .fill(self.asid, va, r.level, PhysAddr::new(r.addr.raw() & !0xfff));
+            }
+        }
+    }
+}
+
+/// One VM's paired address spaces: the guest's page table (gVA → gPA,
+/// nodes and frames in guest-physical space) and the host's nested table
+/// for this VM (gPA → hPA, nodes and frames in machine memory).
+#[derive(Debug)]
+pub struct GuestAddressSpace {
+    asid: Asid,
+    guest: RadixPageTable,
+    guest_alloc: FrameAllocator,
+    host: RadixPageTable,
+}
+
+impl GuestAddressSpace {
+    /// Creates a VM address space.
+    ///
+    /// * `guest_phys_base`/`guest_phys_size` — the VM's gPA region (its
+    ///   "RAM"); must be 2 MiB granular.
+    /// * `host_alloc` — machine memory, shared across VMs.
+    pub fn new(
+        asid: Asid,
+        guest_phys_base: u64,
+        guest_phys_size: u64,
+        policy: HugePagePolicy,
+        host_alloc: &mut FrameAllocator,
+    ) -> Self {
+        Self::with_levels(asid, guest_phys_base, guest_phys_size, policy, host_alloc, 4)
+    }
+
+    /// Creates a VM address space with page tables of the given depth
+    /// in both dimensions (4, or 5 for LA57 — the paper's introduction
+    /// notes the deeper tables "only strengthen the motivation").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(
+        asid: Asid,
+        guest_phys_base: u64,
+        guest_phys_size: u64,
+        policy: HugePagePolicy,
+        host_alloc: &mut FrameAllocator,
+        levels: u8,
+    ) -> Self {
+        let mut guest_alloc = FrameAllocator::new(guest_phys_base, guest_phys_size);
+        let guest = RadixPageTable::with_levels(&mut guest_alloc, policy, levels);
+        // The host maps gPA space; gPA locality mirrors guest allocation,
+        // and the EPT uses the same huge-page policy hashed over gPAs.
+        let host = RadixPageTable::with_levels(host_alloc, policy, levels);
+        Self {
+            asid,
+            guest,
+            guest_alloc,
+            host,
+        }
+    }
+
+    /// The VM's ASID.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// Guest pages mapped so far.
+    pub fn guest_mapped_pages(&self) -> u64 {
+        self.guest.mapped_pages()
+    }
+}
+
+/// The 2-dimensional (nested) page walker with guest- and host-side PSCs.
+#[derive(Debug)]
+pub struct NestedWalker {
+    /// Guest-dimension PSC: gVA prefix → guest table gPA (a "nested PSC"
+    /// in Bhargava et al.'s taxonomy). A hit skips the guest level *and*
+    /// the host walk that locating its PTE would have needed.
+    guest_psc: PagingStructureCache,
+    /// Host-dimension PSC: gPA prefix → host table hPA, consulted by
+    /// every embedded host walk.
+    host_psc: PagingStructureCache,
+    stats: WalkStats,
+}
+
+impl NestedWalker {
+    /// Creates a nested walker for 4-level tables.
+    pub fn new(psc_cfg: PscConfig) -> Self {
+        Self::with_levels(psc_cfg, 4)
+    }
+
+    /// Creates a nested walker for tables of the given depth. The worst
+    /// case grows from 24 accesses (4-level) to 35 (5-level).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(psc_cfg: PscConfig, levels: u8) -> Self {
+        Self {
+            guest_psc: PagingStructureCache::with_root_level(psc_cfg, levels),
+            host_psc: PagingStructureCache::with_root_level(psc_cfg, levels),
+            stats: WalkStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &WalkStats {
+        &self.stats
+    }
+
+    /// Host-walks a guest-physical address: translates `gpa` through the
+    /// VM's nested table, appending the PTE reads to `accesses`.
+    fn host_translate(
+        &mut self,
+        space: &mut GuestAddressSpace,
+        gpa: PhysAddr,
+        host_alloc: &mut FrameAllocator,
+        accesses: &mut Vec<PhysAddr>,
+    ) -> WalkPath {
+        let as_va = VirtAddr::new(gpa.raw());
+        let path = space.host.walk_or_map(as_va, host_alloc);
+        let start = self
+            .host_psc
+            .lookup(space.asid, as_va, space.host.root());
+        for r in path.refs.iter().filter(|r| r.level <= start.level) {
+            accesses.push(r.addr);
+        }
+        self.stats.psc_skipped += path
+            .refs
+            .iter()
+            .filter(|r| r.level > start.level)
+            .count() as u64;
+        for r in &path.refs {
+            if r.level < 4 {
+                self.host_psc
+                    .fill(space.asid, as_va, r.level, PhysAddr::new(r.addr.raw() & !0xfff));
+            }
+        }
+        path
+    }
+
+    /// Performs the full 2D walk of Figure 2b for `gva`, demand-mapping
+    /// both dimensions. Returns the effective translation and the
+    /// ordered machine-physical PTE reads (≤ 24).
+    pub fn walk(
+        &mut self,
+        space: &mut GuestAddressSpace,
+        gva: VirtAddr,
+        host_alloc: &mut FrameAllocator,
+    ) -> WalkOutcome {
+        let mut accesses = Vec::with_capacity(24);
+
+        // Guest-dimension walk (structure first, then charge accesses
+        // for the levels the guest PSC could not skip).
+        let (guest_path, guest_start_level) = {
+            // Split borrows: the guest table and its allocator live in
+            // `space`; walk_or_map needs both.
+            let GuestAddressSpace {
+                guest, guest_alloc, ..
+            } = space;
+            let path = guest.walk_or_map(gva, guest_alloc);
+            let start = self.guest_psc.lookup(space.asid, gva, space.guest.root());
+            (path, start.level)
+        };
+
+        for r in &guest_path.refs {
+            if r.level > guest_start_level {
+                // Skipped by the guest PSC: neither the host walk nor
+                // the PTE read happens (5 accesses saved per level).
+                self.stats.psc_skipped += 1;
+                continue;
+            }
+            // Locate the guest PTE in machine memory (embedded host
+            // walk), then read it.
+            let pte_host = self.host_translate(space, r.addr, host_alloc, &mut accesses);
+            let pte_hpa = pte_host.frame.translate(VirtAddr::new(r.addr.raw()));
+            accesses.push(pte_hpa);
+        }
+        for r in &guest_path.refs {
+            if r.level < 4 {
+                self.guest_psc
+                    .fill(space.asid, gva, r.level, PhysAddr::new(r.addr.raw() & !0xfff));
+            }
+        }
+
+        // Final host walk: translate the terminal guest-physical address.
+        let guest_page = space.guest.terminal_page(gva);
+        let gpa_of_page = guest_path.frame.translate(guest_page.base());
+        let final_host = self.host_translate(space, gpa_of_page, host_alloc, &mut accesses);
+
+        // Effective translation: min(guest, host) page size.
+        let eff_size = guest_page.size().min(final_host.frame.size());
+        let eff_page = gva.page(eff_size);
+        let gpa_eff_base = guest_path.frame.translate(eff_page.base());
+        let hpa_eff_base = final_host.frame.translate(VirtAddr::new(gpa_eff_base.raw()));
+        let frame = hpa_eff_base.frame(eff_size);
+
+        self.stats.walks += 1;
+        self.stats.memory_accesses += accesses.len() as u64;
+        WalkOutcome {
+            page: eff_page,
+            frame,
+            accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csalt_types::{PageSize, SystemConfig};
+
+    const MB2: u64 = 2 << 20;
+
+    fn host_alloc() -> FrameAllocator {
+        FrameAllocator::new(0, 2048 * MB2).without_scramble()
+    }
+
+    fn psc_cfg() -> PscConfig {
+        SystemConfig::skylake().psc
+    }
+
+    fn tiny_psc() -> PscConfig {
+        // Disabled PSC (zero capacity): all levels must be read.
+        PscConfig {
+            pml4_entries: 0,
+            pdp_entries: 0,
+            pde_entries: 0,
+            latency: 2,
+        }
+    }
+
+    #[test]
+    fn native_cold_walk_reads_four_ptes() {
+        let mut alloc = host_alloc();
+        let mut w = NativeWalker::new(Asid::new(0), &mut alloc, HugePagePolicy::NONE, psc_cfg());
+        let out = w.walk(VirtAddr::new(0x7f00_1234_5000), &mut alloc);
+        assert_eq!(out.accesses.len(), 4);
+        assert_eq!(out.page.size(), PageSize::Size4K);
+        assert_eq!(w.stats().walks, 1);
+        assert_eq!(w.stats().memory_accesses, 4);
+    }
+
+    #[test]
+    fn native_warm_walk_uses_psc() {
+        let mut alloc = host_alloc();
+        let mut w = NativeWalker::new(Asid::new(0), &mut alloc, HugePagePolicy::NONE, psc_cfg());
+        w.walk(VirtAddr::new(0x1000), &mut alloc);
+        // Neighbouring page: PDE cache supplies the L1 table → 1 read.
+        let out = w.walk(VirtAddr::new(0x2000), &mut alloc);
+        assert_eq!(out.accesses.len(), 1);
+        assert_eq!(w.stats().psc_skipped, 3);
+    }
+
+    #[test]
+    fn native_translation_is_stable_across_walks() {
+        let mut alloc = host_alloc();
+        let mut w = NativeWalker::new(Asid::new(0), &mut alloc, HugePagePolicy::NONE, psc_cfg());
+        let a = w.walk(VirtAddr::new(0x4242_0000), &mut alloc);
+        let b = w.walk(VirtAddr::new(0x4242_0000), &mut alloc);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.page, b.page);
+    }
+
+    #[test]
+    fn nested_cold_walk_is_twenty_four_accesses() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            512 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(tiny_psc());
+        let out = w.walk(&mut space, VirtAddr::new(0x7f00_1234_5000), &mut halloc);
+        // First-ever walk maps structures on the fly; the embedded host
+        // walks each read 4 PTEs, the guest dimension reads 4 PTEs:
+        // 4 × (4 + 1) + 4 = 24.
+        assert_eq!(out.accesses.len(), 24);
+        assert_eq!(w.stats().avg_accesses(), 24.0);
+    }
+
+    #[test]
+    fn nested_warm_walk_is_much_cheaper() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            512 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(psc_cfg());
+        w.walk(&mut space, VirtAddr::new(0x1000), &mut halloc);
+        let out = w.walk(&mut space, VirtAddr::new(0x2000), &mut halloc);
+        // Guest PSC skips levels 4..2 (their host walks too); the
+        // remaining guest L1 read and final host walk are PSC-assisted.
+        assert!(
+            out.accesses.len() <= 6,
+            "warm walk took {} accesses",
+            out.accesses.len()
+        );
+    }
+
+    #[test]
+    fn nested_translation_is_stable() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            256 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(psc_cfg());
+        let a = w.walk(&mut space, VirtAddr::new(0x1234_5678), &mut halloc);
+        let b = w.walk(&mut space, VirtAddr::new(0x1234_5678), &mut halloc);
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(a.page, b.page);
+        assert_eq!(a.page.size(), PageSize::Size4K);
+    }
+
+    #[test]
+    fn nested_distinct_pages_get_distinct_frames() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            256 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(psc_cfg());
+        let mut frames = std::collections::HashSet::new();
+        for i in 0..100u64 {
+            let out = w.walk(&mut space, VirtAddr::new(i * 4096), &mut halloc);
+            assert!(frames.insert(out.frame.base().raw()), "duplicate frame");
+        }
+    }
+
+    #[test]
+    fn nested_accesses_land_in_machine_memory() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(2),
+            1024 * MB2,
+            256 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(psc_cfg());
+        let out = w.walk(&mut space, VirtAddr::new(0x7777_0000), &mut halloc);
+        for a in &out.accesses {
+            assert!(a.raw() < 2048 * MB2, "access {a} beyond machine memory");
+        }
+    }
+
+    #[test]
+    fn two_spaces_do_not_share_translations() {
+        let mut halloc = host_alloc();
+        let mut s1 = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            128 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut s2 = GuestAddressSpace::new(
+            Asid::new(2),
+            1024 * MB2,
+            128 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(psc_cfg());
+        let a = w.walk(&mut s1, VirtAddr::new(0x9000), &mut halloc);
+        let b = w.walk(&mut s2, VirtAddr::new(0x9000), &mut halloc);
+        assert_ne!(a.frame, b.frame, "same gVA, different VMs, different hPA");
+    }
+
+    #[test]
+    fn guest_huge_pages_shorten_the_walk() {
+        let mut halloc = host_alloc();
+        let mut space = GuestAddressSpace::new(
+            Asid::new(1),
+            1024 * MB2,
+            512 * MB2,
+            HugePagePolicy { fraction_2m: 1.0 },
+            &mut halloc,
+        );
+        let mut w = NestedWalker::new(tiny_psc());
+        let out = w.walk(&mut space, VirtAddr::new(0x4000_0000), &mut halloc);
+        // 3 guest levels × 5 + final host walk: 3 levels have host walks
+        // of ≤ 3 reads (EPT is huge too) ⇒ strictly under 24.
+        assert!(out.accesses.len() < 24);
+        assert_eq!(out.page.size(), PageSize::Size2M);
+    }
+}
+
+#[cfg(test)]
+mod five_level_tests {
+    use super::*;
+    use csalt_types::{PscConfig, SystemConfig};
+
+    const MB2: u64 = 2 << 20;
+
+    fn no_psc() -> PscConfig {
+        PscConfig {
+            pml4_entries: 0,
+            pdp_entries: 0,
+            pde_entries: 0,
+            latency: 2,
+        }
+    }
+
+    #[test]
+    fn native_5level_cold_walk_reads_five_ptes() {
+        let mut alloc = FrameAllocator::new(0, 2048 * MB2).without_scramble();
+        let mut w = NativeWalker::with_levels(
+            Asid::new(0),
+            &mut alloc,
+            HugePagePolicy::NONE,
+            no_psc(),
+            5,
+        );
+        let out = w.walk(VirtAddr::new(0x7f00_1234_5000), &mut alloc);
+        assert_eq!(out.accesses.len(), 5);
+    }
+
+    #[test]
+    fn nested_5level_cold_walk_is_thirty_five_accesses() {
+        let mut halloc = FrameAllocator::new(0, 2048 * MB2).without_scramble();
+        let mut space = GuestAddressSpace::with_levels(
+            Asid::new(1),
+            1024 * MB2,
+            512 * MB2,
+            HugePagePolicy::NONE,
+            &mut halloc,
+            5,
+        );
+        let mut w = NestedWalker::with_levels(no_psc(), 5);
+        let out = w.walk(&mut space, VirtAddr::new(0x7f00_1234_5000), &mut halloc);
+        // 5 guest levels × (5 host + 1 read) + 5 final host = 35.
+        assert_eq!(out.accesses.len(), 35);
+    }
+
+    #[test]
+    fn five_level_psc_separates_distant_pml5_subtrees() {
+        let mut alloc = FrameAllocator::new(0, 2048 * MB2).without_scramble();
+        let mut w = NativeWalker::with_levels(
+            Asid::new(0),
+            &mut alloc,
+            HugePagePolicy::NONE,
+            SystemConfig::skylake().psc,
+            5,
+        );
+        // Two addresses with identical L4..L1 indices but different L5.
+        let a = VirtAddr::new(0x0000_1234_5000);
+        let b = VirtAddr::new((1u64 << 48) | 0x0000_1234_5000);
+        w.walk(a, &mut alloc);
+        let out_b = w.walk(b, &mut alloc);
+        // The PDE entry cached for `a` must not serve `b`: a false hit
+        // would read only 1 PTE here.
+        assert!(out_b.accesses.len() >= 5, "PSC aliased across PML5 roots");
+    }
+
+    #[test]
+    fn four_and_five_level_translate_consistently() {
+        let mut a4 = FrameAllocator::new(0, 512 * MB2).without_scramble();
+        let mut w4 =
+            NativeWalker::new(Asid::new(0), &mut a4, HugePagePolicy::NONE, no_psc());
+        let mut a5 = FrameAllocator::new(0, 512 * MB2).without_scramble();
+        let mut w5 = NativeWalker::with_levels(
+            Asid::new(0),
+            &mut a5,
+            HugePagePolicy::NONE,
+            no_psc(),
+            5,
+        );
+        let va = VirtAddr::new(0xdead_b000);
+        let o4 = w4.walk(va, &mut a4);
+        let o5 = w5.walk(va, &mut a5);
+        assert_eq!(o4.page, o5.page, "terminal page agrees across depths");
+        assert_eq!(o4.accesses.len() + 1, o5.accesses.len());
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment runner CLI: regenerate any of the paper's tables/figures
+//! (or the extensions) without going through `cargo bench`.
+//!
+//! ```sh
+//! csalt-experiments list
+//! csalt-experiments fig07 fig08
+//! csalt-experiments all
+//! ```
+//!
+//! Honors the same environment knobs as the bench harness
+//! (`CSALT_ACCESSES`, `CSALT_WARMUP`, `CSALT_SCALE`).
+
+use csalt_sim::experiments as exp;
+
+struct Entry {
+    name: &'static str,
+    about: &'static str,
+    run: fn() -> Option<exp::Table>,
+}
+
+fn registry() -> Vec<Entry> {
+    vec![
+        Entry {
+            name: "fig01",
+            about: "L2 TLB MPKI ratio, context-switch vs not",
+            run: || Some(exp::fig01()),
+        },
+        Entry {
+            name: "tab01",
+            about: "page-walk cycles, native vs virtualized",
+            run: || Some(exp::tab01()),
+        },
+        Entry {
+            name: "fig03",
+            about: "TLB entries' share of cache capacity",
+            run: || Some(exp::fig03()),
+        },
+        Entry {
+            name: "fig07",
+            about: "main comparison, normalized to POM-TLB",
+            run: || Some(exp::main_comparison().fig07()),
+        },
+        Entry {
+            name: "fig08",
+            about: "page walks eliminated by POM-TLB",
+            run: || Some(exp::main_comparison().fig08()),
+        },
+        Entry {
+            name: "fig09",
+            about: "partition allocation over time (ccomp)",
+            run: || {
+                let t = exp::fig09();
+                println!("L3 trace: {:?}", t.l3);
+                println!("L2 trace: {:?}", t.l2);
+                None
+            },
+        },
+        Entry {
+            name: "fig10",
+            about: "relative L2 data-cache MPKI",
+            run: || Some(exp::main_comparison().fig10()),
+        },
+        Entry {
+            name: "fig11",
+            about: "relative L3 data-cache MPKI",
+            run: || Some(exp::main_comparison().fig11()),
+        },
+        Entry {
+            name: "fig12",
+            about: "native-mode CSALT-CD",
+            run: || Some(exp::fig12()),
+        },
+        Entry {
+            name: "fig13",
+            about: "TSB vs DIP vs CSALT-CD",
+            run: || Some(exp::fig13()),
+        },
+        Entry {
+            name: "fig14",
+            about: "context-count sensitivity",
+            run: || Some(exp::fig14()),
+        },
+        Entry {
+            name: "fig15",
+            about: "epoch-length sensitivity",
+            run: || Some(exp::fig15()),
+        },
+        Entry {
+            name: "fig16",
+            about: "context-switch-interval sensitivity",
+            run: || Some(exp::fig16()),
+        },
+        Entry {
+            name: "ext_5level",
+            about: "extension: 5-level (LA57) paging",
+            run: || Some(exp::ext_5level()),
+        },
+        Entry {
+            name: "ext_tsb_csalt",
+            about: "extension: CSALT partitioning over the TSB",
+            run: || Some(exp::ext_tsb_csalt()),
+        },
+        Entry {
+            name: "ext_huge_pages",
+            about: "extension: THP sensitivity",
+            run: || Some(exp::ext_huge_pages()),
+        },
+        Entry {
+            name: "ext_drrip",
+            about: "extension: DRRIP replacement baseline",
+            run: || Some(exp::ext_drrip()),
+        },
+        Entry {
+            name: "ablation_replacement",
+            about: "ablation: pseudo-LRU replacement under CSALT",
+            run: || Some(exp::ablation_replacement()),
+        },
+        Entry {
+            name: "ablation_static",
+            about: "ablation: static partitions vs dynamic",
+            run: || Some(exp::ablation_static()),
+        },
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = registry();
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        println!("usage: csalt-experiments <name>... | all | list\n");
+        for e in &registry {
+            println!("  {:<22} {}", e.name, e.about);
+        }
+        return;
+    }
+    let wanted: Vec<&Entry> = if args.iter().any(|a| a == "all") {
+        registry.iter().collect()
+    } else {
+        let mut out = Vec::new();
+        for a in &args {
+            match registry.iter().find(|e| e.name == a.as_str()) {
+                Some(e) => out.push(e),
+                None => {
+                    eprintln!("unknown experiment '{a}' — try `csalt-experiments list`");
+                    std::process::exit(1);
+                }
+            }
+        }
+        out
+    };
+    for e in wanted {
+        eprintln!("running {} ({})...", e.name, e.about);
+        if let Some(table) = (e.run)() {
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Assembles a markdown report from the JSON results the bench targets
+//! persist under `target/csalt-results/`.
+//!
+//! Usage: `csalt-report [results_dir]` — prints markdown to stdout.
+
+use csalt_sim::experiments::Table;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Prints to stdout, exiting quietly when the reader closes the pipe
+/// (e.g. `csalt-report | head`).
+fn emit(text: &str) {
+    if writeln!(std::io::stdout(), "{text}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/csalt-results"));
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "json")
+                    && p.file_name()
+                        .is_some_and(|n| n != "main_comparison.json")
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e} — run the benches first", dir.display());
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+    for path in entries {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        match serde_json::from_slice::<Table>(&bytes) {
+            Ok(table) => {
+                emit(&format!("### {}\n", table.id));
+                emit(&table.render_markdown());
+            }
+            Err(e) => eprintln!("skipping {}: {e}", path.display()),
+        }
+    }
+}

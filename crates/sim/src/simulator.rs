@@ -1,0 +1,466 @@
+//! The multi-core, trace-driven simulator: cores, VM contexts, the
+//! context-switch scheduler and the cycle model (§4.2 of the paper).
+//!
+//! # Model
+//!
+//! The machine runs `contexts_per_core` VMs; each VM executes one
+//! multi-threaded workload with one thread per core (the paper's `x8`
+//! suffix). All threads of a VM share one guest address space (one
+//! ASID); each thread has its own trace generator seeded per
+//! (VM, core). Every core round-robins between the VMs' threads with a
+//! fixed cycle quantum — the 10 ms context-switch interval of §4.2,
+//! scaled together with the workload footprint.
+//!
+//! # Cycle accounting
+//!
+//! Per retired instruction the core charges `base_cpi`. A memory
+//! access additionally charges its **translation** cycles in full — a
+//! TLB miss blocks the pipeline, the property the paper's simulator is
+//! careful to model — and its **data** stall cycles beyond the L1 hit
+//! latency divided by the configured memory-level parallelism (data
+//! misses overlap through MSHRs; translations do not).
+
+use csalt_core::{HierarchySnapshot, MemoryHierarchy, PartitionSample};
+use csalt_ptw::HugePagePolicy;
+use csalt_types::{
+    geomean, ContextId, CoreId, Cycle, SystemConfig, TranslationScheme,
+};
+use csalt_workloads::{TraceGenerator, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation run needs.
+///
+/// Serializes for experiment provenance; not deserializable because
+/// workload names are static strings.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimConfig {
+    /// The machine (Table 2 plus scaled epoch / quantum).
+    pub system: SystemConfig,
+    /// Translation scheme under test.
+    pub scheme: TranslationScheme,
+    /// Virtualized (2D walks) or native (1D walks, Figure 12).
+    pub virtualized: bool,
+    /// The workload pairing.
+    pub workload: WorkloadSpec,
+    /// Program memory accesses simulated per core in the measured phase.
+    pub accesses_per_core: u64,
+    /// Warmup accesses per core executed before statistics are reset —
+    /// the measured phase then observes steady-state behaviour instead
+    /// of compulsory cold misses (the paper's 10-billion-instruction
+    /// runs are overwhelmingly steady state).
+    pub warmup_accesses_per_core: u64,
+    /// Workload footprint scale (1.0 = the generators' defaults).
+    pub scale: f64,
+    /// Fraction of 2 MiB-backed regions (0 = all 4 KiB pages).
+    pub huge_fraction: f64,
+    /// RNG seed; distinct VMs/threads derive distinct sub-seeds.
+    pub seed: u64,
+    /// Stack-distance shadow-directory sampling interval.
+    pub profiler_interval: u64,
+    /// Record per-epoch partition samples (Figure 9).
+    pub trace_partitions: bool,
+    /// Scan cache occupancy every this many per-core accesses
+    /// (0 = never; Figure 3 / 9 use it).
+    pub occupancy_scan_interval: u64,
+    /// Fixed software cost charged to a core at each context switch.
+    pub switch_overhead_cycles: Cycle,
+}
+
+impl SimConfig {
+    /// A ready-to-run configuration for one workload and scheme with the
+    /// experiment harness's scaled defaults (see `experiments`).
+    pub fn new(workload: WorkloadSpec, scheme: TranslationScheme) -> Self {
+        Self {
+            system: SystemConfig::skylake(),
+            scheme,
+            virtualized: true,
+            workload,
+            accesses_per_core: 300_000,
+            warmup_accesses_per_core: 300_000,
+            scale: 1.0,
+            huge_fraction: 0.0,
+            seed: 0xC5A1_7000,
+            profiler_interval: 4,
+            trace_partitions: false,
+            occupancy_scan_interval: 0,
+            switch_overhead_cycles: 2_000,
+        }
+    }
+}
+
+/// One periodic occupancy observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancySample {
+    /// Fraction of the run completed when the scan happened.
+    pub progress: f64,
+    /// Fraction of (all cores') L2 capacity holding TLB entries.
+    pub l2_tlb_fraction: f64,
+    /// Fraction of L3 capacity holding TLB entries.
+    pub l3_tlb_fraction: f64,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload label.
+    pub workload: String,
+    /// Scheme simulated.
+    pub scheme: TranslationScheme,
+    /// Instructions retired, summed over cores.
+    pub instructions: u64,
+    /// Per-core cycle counts.
+    pub core_cycles: Vec<Cycle>,
+    /// Per-core IPC.
+    pub core_ipc: Vec<f64>,
+    /// Component counters at the end of the run.
+    pub snapshot: HierarchySnapshot,
+    /// Periodic occupancy scans (empty unless requested).
+    pub occupancy: Vec<OccupancySample>,
+    /// Partition samples for (first core's L2, shared L3); empty unless
+    /// requested.
+    pub l2_partition_trace: Vec<(u64, f64)>,
+    /// See [`SimResult::l2_partition_trace`].
+    pub l3_partition_trace: Vec<(u64, f64)>,
+    /// Context switches performed across all cores.
+    pub context_switches: u64,
+    /// Final (L2 core 0, L3) data-way partitions, if partitioned.
+    pub final_partitions: (Option<u32>, Option<u32>),
+}
+
+impl SimResult {
+    /// Geometric-mean IPC across cores — the paper's per-configuration
+    /// performance figure (§4.2).
+    pub fn ipc(&self) -> f64 {
+        geomean(self.core_ipc.iter().copied()).unwrap_or(0.0)
+    }
+
+    /// Aggregate L2 TLB misses per kilo-instruction.
+    pub fn l2_tlb_mpki(&self) -> f64 {
+        self.snapshot.l2_tlb.mpki(self.instructions)
+    }
+
+    /// Aggregate L2 data-cache misses per kilo-instruction.
+    pub fn l2_cache_mpki(&self) -> f64 {
+        let t = self.snapshot.l2.total();
+        t.mpki(self.instructions)
+    }
+
+    /// Aggregate L3 misses per kilo-instruction.
+    pub fn l3_cache_mpki(&self) -> f64 {
+        let t = self.snapshot.l3.total();
+        t.mpki(self.instructions)
+    }
+
+    /// Mean TLB occupancy over the recorded scans: (L2, L3).
+    pub fn mean_occupancy(&self) -> (f64, f64) {
+        if self.occupancy.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.occupancy.len() as f64;
+        (
+            self.occupancy.iter().map(|s| s.l2_tlb_fraction).sum::<f64>() / n,
+            self.occupancy.iter().map(|s| s.l3_tlb_fraction).sum::<f64>() / n,
+        )
+    }
+}
+
+struct CoreState {
+    cycles: Cycle,
+    instructions: u64,
+    accesses_done: u64,
+    current_vm: u32,
+    next_switch: Cycle,
+    switches: u64,
+}
+
+/// Runs one configuration to completion.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+pub fn run(cfg: &SimConfig) -> SimResult {
+    let system = &cfg.system;
+    system.validate().expect("system config must be valid");
+    let cores = system.cores as usize;
+    let vms = system.contexts_per_core;
+    assert!(vms >= 1, "at least one context per core");
+
+    let huge = HugePagePolicy {
+        fraction_2m: cfg.huge_fraction,
+    };
+    let mut hier = MemoryHierarchy::new(
+        system,
+        cfg.scheme,
+        cfg.virtualized,
+        huge,
+        cfg.profiler_interval,
+    );
+    if cfg.trace_partitions {
+        hier.enable_partition_trace();
+    }
+
+    // One hierarchy context (address space) per VM; one generator per
+    // (VM, core) — the VM's per-core thread.
+    let vm_ctx: Vec<ContextId> = (0..vms).map(|_| hier.add_context()).collect();
+    let mut threads: Vec<Vec<Box<dyn TraceGenerator>>> = (0..vms)
+        .map(|vm| {
+            (0..cores)
+                .map(|core| {
+                    let bench = cfg.workload.context_bench(vm);
+                    let seed = cfg
+                        .seed
+                        .wrapping_add(vm as u64 * 0x9e37_79b9)
+                        .wrapping_add(core as u64 * 0x85eb_ca6b);
+                    bench.build(seed, cfg.scale)
+                })
+                .collect()
+        })
+        .collect();
+
+    let quantum = system.cs_interval_cycles;
+    let mut cores_state: Vec<CoreState> = (0..cores)
+        .map(|_| CoreState {
+            cycles: 0,
+            instructions: 0,
+            accesses_done: 0,
+            current_vm: 0,
+            next_switch: quantum,
+            switches: 0,
+        })
+        .collect();
+
+    let mut occupancy = Vec::new();
+    let scan_every = cfg.occupancy_scan_interval;
+
+    // One scheduling phase: run every core to `total_per_core` accesses.
+    let mut phase = |cores_state: &mut Vec<CoreState>,
+                     hier: &mut MemoryHierarchy,
+                     occupancy: Option<&mut Vec<OccupancySample>>,
+                     total_per_core: u64| {
+        if total_per_core == 0 {
+            return;
+        }
+        let mut occupancy = occupancy;
+        let mut next_scan = if scan_every > 0 { scan_every } else { u64::MAX };
+        let mut remaining = cores_state
+            .iter()
+            .filter(|c| c.accesses_done < total_per_core)
+            .count();
+        while remaining > 0 {
+            for core in 0..cores {
+                let state = &mut cores_state[core];
+                if state.accesses_done >= total_per_core {
+                    continue;
+                }
+
+                // Context switch when the quantum expires.
+                if vms > 1 && state.cycles >= state.next_switch {
+                    state.current_vm = (state.current_vm + 1) % vms;
+                    state.cycles += cfg.switch_overhead_cycles;
+                    state.next_switch = state.cycles + quantum;
+                    state.switches += 1;
+                }
+
+                let vm = state.current_vm as usize;
+                let acc = threads[vm][core].next_access();
+                let charge = hier.access(CoreId::new(core as u8), vm_ctx[vm], acc);
+
+                // Cycle model: compute instructions + blocking
+                // translation + overlapped data stalls.
+                let compute = (acc.instructions() as f64 * system.base_cpi).ceil() as Cycle;
+                let data_stall = charge.data_cycles.saturating_sub(system.l1d.latency);
+                let overlapped = (data_stall as f64 / system.mlp).round() as Cycle;
+                let state = &mut cores_state[core];
+                state.cycles += compute + charge.translation_cycles + overlapped;
+                state.instructions += acc.instructions();
+                state.accesses_done += 1;
+                if state.accesses_done >= total_per_core {
+                    remaining -= 1;
+                }
+            }
+
+            // Periodic occupancy scan, keyed on core 0's progress.
+            if cores_state[0].accesses_done >= next_scan {
+                next_scan += scan_every;
+                if let Some(occ) = occupancy.as_deref_mut() {
+                    let (l2, l3) = hier.occupancy();
+                    occ.push(OccupancySample {
+                        progress: cores_state[0].accesses_done as f64 / total_per_core as f64,
+                        l2_tlb_fraction: l2.tlb_fraction(),
+                        l3_tlb_fraction: l3.tlb_fraction(),
+                    });
+                }
+            }
+        }
+    };
+
+    // Warmup: populate page tables, TLBs, caches and the POM-TLB, then
+    // discard the counters. Scheduling state (cycle counters, switch
+    // phase) restarts cleanly for the measured phase.
+    phase(
+        &mut cores_state,
+        &mut hier,
+        None,
+        cfg.warmup_accesses_per_core,
+    );
+    hier.reset_stats();
+    for s in cores_state.iter_mut() {
+        s.cycles = 0;
+        s.instructions = 0;
+        s.accesses_done = 0;
+        s.next_switch = quantum;
+        s.switches = 0;
+    }
+
+    phase(
+        &mut cores_state,
+        &mut hier,
+        Some(&mut occupancy),
+        cfg.accesses_per_core,
+    );
+
+    let (l2_trace, l3_trace) = hier.partition_traces();
+    let to_series = |t: &[PartitionSample]| {
+        t.iter()
+            .map(|s| (s.at_access, s.tlb_fraction()))
+            .collect::<Vec<_>>()
+    };
+    let l2_partition_trace = to_series(l2_trace);
+    let l3_partition_trace = to_series(l3_trace);
+
+    let instructions: u64 = cores_state.iter().map(|c| c.instructions).sum();
+    let core_ipc: Vec<f64> = cores_state
+        .iter()
+        .map(|c| {
+            if c.cycles == 0 {
+                0.0
+            } else {
+                c.instructions as f64 / c.cycles as f64
+            }
+        })
+        .collect();
+
+    SimResult {
+        workload: cfg.workload.name.to_string(),
+        scheme: cfg.scheme,
+        instructions,
+        core_cycles: cores_state.iter().map(|c| c.cycles).collect(),
+        core_ipc,
+        snapshot: hier.snapshot(),
+        occupancy,
+        l2_partition_trace,
+        l3_partition_trace,
+        context_switches: cores_state.iter().map(|c| c.switches).sum(),
+        final_partitions: hier.current_partitions(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csalt_workloads::{BenchKind, WorkloadSpec};
+
+    fn quick(scheme: TranslationScheme) -> SimConfig {
+        let mut cfg = SimConfig::new(
+            WorkloadSpec::homogeneous("gups", BenchKind::Gups),
+            scheme,
+        );
+        cfg.system.cores = 2;
+        cfg.system.cs_interval_cycles = 50_000;
+        cfg.system.epoch_accesses = 20_000;
+        // Disable the paging-structure caches: at this test's tiny
+        // footprint their 64 MiB reach would cover the whole table and
+        // hide the walk costs the schemes differ on (the experiment
+        // harness instead uses full-scale footprints).
+        cfg.system.psc.pml4_entries = 0;
+        cfg.system.psc.pdp_entries = 0;
+        cfg.system.psc.pde_entries = 0;
+        cfg.accesses_per_core = 30_000;
+        cfg.scale = 0.05;
+        cfg
+    }
+
+    #[test]
+    fn run_completes_and_counts_work() {
+        let r = run(&quick(TranslationScheme::PomTlb));
+        assert_eq!(r.core_cycles.len(), 2);
+        assert!(r.instructions > 60_000);
+        assert!(r.ipc() > 0.0 && r.ipc() < 2.0, "ipc {}", r.ipc());
+        assert!(r.context_switches > 0);
+        assert_eq!(r.snapshot.accesses, 60_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&quick(TranslationScheme::CsaltCd));
+        let b = run(&quick(TranslationScheme::CsaltCd));
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.snapshot, b.snapshot);
+    }
+
+    #[test]
+    fn pom_outperforms_conventional_on_gups() {
+        let pom = run(&quick(TranslationScheme::PomTlb));
+        let conv = run(&quick(TranslationScheme::Conventional));
+        assert!(
+            pom.ipc() > conv.ipc(),
+            "pom {} vs conventional {}",
+            pom.ipc(),
+            conv.ipc()
+        );
+        assert!(pom.snapshot.page_walks < conv.snapshot.page_walks);
+    }
+
+    #[test]
+    fn single_context_never_switches() {
+        let mut cfg = quick(TranslationScheme::PomTlb);
+        cfg.system.contexts_per_core = 1;
+        let r = run(&cfg);
+        assert_eq!(r.context_switches, 0);
+    }
+
+    #[test]
+    fn more_contexts_raise_tlb_mpki() {
+        let mut one = quick(TranslationScheme::PomTlb);
+        one.system.contexts_per_core = 1;
+        let mut two = quick(TranslationScheme::PomTlb);
+        two.system.contexts_per_core = 2;
+        let r1 = run(&one);
+        let r2 = run(&two);
+        assert!(
+            r2.l2_tlb_mpki() > r1.l2_tlb_mpki(),
+            "2ctx {} vs 1ctx {}",
+            r2.l2_tlb_mpki(),
+            r1.l2_tlb_mpki()
+        );
+    }
+
+    #[test]
+    fn occupancy_scans_are_recorded() {
+        let mut cfg = quick(TranslationScheme::PomTlb);
+        cfg.occupancy_scan_interval = 10_000;
+        let r = run(&cfg);
+        assert!(!r.occupancy.is_empty());
+        for s in &r.occupancy {
+            assert!((0.0..=1.0).contains(&s.l3_tlb_fraction));
+        }
+    }
+
+    #[test]
+    fn partition_traces_only_when_requested() {
+        let mut cfg = quick(TranslationScheme::CsaltD);
+        let r = run(&cfg);
+        assert!(r.l3_partition_trace.is_empty());
+        cfg.trace_partitions = true;
+        let r2 = run(&cfg);
+        assert!(!r2.l3_partition_trace.is_empty());
+    }
+
+    #[test]
+    fn result_serializes() {
+        let r = run(&quick(TranslationScheme::PomTlb));
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: SimResult = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.instructions, r.instructions);
+    }
+}

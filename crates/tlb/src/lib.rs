@@ -1,0 +1,36 @@
+//! The TLB hierarchy of the CSALT system (Figure 4 of the paper).
+//!
+//! Three kinds of translation store are modelled:
+//!
+//! * [`SramTlb`] — the fast on-chip levels: per-core split L1 TLBs
+//!   (4 KiB / 2 MiB) and the unified 1536-entry L2 TLB, all ASID-tagged.
+//! * [`PomTlb`] — the large memory-resident L3 TLB in die-stacked DRAM
+//!   whose entries are cacheable in the data caches; the substrate CSALT
+//!   partitions for.
+//! * [`Tsb`] — the UltraSPARC Translation Storage Buffer comparison point
+//!   (software-managed, multiple dependent accesses when virtualized).
+//!
+//! # Example
+//!
+//! ```
+//! use csalt_tlb::SramTlb;
+//! use csalt_types::{Asid, PageSize, PhysFrame, SystemConfig, VirtPage};
+//!
+//! let mut l2 = SramTlb::new(SystemConfig::skylake().l2_tlb);
+//! let page = VirtPage::from_vpn(0x1234, PageSize::Size4K);
+//! let asid = Asid::new(1);
+//! assert!(l2.lookup(page, asid).is_none());
+//! l2.insert(page, asid, PhysFrame::from_pfn(0x9999, PageSize::Size4K));
+//! assert!(l2.lookup(page, asid).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pom;
+mod sram;
+mod tsb;
+
+pub use pom::{PomLookup, PomTlb};
+pub use sram::{SramTlb, TlbKey};
+pub use tsb::{Tsb, TsbLookup};

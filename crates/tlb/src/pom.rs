@@ -1,0 +1,303 @@
+//! The large memory-resident L3 TLB — POM-TLB (Ryoo et al., ISCA 2017) —
+//! that CSALT uses as its substrate.
+//!
+//! The POM-TLB is a set-associative TLB array carved out of die-stacked
+//! DRAM and given an explicit physical address range (*aperture*). Because
+//! it is addressable, its entries are cacheable in the L2/L3 data caches:
+//! a translation request first probes the data caches at the entry's home
+//! address and only on a data-cache miss pays the die-stacked DRAM
+//! latency. One set occupies exactly one 64-byte cache line (4 ways of
+//! 16-byte entries, Table 2), so a single memory access resolves a
+//! translation — the property that makes POM-TLB cheaper than TSB or page
+//! walks in virtualized mode.
+//!
+//! This module models the array's *contents* (hit/miss, LRU within the
+//! set) and exposes each operation's home [`LineAddr`]; the caller routes
+//! that address through the cache hierarchy and DRAM timing model.
+
+use crate::sram::TlbKey;
+use csalt_types::{Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, PomTlbConfig, VirtPage};
+
+#[derive(Debug, Clone, Copy)]
+struct PomEntry {
+    key: TlbKey,
+    frame: PhysFrame,
+}
+
+/// Result of a POM-TLB lookup: the translation (if resident) and the
+/// memory line the lookup touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PomLookup {
+    /// The translation, when the array holds it.
+    pub frame: Option<PhysFrame>,
+    /// The line address of the probed set, inside the aperture.
+    pub line: LineAddr,
+}
+
+/// The memory-resident large TLB array.
+#[derive(Debug, Clone)]
+pub struct PomTlb {
+    cfg: PomTlbConfig,
+    sets: u64,
+    ways: u32,
+    /// `entries[set * ways + way]`; per-set MRU-first order is maintained
+    /// by keeping entries sorted (small `ways`, so rotation is cheap).
+    entries: Vec<Option<PomEntry>>,
+    stats: HitMissStats,
+}
+
+impl PomTlb {
+    /// Builds the array from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's set count is not a power of two.
+    pub fn new(cfg: PomTlbConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "POM-TLB sets must be 2^k");
+        Self {
+            sets,
+            ways: cfg.ways,
+            entries: vec![None; (sets * cfg.ways as u64) as usize],
+            cfg,
+            stats: HitMissStats::new(),
+        }
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &PomTlbConfig {
+        &self.cfg
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &HitMissStats {
+        &self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Whether a physical address belongs to the POM-TLB aperture — the
+    /// address-range classification of §3.1.
+    pub fn owns(&self, pa: PhysAddr) -> bool {
+        self.cfg.contains(pa.raw())
+    }
+
+    #[inline]
+    fn set_of(&self, key: &TlbKey) -> u64 {
+        // Hash VPN, page size and ASID together; multiple contexts share
+        // the array, so the ASID must participate in indexing.
+        let size_salt = match key.page.size() {
+            PageSize::Size4K => 0u64,
+            PageSize::Size2M => 0x9e37_79b9_7f4a_7c15,
+            PageSize::Size1G => 0x6a09_e667_f3bc_c909,
+        };
+        let mixed = (key.page.vpn().wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ size_salt
+            ^ ((key.asid.raw() as u64) << 17);
+        // Fibonacci hashing: take the *top* bits, which receive full
+        // avalanche from the multiplication. Masking the low bits would
+        // let strided VPNs (whose product keeps their trailing zeros)
+        // alias into a fraction of the sets.
+        mixed >> (64 - self.sets.trailing_zeros())
+    }
+
+    /// The aperture line that stores `set` — one set per 64-byte line.
+    #[inline]
+    fn line_of_set(&self, set: u64) -> LineAddr {
+        PhysAddr::new(self.cfg.base + set * csalt_types::LINE_BYTES).line()
+    }
+
+    /// The home line a translation for (`page`, `asid`) lives in. This is
+    /// the address the cache hierarchy sees for both lookups and fills.
+    pub fn home_line(&self, page: VirtPage, asid: Asid) -> LineAddr {
+        let key = TlbKey { page, asid };
+        self.line_of_set(self.set_of(&key))
+    }
+
+    /// Looks up a translation, maintaining per-set LRU order.
+    pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> PomLookup {
+        let key = TlbKey { page, asid };
+        let set = self.set_of(&key);
+        let line = self.line_of_set(set);
+        let base = (set * self.ways as u64) as usize;
+        for way in 0..self.ways as usize {
+            if let Some(e) = self.entries[base + way] {
+                if e.key == key {
+                    // Move to MRU (front) by rotating the prefix.
+                    self.entries[base..=base + way].rotate_right(1);
+                    self.stats.record_hit();
+                    return PomLookup {
+                        frame: Some(e.frame),
+                        line,
+                    };
+                }
+            }
+        }
+        self.stats.record_miss();
+        PomLookup { frame: None, line }
+    }
+
+    /// Installs a translation at MRU, evicting the set's LRU entry when
+    /// full. Returns the written line (the caller issues the write
+    /// through the hierarchy).
+    pub fn insert(&mut self, page: VirtPage, asid: Asid, frame: PhysFrame) -> LineAddr {
+        let key = TlbKey { page, asid };
+        let set = self.set_of(&key);
+        let line = self.line_of_set(set);
+        // Remove a stale copy if present.
+        let base = (set * self.ways as u64) as usize;
+        let mut kept: Vec<PomEntry> = self.entries[base..base + self.ways as usize]
+            .iter()
+            .flatten()
+            .filter(|e| e.key != key)
+            .copied()
+            .collect();
+        kept.insert(0, PomEntry { key, frame });
+        kept.truncate(self.ways as usize);
+        for w in 0..self.ways as usize {
+            self.entries[base + w] = kept.get(w).copied();
+        }
+        line
+    }
+
+    /// Number of valid entries currently held (tests / reporting).
+    pub fn valid_entries(&self) -> u64 {
+        self.entries.iter().filter(|e| e.is_some()).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PomTlbConfig {
+        PomTlbConfig {
+            size_bytes: 1 << 20, // 1 MiB for tests
+            ways: 4,
+            entry_bytes: 16,
+            base: 0x7e00_0000_0000,
+        }
+    }
+
+    fn page(vpn: u64) -> VirtPage {
+        VirtPage::from_vpn(vpn, PageSize::Size4K)
+    }
+
+    fn frame(pfn: u64) -> PhysFrame {
+        PhysFrame::from_pfn(pfn, PageSize::Size4K)
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut p = PomTlb::new(cfg());
+        let a = Asid::new(1);
+        let r = p.lookup(page(42), a);
+        assert!(r.frame.is_none());
+        let wline = p.insert(page(42), a, frame(7));
+        assert_eq!(wline, r.line, "fill writes the probed set's line");
+        let r2 = p.lookup(page(42), a);
+        assert_eq!(r2.frame, Some(frame(7)));
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn lines_are_inside_aperture() {
+        let mut p = PomTlb::new(cfg());
+        for vpn in 0..1000 {
+            let r = p.lookup(page(vpn), Asid::new(3));
+            assert!(p.owns(r.line.base()), "line {:?} outside aperture", r.line);
+        }
+    }
+
+    #[test]
+    fn home_line_is_stable_and_matches_lookup() {
+        let mut p = PomTlb::new(cfg());
+        let a = Asid::new(2);
+        let home = p.home_line(page(123), a);
+        assert_eq!(p.lookup(page(123), a).line, home);
+        assert_eq!(p.home_line(page(123), a), home);
+    }
+
+    #[test]
+    fn asid_participates_in_indexing_and_matching() {
+        let mut p = PomTlb::new(cfg());
+        p.insert(page(5), Asid::new(1), frame(10));
+        assert!(p.lookup(page(5), Asid::new(2)).frame.is_none());
+        assert_eq!(p.lookup(page(5), Asid::new(1)).frame, Some(frame(10)));
+    }
+
+    #[test]
+    fn set_overflow_evicts_lru() {
+        let mut p = PomTlb::new(cfg());
+        let a = Asid::new(0);
+        // Find 5 pages in the same set.
+        let target = {
+            let k = TlbKey { page: page(0), asid: a };
+            p.set_of(&k)
+        };
+        let colliders: Vec<u64> = (0..200_000u64)
+            .filter(|&v| p.set_of(&TlbKey { page: page(v), asid: a }) == target)
+            .take(5)
+            .collect();
+        assert_eq!(colliders.len(), 5, "need 5 colliding pages");
+        for (i, &v) in colliders.iter().enumerate() {
+            p.insert(page(v), a, frame(i as u64));
+        }
+        // First inserted (LRU) must be gone; the rest resident.
+        assert!(p.lookup(page(colliders[0]), a).frame.is_none());
+        for &v in &colliders[1..] {
+            assert!(p.lookup(page(v), a).frame.is_some());
+        }
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut p = PomTlb::new(cfg());
+        let a = Asid::new(0);
+        p.insert(page(9), a, frame(1));
+        p.insert(page(9), a, frame(2));
+        assert_eq!(p.valid_entries(), 1);
+        assert_eq!(p.lookup(page(9), a).frame, Some(frame(2)));
+    }
+
+    #[test]
+    fn large_array_holds_working_set() {
+        // 1 MiB / 16 B = 65536 entries: a 40k-page working set fits,
+        // which is what makes POM-TLB eliminate page walks (Figure 8).
+        let mut p = PomTlb::new(cfg());
+        let a = Asid::new(1);
+        for vpn in 0..40_000u64 {
+            p.insert(page(vpn), a, frame(vpn));
+        }
+        let mut hits = 0;
+        for vpn in 0..40_000u64 {
+            if p.lookup(page(vpn), a).frame.is_some() {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits as f64 / 40_000.0 > 0.95,
+            "expected >95% resident, got {hits}"
+        );
+    }
+
+    #[test]
+    fn distinct_sets_map_to_distinct_lines() {
+        let p = PomTlb::new(cfg());
+        let l0 = p.line_of_set(0);
+        let l1 = p.line_of_set(1);
+        assert_ne!(l0, l1);
+        assert_eq!(l1.line_number(), l0.line_number() + 1);
+    }
+
+    #[test]
+    fn owns_rejects_outside_addresses() {
+        let p = PomTlb::new(cfg());
+        assert!(!p.owns(PhysAddr::new(0x1000)));
+        assert!(p.owns(PhysAddr::new(p.config().base)));
+    }
+}

@@ -1,0 +1,284 @@
+//! On-chip SRAM TLBs: the per-core L1 (split by page size) and unified L2
+//! levels of the paper's Table 2, ASID-tagged so context switches do not
+//! flush them (§1).
+
+use csalt_cache::SetReplacement;
+use csalt_types::{Asid, Cycle, HitMissStats, PageSize, PhysFrame, ReplacementKind, TlbGeometry, VirtPage};
+
+/// Full lookup key: virtual page (number + size) and address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TlbKey {
+    /// The virtual page.
+    pub page: VirtPage,
+    /// The owning address space.
+    pub asid: Asid,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SramEntry {
+    key: TlbKey,
+    frame: PhysFrame,
+}
+
+/// A set-associative, ASID-tagged SRAM TLB.
+///
+/// Used for both L1 TLBs (one instance per page size) and the unified L2
+/// TLB (entries of both sizes coexist; the set index mixes the page size
+/// so 4 KiB and 2 MiB entries of the same region do not collide).
+#[derive(Debug, Clone)]
+pub struct SramTlb {
+    sets: u32,
+    ways: u32,
+    latency: Cycle,
+    entries: Vec<Option<SramEntry>>,
+    repl: Vec<SetReplacement>,
+    stats: HitMissStats,
+}
+
+impl SramTlb {
+    /// Builds a TLB from its geometry, with True-LRU replacement (SRAM
+    /// TLBs are small enough that real hardware implements exact LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not validate or the set count is not a
+    /// power of two.
+    pub fn new(geom: TlbGeometry) -> Self {
+        geom.validate("sram-tlb").expect("geometry must be valid");
+        let sets = geom.sets();
+        assert!(sets.is_power_of_two(), "TLB set count must be 2^k");
+        Self {
+            sets,
+            ways: geom.ways,
+            latency: geom.latency,
+            entries: vec![None; (sets * geom.ways) as usize],
+            repl: (0..sets)
+                .map(|_| SetReplacement::new(ReplacementKind::TrueLru, geom.ways))
+                .collect(),
+            stats: HitMissStats::new(),
+        }
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> u32 {
+        self.sets * self.ways
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &HitMissStats {
+        &self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn set_of(&self, key: &TlbKey) -> u32 {
+        // Mix the size tag in so a unified TLB separates 4K/2M streams.
+        let size_salt = match key.page.size() {
+            PageSize::Size4K => 0u64,
+            PageSize::Size2M => 0x9e37_79b9,
+            PageSize::Size1G => 0x7f4a_7c15,
+        };
+        ((key.page.vpn() ^ size_salt) & (self.sets as u64 - 1)) as u32
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
+
+    /// Looks up a translation, updating recency and statistics.
+    pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> Option<PhysFrame> {
+        let key = TlbKey { page, asid };
+        let set = self.set_of(&key);
+        for way in 0..self.ways {
+            if let Some(e) = &self.entries[self.slot(set, way)] {
+                if e.key == key {
+                    let frame = e.frame;
+                    self.repl[set as usize].touch(way);
+                    self.stats.record_hit();
+                    return Some(frame);
+                }
+            }
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    /// Checks presence without updating recency or statistics.
+    pub fn probe(&self, page: VirtPage, asid: Asid) -> bool {
+        let key = TlbKey { page, asid };
+        let set = self.set_of(&key);
+        (0..self.ways).any(|w| {
+            self.entries[self.slot(set, w)]
+                .as_ref()
+                .is_some_and(|e| e.key == key)
+        })
+    }
+
+    /// Installs a translation (no-op refresh if already present),
+    /// evicting the set's LRU entry when full.
+    pub fn insert(&mut self, page: VirtPage, asid: Asid, frame: PhysFrame) {
+        let key = TlbKey { page, asid };
+        let set = self.set_of(&key);
+        // Refresh in place if present.
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.entries[slot].as_ref().is_some_and(|e| e.key == key) {
+                self.entries[slot] = Some(SramEntry { key, frame });
+                self.repl[set as usize].touch(way);
+                return;
+            }
+        }
+        let way = match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
+            Some(w) => w,
+            None => self.repl[set as usize].victim(csalt_cache::way_range_mask(0, self.ways)),
+        };
+        let slot = self.slot(set, way);
+        self.entries[slot] = Some(SramEntry { key, frame });
+        self.repl[set as usize].touch(way);
+    }
+
+    /// Invalidates every entry (a full TLB flush).
+    pub fn flush(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+    }
+
+    /// Invalidates all entries belonging to `asid`.
+    pub fn flush_asid(&mut self, asid: Asid) {
+        for e in &mut self.entries {
+            if e.as_ref().is_some_and(|x| x.key.asid == asid) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Number of currently valid entries (for tests and occupancy
+    /// reporting).
+    pub fn valid_entries(&self) -> u32 {
+        self.entries.iter().filter(|e| e.is_some()).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(entries: u32, ways: u32) -> TlbGeometry {
+        TlbGeometry {
+            entries,
+            ways,
+            latency: 9,
+        }
+    }
+
+    fn page(vpn: u64) -> VirtPage {
+        VirtPage::from_vpn(vpn, PageSize::Size4K)
+    }
+
+    fn frame(pfn: u64) -> PhysFrame {
+        PhysFrame::from_pfn(pfn, PageSize::Size4K)
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = SramTlb::new(geom(64, 4));
+        let a = Asid::new(1);
+        assert!(t.lookup(page(5), a).is_none());
+        t.insert(page(5), a, frame(77));
+        assert_eq!(t.lookup(page(5), a), Some(frame(77)));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut t = SramTlb::new(geom(64, 4));
+        t.insert(page(5), Asid::new(1), frame(10));
+        assert!(t.lookup(page(5), Asid::new(2)).is_none());
+        assert!(t.lookup(page(5), Asid::new(1)).is_some());
+    }
+
+    #[test]
+    fn context_switch_without_flush_retains_entries() {
+        // The ASID-tagged design means entries survive a switch (§1).
+        let mut t = SramTlb::new(geom(64, 4));
+        let (a1, a2) = (Asid::new(1), Asid::new(2));
+        t.insert(page(3), a1, frame(30));
+        // "Switch" to asid 2, do some work.
+        t.insert(page(3), a2, frame(40));
+        // Switch back: asid 1's entry is still there.
+        assert_eq!(t.lookup(page(3), a1), Some(frame(30)));
+    }
+
+    #[test]
+    fn set_conflict_evicts_lru() {
+        let mut t = SramTlb::new(geom(8, 2)); // 4 sets, 2 ways
+        let a = Asid::new(0);
+        // Pages 0, 4, 8 all map to set 0 (vpn % 4 == 0).
+        t.insert(page(0), a, frame(1));
+        t.insert(page(4), a, frame(2));
+        t.lookup(page(0), a); // page 0 now MRU; page 4 is LRU
+        t.insert(page(8), a, frame(3)); // evicts page 4
+        assert!(t.probe(page(0), a));
+        assert!(!t.probe(page(4), a));
+        assert!(t.probe(page(8), a));
+    }
+
+    #[test]
+    fn unified_tlb_separates_page_sizes() {
+        let mut t = SramTlb::new(geom(1536, 12));
+        let a = Asid::new(1);
+        let p4k = VirtPage::from_vpn(100, PageSize::Size4K);
+        let p2m = VirtPage::from_vpn(100, PageSize::Size2M);
+        t.insert(p4k, a, frame(1));
+        assert!(t.lookup(p2m, a).is_none(), "sizes are distinct keys");
+        t.insert(p2m, a, PhysFrame::from_pfn(2, PageSize::Size2M));
+        assert!(t.lookup(p4k, a).is_some());
+        assert!(t.lookup(p2m, a).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_frame() {
+        let mut t = SramTlb::new(geom(64, 4));
+        let a = Asid::new(1);
+        t.insert(page(9), a, frame(1));
+        t.insert(page(9), a, frame(2));
+        assert_eq!(t.lookup(page(9), a), Some(frame(2)));
+        assert_eq!(t.valid_entries(), 1, "no duplicate entries");
+    }
+
+    #[test]
+    fn flush_and_flush_asid() {
+        let mut t = SramTlb::new(geom(64, 4));
+        t.insert(page(1), Asid::new(1), frame(1));
+        t.insert(page(2), Asid::new(2), frame(2));
+        t.flush_asid(Asid::new(1));
+        assert!(!t.probe(page(1), Asid::new(1)));
+        assert!(t.probe(page(2), Asid::new(2)));
+        t.flush();
+        assert_eq!(t.valid_entries(), 0);
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let t = SramTlb::new(geom(1536, 12));
+        assert_eq!(t.capacity(), 1536);
+        assert_eq!(t.latency(), 9);
+    }
+
+    #[test]
+    fn probe_does_not_affect_stats() {
+        let t = SramTlb::new(geom(64, 4));
+        t.probe(page(1), Asid::new(0));
+        assert_eq!(t.stats().accesses(), 0);
+    }
+}

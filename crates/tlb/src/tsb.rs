@@ -1,0 +1,266 @@
+//! Translation Storage Buffer (TSB) — the Oracle/Sun UltraSPARC software
+//! translation cache the paper compares against (§5.2, §6).
+//!
+//! A TSB is a per-address-space, direct-mapped, software-managed array of
+//! translation entries in ordinary memory. On a TLB miss the trap handler
+//! indexes the TSB by VPN hash and reloads the TLB on a match. Like the
+//! POM-TLB, TSB entries are cacheable; *unlike* the POM-TLB, resolving a
+//! guest-virtual → host-physical translation in a virtualized system
+//! requires **multiple dependent memory accesses** (the guest TSB lookup
+//! yields a guest-physical address that itself must be located through
+//! the hypervisor's structures — see the Solaris virtualization
+//! architecture the paper cites). The model charges one access natively
+//! and three dependent accesses when virtualized.
+//!
+//! Being direct-mapped, conflicting pages overwrite each other, so the
+//! TSB also suffers more misses (→ page walks) than the set-associative
+//! POM-TLB at equal capacity.
+
+use csalt_types::{Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, VirtPage};
+use std::collections::HashMap;
+
+/// Result of a TSB lookup: the translation (if the slot matches) and the
+/// dependent memory accesses the software walk performed, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsbLookup {
+    /// The translation, when the indexed slot holds this page.
+    pub frame: Option<PhysFrame>,
+    /// Memory lines touched by the software lookup (1 native,
+    /// 3 virtualized), to be charged through the cache hierarchy as
+    /// translation traffic.
+    pub accesses: Vec<LineAddr>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TsbSlot {
+    page: VirtPage,
+    frame: PhysFrame,
+}
+
+/// The software translation-buffer model: one direct-mapped table per
+/// ASID, laid out consecutively in a dedicated physical aperture.
+#[derive(Debug, Clone)]
+pub struct Tsb {
+    /// Entries per per-ASID table (power of two).
+    entries_per_table: u64,
+    /// Bytes per entry (UltraSPARC TTE pairs are 16 bytes).
+    entry_bytes: u64,
+    /// Aperture base; table *i* starts at `base + i * table_bytes`.
+    base: u64,
+    virtualized: bool,
+    tables: HashMap<Asid, Vec<Option<TsbSlot>>>,
+    asid_slots: HashMap<Asid, u64>,
+    stats: HitMissStats,
+}
+
+impl Tsb {
+    /// Creates a TSB model.
+    ///
+    /// * `entries_per_table` — slots per address space (power of two).
+    /// * `base` — physical base of the TSB aperture.
+    /// * `virtualized` — whether lookups need the 2D (3-access) walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries_per_table` is not a positive power of two.
+    pub fn new(entries_per_table: u64, base: u64, virtualized: bool) -> Self {
+        assert!(
+            entries_per_table > 0 && entries_per_table.is_power_of_two(),
+            "entries per table must be a positive power of two"
+        );
+        Self {
+            entries_per_table,
+            entry_bytes: 16,
+            base,
+            virtualized,
+            tables: HashMap::new(),
+            asid_slots: HashMap::new(),
+            stats: HitMissStats::new(),
+        }
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &HitMissStats {
+        &self.stats
+    }
+
+    /// Resets statistics; contents are preserved.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Bytes occupied by one per-ASID table.
+    pub fn table_bytes(&self) -> u64 {
+        self.entries_per_table * self.entry_bytes
+    }
+
+    fn table_index(&mut self, asid: Asid) -> u64 {
+        let next = self.asid_slots.len() as u64;
+        *self.asid_slots.entry(asid).or_insert(next)
+    }
+
+    #[inline]
+    fn slot_of(&self, page: VirtPage) -> u64 {
+        let salt = match page.size() {
+            PageSize::Size4K => 0u64,
+            PageSize::Size2M => 0x9e37_79b9,
+            PageSize::Size1G => 0x517c_c1b7,
+        };
+        (page.vpn() ^ salt) & (self.entries_per_table - 1)
+    }
+
+    /// The aperture address of (`asid`, `page`)'s slot.
+    fn entry_addr(&mut self, page: VirtPage, asid: Asid) -> PhysAddr {
+        let table = self.table_index(asid);
+        PhysAddr::new(self.base + table * self.table_bytes() + self.slot_of(page) * self.entry_bytes)
+    }
+
+    /// The dependent accesses a lookup performs. Natively: the entry
+    /// itself. Virtualized: the hypervisor's per-guest TSB descriptor,
+    /// the nested locator for the entry's guest-physical page, then the
+    /// entry (cf. the multi-step TSB translation flow in virtualized
+    /// SPARC the paper references).
+    fn walk_lines(&mut self, page: VirtPage, asid: Asid) -> Vec<LineAddr> {
+        let entry = self.entry_addr(page, asid);
+        if !self.virtualized {
+            return vec![entry.line()];
+        }
+        let table = self.table_index(asid);
+        // Descriptor region sits above all tables; one line per ASID.
+        let descriptors = self.base + self.asid_slots.len().max(64) as u64 * self.table_bytes();
+        let descriptor = PhysAddr::new(descriptors + table * csalt_types::LINE_BYTES);
+        // Nested locator: hashes the entry's page within a per-ASID
+        // region, modelling the hypervisor-side lookup.
+        let locator_region = descriptors + (64 << 10);
+        let locator = PhysAddr::new(
+            locator_region
+                + table * (256 << 10)
+                + ((self.slot_of(page) >> 2) * csalt_types::LINE_BYTES) % (256 << 10),
+        );
+        vec![descriptor.line(), locator.line(), entry.line()]
+    }
+
+    /// Performs a software TSB lookup.
+    pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> TsbLookup {
+        let accesses = self.walk_lines(page, asid);
+        let slot = self.slot_of(page) as usize;
+        let entries = self.entries_per_table as usize;
+        let table = self.tables.entry(asid).or_insert_with(|| vec![None; entries]);
+        let frame = table[slot].and_then(|s| (s.page == page).then_some(s.frame));
+        self.stats.record(frame.is_some());
+        TsbLookup { frame, accesses }
+    }
+
+    /// Installs a translation (software reload after a page walk),
+    /// returning the written line.
+    pub fn insert(&mut self, page: VirtPage, asid: Asid, frame: PhysFrame) -> LineAddr {
+        let line = self.entry_addr(page, asid).line();
+        let slot = self.slot_of(page) as usize;
+        let entries = self.entries_per_table as usize;
+        let table = self.tables.entry(asid).or_insert_with(|| vec![None; entries]);
+        table[slot] = Some(TsbSlot { page, frame });
+        line
+    }
+
+    /// Number of dependent accesses per lookup in this configuration.
+    pub fn accesses_per_lookup(&self) -> usize {
+        if self.virtualized {
+            3
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(vpn: u64) -> VirtPage {
+        VirtPage::from_vpn(vpn, PageSize::Size4K)
+    }
+
+    fn frame(pfn: u64) -> PhysFrame {
+        PhysFrame::from_pfn(pfn, PageSize::Size4K)
+    }
+
+    const BASE: u64 = 0x7d00_0000_0000;
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = Tsb::new(1024, BASE, false);
+        let a = Asid::new(1);
+        assert!(t.lookup(page(3), a).frame.is_none());
+        t.insert(page(3), a, frame(9));
+        assert_eq!(t.lookup(page(3), a).frame, Some(frame(9)));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn native_lookup_is_single_access() {
+        let mut t = Tsb::new(1024, BASE, false);
+        let r = t.lookup(page(3), Asid::new(1));
+        assert_eq!(r.accesses.len(), 1);
+        assert_eq!(t.accesses_per_lookup(), 1);
+    }
+
+    #[test]
+    fn virtualized_lookup_takes_three_dependent_accesses() {
+        let mut t = Tsb::new(1024, BASE, true);
+        let r = t.lookup(page(3), Asid::new(1));
+        assert_eq!(r.accesses.len(), 3);
+        assert_eq!(t.accesses_per_lookup(), 3);
+        // All three distinct lines (dependent, not coalescable).
+        let mut lines = r.accesses.clone();
+        lines.dedup();
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn final_access_is_the_entry_line() {
+        let mut t = Tsb::new(1024, BASE, true);
+        let a = Asid::new(2);
+        let written = t.insert(page(77), a, frame(5));
+        let r = t.lookup(page(77), a);
+        assert_eq!(*r.accesses.last().expect("nonempty"), written);
+        assert_eq!(r.frame, Some(frame(5)));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_overwrites() {
+        let mut t = Tsb::new(16, BASE, false);
+        let a = Asid::new(0);
+        t.insert(page(1), a, frame(1));
+        t.insert(page(17), a, frame(2)); // 17 & 15 == 1: same slot
+        assert!(t.lookup(page(1), a).frame.is_none(), "overwritten");
+        assert_eq!(t.lookup(page(17), a).frame, Some(frame(2)));
+    }
+
+    #[test]
+    fn per_asid_tables_are_disjoint() {
+        let mut t = Tsb::new(64, BASE, false);
+        t.insert(page(4), Asid::new(1), frame(1));
+        assert!(t.lookup(page(4), Asid::new(2)).frame.is_none());
+        // And their entry lines differ (distinct table regions).
+        let l1 = t.insert(page(4), Asid::new(1), frame(1));
+        let l2 = t.insert(page(4), Asid::new(2), frame(1));
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn lookup_lines_stay_in_aperture_region() {
+        let mut t = Tsb::new(1024, BASE, true);
+        for vpn in 0..100 {
+            for l in t.lookup(page(vpn), Asid::new(3)).accesses {
+                assert!(l.base().raw() >= BASE);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Tsb::new(1000, BASE, false);
+    }
+}

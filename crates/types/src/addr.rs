@@ -1,0 +1,352 @@
+//! Strongly-typed virtual / physical addresses and their derived views.
+//!
+//! The simulator models an x86-64-style machine: 64-byte cache lines,
+//! 4-level radix page tables, and page sizes of 4 KiB, 2 MiB and 1 GiB.
+//! Newtypes keep guest-virtual, host-physical and line-granular addresses
+//! from being confused with one another (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size of a cache line in bytes. Matches the paper's Skylake host.
+pub const LINE_BYTES: u64 = 64;
+
+/// Page sizes supported by the simulated MMU.
+///
+/// The paper's host uses Transparent Huge Pages, so both 4 KiB and 2 MiB
+/// translations flow through the TLB hierarchy; 1 GiB pages exist in the
+/// architecture but the paper's L1 1 GiB TLB is deliberately unused (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PageSize {
+    /// 4 KiB base page.
+    Size4K,
+    /// 2 MiB huge page.
+    Size2M,
+    /// 1 GiB huge page.
+    Size1G,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    ///
+    /// ```
+    /// use csalt_types::PageSize;
+    /// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+    /// ```
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => 4 << 10,
+            PageSize::Size2M => 2 << 20,
+            PageSize::Size1G => 1 << 30,
+        }
+    }
+
+    /// log2 of the page size (the number of offset bits).
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// All sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => f.write_str("4K"),
+            PageSize::Size2M => f.write_str("2M"),
+            PageSize::Size1G => f.write_str("1G"),
+        }
+    }
+}
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The address of the cache line containing this address.
+            #[inline]
+            pub const fn line(self) -> LineAddr {
+                LineAddr(self.0 / LINE_BYTES)
+            }
+
+            /// Byte offset within the containing `size` page.
+            #[inline]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Returns this address advanced by `delta` bytes.
+            #[inline]
+            pub const fn offset(self, delta: u64) -> Self {
+                Self(self.0.wrapping_add(delta))
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A virtual address in the address space of the currently running
+    /// context (the paper's *gVA* when virtualized, plain VA when native).
+    VirtAddr
+}
+
+addr_newtype! {
+    /// A host-physical address — the final output of translation and the
+    /// address space that caches and DRAM operate in.
+    PhysAddr
+}
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    pub const fn page(self, size: PageSize) -> VirtPage {
+        VirtPage {
+            vpn: self.0 >> size.shift(),
+            size,
+        }
+    }
+
+    /// The 9-bit index into page-table level `level` (1 = leaf PTE
+    /// level; 4 = PML4 root of 4-level paging; 5 = the LA57 PML5 root
+    /// of Intel's 5-level extension the paper's introduction cites).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `1..=5`.
+    #[inline]
+    pub fn pt_index(self, level: u8) -> u64 {
+        assert!((1..=5).contains(&level), "page table level out of range");
+        (self.0 >> (12 + 9 * (level as u64 - 1))) & 0x1ff
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame containing this address.
+    #[inline]
+    pub const fn frame(self, size: PageSize) -> PhysFrame {
+        PhysFrame {
+            pfn: self.0 >> size.shift(),
+            size,
+        }
+    }
+}
+
+/// A virtual page: a virtual page number plus the page's size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VirtPage {
+    vpn: u64,
+    size: PageSize,
+}
+
+impl VirtPage {
+    /// Builds a page from a raw virtual page number.
+    #[inline]
+    pub const fn from_vpn(vpn: u64, size: PageSize) -> Self {
+        Self { vpn, size }
+    }
+
+    /// The virtual page number.
+    #[inline]
+    pub const fn vpn(self) -> u64 {
+        self.vpn
+    }
+
+    /// The page's size.
+    #[inline]
+    pub const fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// The first address of the page.
+    #[inline]
+    pub const fn base(self) -> VirtAddr {
+        VirtAddr::new(self.vpn << self.size.shift())
+    }
+}
+
+/// A physical frame: a physical frame number plus the frame's size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysFrame {
+    pfn: u64,
+    size: PageSize,
+}
+
+impl PhysFrame {
+    /// Builds a frame from a raw physical frame number.
+    #[inline]
+    pub const fn from_pfn(pfn: u64, size: PageSize) -> Self {
+        Self { pfn, size }
+    }
+
+    /// The physical frame number.
+    #[inline]
+    pub const fn pfn(self) -> u64 {
+        self.pfn
+    }
+
+    /// The frame's size.
+    #[inline]
+    pub const fn size(self) -> PageSize {
+        self.size
+    }
+
+    /// The first address of the frame.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.pfn << self.size.shift())
+    }
+
+    /// Translates `va` assuming it lies in the corresponding virtual page.
+    #[inline]
+    pub const fn translate(self, va: VirtAddr) -> PhysAddr {
+        PhysAddr::new(self.base().raw() | va.page_offset(self.size))
+    }
+}
+
+/// A 64-byte-granular physical line address (the unit caches operate on).
+///
+/// Stored as `PhysAddr / LINE_BYTES` so that adjacent lines differ by one.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Wraps a raw line number (byte address divided by [`LINE_BYTES`]).
+    #[inline]
+    pub const fn from_line_number(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// The raw line number.
+    #[inline]
+    pub const fn line_number(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr::new(self.0 * LINE_BYTES)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0 * LINE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_bytes_and_shift_agree() {
+        for size in PageSize::ALL {
+            assert_eq!(size.bytes(), 1u64 << size.shift());
+        }
+    }
+
+    #[test]
+    fn virt_addr_page_round_trip() {
+        let va = VirtAddr::new(0xdead_beef_123);
+        for size in PageSize::ALL {
+            let page = va.page(size);
+            assert_eq!(page.base().raw() + va.page_offset(size), va.raw());
+            assert_eq!(page.base().page_offset(size), 0);
+        }
+    }
+
+    #[test]
+    fn pt_index_decomposition_recomposes() {
+        let va = VirtAddr::new(0x0000_7fff_1234_5678);
+        let l4 = va.pt_index(4);
+        let l3 = va.pt_index(3);
+        let l2 = va.pt_index(2);
+        let l1 = va.pt_index(1);
+        let rebuilt = (l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << 12) | (va.raw() & 0xfff);
+        assert_eq!(rebuilt, va.raw() & 0x0000_ffff_ffff_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "page table level out of range")]
+    fn pt_index_rejects_level_zero() {
+        VirtAddr::new(0).pt_index(0);
+    }
+
+    #[test]
+    fn frame_translates_offsets() {
+        let frame = PhysFrame::from_pfn(0x42, PageSize::Size4K);
+        let va = VirtAddr::new(0x7000_0abc);
+        let pa = frame.translate(va);
+        assert_eq!(pa.raw(), (0x42 << 12) | 0xabc);
+    }
+
+    #[test]
+    fn line_addresses_are_64_byte_granular() {
+        let a = PhysAddr::new(0x1000);
+        let b = PhysAddr::new(0x103f);
+        let c = PhysAddr::new(0x1040);
+        assert_eq!(a.line(), b.line());
+        assert_ne!(a.line(), c.line());
+        assert_eq!(c.line().line_number(), a.line().line_number() + 1);
+        assert_eq!(a.line().base(), a);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", VirtAddr::new(0x10)), "0x10");
+        assert_eq!(format!("{}", PageSize::Size4K), "4K");
+        assert!(!format!("{}", LineAddr::from_line_number(3)).is_empty());
+    }
+}

@@ -1,0 +1,581 @@
+//! Machine configuration: the paper's Table 2, expressed as data.
+//!
+//! [`SystemConfig::skylake`] reproduces the evaluated host exactly; every
+//! experiment starts from it and overrides only the knob under study.
+
+use crate::addr::LINE_BYTES;
+use crate::error::ConfigError;
+use crate::ids::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry and access latency of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Access latency in cycles (hit latency, total from request).
+    pub latency: Cycle,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    #[inline]
+    pub const fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.ways as u64)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub const fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Validates that the geometry is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any dimension is zero, the capacity is not
+    /// an exact multiple of `ways * line_bytes`, or the set count is not a
+    /// power of two (required for bit-sliced indexing).
+    pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
+        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
+            return Err(ConfigError::new(format!("{name}: zero-sized dimension")));
+        }
+        if self.size_bytes % (self.line_bytes * self.ways as u64) != 0 {
+            return Err(ConfigError::new(format!(
+                "{name}: capacity {} not divisible by ways*line ({})",
+                self.size_bytes,
+                self.line_bytes * self.ways as u64
+            )));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "{name}: set count {} is not a power of two",
+                self.sets()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Geometry and latency of one SRAM TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbGeometry {
+    /// Total entries.
+    pub entries: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Lookup latency in cycles.
+    pub latency: Cycle,
+}
+
+impl TlbGeometry {
+    /// Number of sets implied by the geometry.
+    #[inline]
+    pub const fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+
+    /// Validates the TLB geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if entries/ways are zero or do not divide.
+    pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
+        if self.entries == 0 || self.ways == 0 {
+            return Err(ConfigError::new(format!("{name}: zero-sized TLB")));
+        }
+        if self.entries % self.ways != 0 {
+            return Err(ConfigError::new(format!(
+                "{name}: {} entries not divisible by {} ways",
+                self.entries, self.ways
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// MMU paging-structure caches (Intel PSC), per Table 2.
+///
+/// Each level caches partial translations so a 2D walk can skip upper
+/// levels; hit latency is 2 cycles per the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PscConfig {
+    /// PML4 (level-4) cache entries.
+    pub pml4_entries: u32,
+    /// PDP (level-3) cache entries.
+    pub pdp_entries: u32,
+    /// PDE (level-2) cache entries.
+    pub pde_entries: u32,
+    /// Lookup latency in cycles.
+    pub latency: Cycle,
+}
+
+/// Which DRAM device a channel models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramKind {
+    /// Off-chip DDR4-2133 (Table 2 "DDR").
+    Ddr4,
+    /// On-package die-stacked DRAM (Table 2 "Die-Stacked DRAM"), used by
+    /// the POM-TLB.
+    DieStacked,
+}
+
+impl fmt::Display for DramKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramKind::Ddr4 => f.write_str("DDR4"),
+            DramKind::DieStacked => f.write_str("die-stacked"),
+        }
+    }
+}
+
+/// Timing and organization of one DRAM device, per Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTimings {
+    /// Device kind.
+    pub kind: DramKind,
+    /// I/O bus frequency in MHz (data rate is double).
+    pub bus_mhz: u64,
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// Row buffer size in bytes.
+    pub row_buffer_bytes: u64,
+    /// CAS latency in memory-bus cycles.
+    pub t_cas: u32,
+    /// RAS-to-CAS delay in memory-bus cycles.
+    pub t_rcd: u32,
+    /// Row precharge in memory-bus cycles.
+    pub t_rp: u32,
+    /// Banks per rank (organizational; 16 is typical for DDR4).
+    pub banks: u32,
+}
+
+impl DramTimings {
+    /// Core cycles (at `core_ghz`) per memory-bus cycle.
+    #[inline]
+    pub fn core_cycles_per_bus_cycle(&self, core_ghz: f64) -> f64 {
+        core_ghz * 1000.0 / self.bus_mhz as f64
+    }
+
+    /// DDR4-2133 parameters from Table 2.
+    pub const fn ddr4_2133() -> Self {
+        Self {
+            kind: DramKind::Ddr4,
+            bus_mhz: 1066,
+            bus_bits: 64,
+            row_buffer_bytes: 2 << 10,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            banks: 16,
+        }
+    }
+
+    /// Die-stacked DRAM parameters from Table 2.
+    pub const fn die_stacked() -> Self {
+        Self {
+            kind: DramKind::DieStacked,
+            bus_mhz: 1000,
+            bus_bits: 128,
+            row_buffer_bytes: 2 << 10,
+            t_cas: 11,
+            t_rcd: 11,
+            t_rp: 11,
+            banks: 16,
+        }
+    }
+}
+
+/// Organization of the large memory-resident L3 TLB (POM-TLB, Ryoo et al.
+/// ISCA'17) that CSALT is architected over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PomTlbConfig {
+    /// Capacity in bytes carved out of die-stacked DRAM (16 MiB in the
+    /// paper — "orders of magnitude larger than on-chip TLBs").
+    pub size_bytes: u64,
+    /// Associativity of the memory-resident TLB array.
+    pub ways: u32,
+    /// Bytes per entry (one translation entry; the paper stores one
+    /// translation per entry, several entries per 64 B line).
+    pub entry_bytes: u64,
+    /// Physical base address of the memory-mapped aperture. Cache lines
+    /// whose address falls inside `[base, base + size)` are classified as
+    /// [`crate::EntryKind::Tlb`].
+    pub base: u64,
+}
+
+impl PomTlbConfig {
+    /// Total entries the array can hold.
+    #[inline]
+    pub const fn entries(&self) -> u64 {
+        self.size_bytes / self.entry_bytes
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn sets(&self) -> u64 {
+        self.entries() / self.ways as u64
+    }
+
+    /// Whether a physical byte address falls inside the aperture.
+    #[inline]
+    pub const fn contains(&self, pa: u64) -> bool {
+        pa >= self.base && pa < self.base + self.size_bytes
+    }
+}
+
+/// Address-translation scheme under evaluation (§5 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TranslationScheme {
+    /// Conventional L1-L2 TLBs + 2D page walker; walk entries cached in
+    /// the data caches (the paper's "Conventional" baseline).
+    Conventional,
+    /// Large memory-resident L3 TLB with unmanaged (LRU) caching of its
+    /// entries in L2/L3 data caches (the paper's "POM-TLB" baseline).
+    PomTlb,
+    /// CSALT with dynamic (unweighted marginal-utility) partitioning.
+    CsaltD,
+    /// CSALT with criticality-weighted dynamic partitioning.
+    CsaltCd,
+    /// Dynamic Insertion Policy (Qureshi et al.) layered over POM-TLB —
+    /// the cache-replacement prior work the paper compares against.
+    Dip,
+    /// Translation Storage Buffer (UltraSPARC): addressable software
+    /// translation buffer requiring multiple cacheable lookups per
+    /// translation in virtualized mode.
+    Tsb,
+    /// CSALT with a *static* way partition: the given number of ways per
+    /// set reserved for data entries (footnote 6 ablation).
+    StaticPartition {
+        /// Ways reserved for data lines in every partitioned cache.
+        data_ways: u32,
+    },
+    /// TSB translation with CSALT-CD cache partitioning layered on top —
+    /// §5.2/§6 note that "the TSB system organization can leverage CSALT
+    /// cache partitioning schemes"; this variant quantifies it.
+    TsbCsalt,
+    /// DRRIP replacement (Jaleel et al.) over POM-TLB — a second
+    /// content-oblivious replacement baseline from the paper's related
+    /// work (§6), alongside DIP.
+    Drrip,
+}
+
+impl TranslationScheme {
+    /// Short lowercase label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            TranslationScheme::Conventional => "conventional".into(),
+            TranslationScheme::PomTlb => "pom-tlb".into(),
+            TranslationScheme::CsaltD => "csalt-d".into(),
+            TranslationScheme::CsaltCd => "csalt-cd".into(),
+            TranslationScheme::Dip => "dip".into(),
+            TranslationScheme::Tsb => "tsb".into(),
+            TranslationScheme::StaticPartition { data_ways } => format!("static-{data_ways}"),
+            TranslationScheme::TsbCsalt => "tsb-csalt".into(),
+            TranslationScheme::Drrip => "drrip".into(),
+        }
+    }
+
+    /// Whether the scheme uses the large L3 TLB (everything except the
+    /// conventional walker and the TSB).
+    pub const fn uses_pom_tlb(&self) -> bool {
+        !matches!(
+            self,
+            TranslationScheme::Conventional
+                | TranslationScheme::Tsb
+                | TranslationScheme::TsbCsalt
+        )
+    }
+}
+
+impl fmt::Display for TranslationScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Cache replacement policy family (§3.4 discusses all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplacementKind {
+    /// Exact least-recently-used ordering.
+    TrueLru,
+    /// Not-Recently-Used single-bit approximation.
+    Nru,
+    /// Binary-tree pseudo-LRU.
+    BtPlru,
+    /// 2-bit Re-Reference Interval Prediction (SRRIP/BRRIP storage);
+    /// combined with set dueling this realizes DRRIP (§6 related work).
+    Rrip,
+}
+
+impl fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplacementKind::TrueLru => f.write_str("true-lru"),
+            ReplacementKind::Nru => f.write_str("nru"),
+            ReplacementKind::BtPlru => f.write_str("bt-plru"),
+            ReplacementKind::Rrip => f.write_str("rrip"),
+        }
+    }
+}
+
+/// Full machine description: the paper's Table 2 plus the POM-TLB and
+/// simulation knobs that Section 4 specifies in prose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core clock in GHz.
+    pub core_ghz: f64,
+    /// Number of cores.
+    pub cores: u32,
+    /// Per-core L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Per-core unified L2 cache.
+    pub l2: CacheGeometry,
+    /// Shared L3 cache.
+    pub l3: CacheGeometry,
+    /// L1 TLB for 4 KiB pages.
+    pub l1_tlb_4k: TlbGeometry,
+    /// L1 TLB for 2 MiB pages.
+    pub l1_tlb_2m: TlbGeometry,
+    /// Unified L2 TLB (both page sizes).
+    pub l2_tlb: TlbGeometry,
+    /// MMU paging-structure caches.
+    pub psc: PscConfig,
+    /// Die-stacked DRAM backing the POM-TLB.
+    pub die_stacked: DramTimings,
+    /// Off-chip DDR4.
+    pub ddr: DramTimings,
+    /// POM-TLB organization.
+    pub pom_tlb: PomTlbConfig,
+    /// Replacement policy for the data caches.
+    pub replacement: ReplacementKind,
+    /// CSALT repartitioning epoch, in cache accesses (256 K default, §5.3).
+    pub epoch_accesses: u64,
+    /// Context-switch quantum in core cycles (10 ms at 4 GHz by default;
+    /// experiments scale this together with workload footprint).
+    pub cs_interval_cycles: Cycle,
+    /// Contexts scheduled per core (2 by default).
+    pub contexts_per_core: u32,
+    /// Page-table depth: 4 (x86-64) or 5 (Intel LA57; the paper's
+    /// introduction cites 5-level paging as further motivation).
+    pub pt_levels: u8,
+    /// Base cycles-per-instruction for non-memory work.
+    pub base_cpi: f64,
+    /// Memory-level parallelism divisor applied to overlappable data-miss
+    /// stall cycles (translation stalls are blocking and never divided).
+    pub mlp: f64,
+}
+
+impl SystemConfig {
+    /// The evaluated 8-core Skylake-class host, exactly as in Table 2.
+    pub fn skylake() -> Self {
+        Self {
+            core_ghz: 4.0,
+            cores: 8,
+            l1d: CacheGeometry {
+                size_bytes: 32 << 10,
+                ways: 8,
+                line_bytes: LINE_BYTES,
+                latency: 4,
+            },
+            l2: CacheGeometry {
+                size_bytes: 256 << 10,
+                ways: 4,
+                line_bytes: LINE_BYTES,
+                latency: 12,
+            },
+            l3: CacheGeometry {
+                size_bytes: 8 << 20,
+                ways: 16,
+                line_bytes: LINE_BYTES,
+                latency: 42,
+            },
+            l1_tlb_4k: TlbGeometry {
+                entries: 64,
+                ways: 4,
+                latency: 9,
+            },
+            l1_tlb_2m: TlbGeometry {
+                entries: 32,
+                ways: 4,
+                latency: 9,
+            },
+            l2_tlb: TlbGeometry {
+                entries: 1536,
+                ways: 12,
+                latency: 17,
+            },
+            psc: PscConfig {
+                pml4_entries: 2,
+                pdp_entries: 4,
+                pde_entries: 32,
+                latency: 2,
+            },
+            die_stacked: DramTimings::die_stacked(),
+            ddr: DramTimings::ddr4_2133(),
+            pom_tlb: PomTlbConfig {
+                size_bytes: 16 << 20,
+                ways: 4,
+                entry_bytes: 16,
+                // High aperture well above any simulated program footprint.
+                base: 0x0000_7e00_0000_0000,
+            },
+            replacement: ReplacementKind::TrueLru,
+            epoch_accesses: 256_000,
+            cs_interval_cycles: 40_000_000,
+            contexts_per_core: 2,
+            pt_levels: 4,
+            base_cpi: 0.6,
+            mlp: 4.0,
+        }
+    }
+
+    /// Validates every sub-configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in any component.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("zero cores"));
+        }
+        if self.core_ghz <= 0.0 {
+            return Err(ConfigError::new("non-positive core clock"));
+        }
+        if self.contexts_per_core == 0 {
+            return Err(ConfigError::new("zero contexts per core"));
+        }
+        if self.mlp < 1.0 {
+            return Err(ConfigError::new("mlp must be >= 1"));
+        }
+        self.l1d.validate("l1d")?;
+        self.l2.validate("l2")?;
+        self.l3.validate("l3")?;
+        self.l1_tlb_4k.validate("l1-tlb-4k")?;
+        self.l1_tlb_2m.validate("l1-tlb-2m")?;
+        self.l2_tlb.validate("l2-tlb")?;
+        if self.pom_tlb.entries() == 0 || self.pom_tlb.entries() % self.pom_tlb.ways as u64 != 0 {
+            return Err(ConfigError::new("pom-tlb: bad geometry"));
+        }
+        if !self.pom_tlb.sets().is_power_of_two() {
+            return Err(ConfigError::new("pom-tlb: set count not a power of two"));
+        }
+        if self.epoch_accesses == 0 {
+            return Err(ConfigError::new("zero epoch length"));
+        }
+        if !(self.pt_levels == 4 || self.pt_levels == 5) {
+            return Err(ConfigError::new("pt_levels must be 4 or 5"));
+        }
+        Ok(())
+    }
+
+    /// Reach of the unified L2 TLB for 4 KiB pages, in bytes.
+    #[inline]
+    pub fn l2_tlb_reach_4k(&self) -> u64 {
+        self.l2_tlb.entries as u64 * 4096
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skylake_matches_table2() {
+        let cfg = SystemConfig::skylake();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.l1d.size_bytes, 32 << 10);
+        assert_eq!(cfg.l1d.latency, 4);
+        assert_eq!(cfg.l2.latency, 12);
+        assert_eq!(cfg.l3.ways, 16);
+        assert_eq!(cfg.l3.latency, 42);
+        assert_eq!(cfg.l2_tlb.entries, 1536);
+        assert_eq!(cfg.l2_tlb.ways, 12);
+        assert_eq!(cfg.l2_tlb.latency, 17);
+        assert_eq!(cfg.psc.pde_entries, 32);
+        assert_eq!(cfg.ddr.t_cas, 14);
+        assert_eq!(cfg.die_stacked.t_cas, 11);
+        assert_eq!(cfg.pom_tlb.size_bytes, 16 << 20);
+        cfg.validate().expect("skylake config must validate");
+    }
+
+    #[test]
+    fn cache_geometry_derives_sets() {
+        let l3 = SystemConfig::skylake().l3;
+        assert_eq!(l3.sets(), 8192);
+        assert_eq!(l3.lines(), 131072);
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        let mut cfg = SystemConfig::skylake();
+        cfg.l2.ways = 3; // 256 KiB / (64*3) is not a power-of-two set count
+        assert!(cfg.validate().is_err());
+
+        let mut cfg2 = SystemConfig::skylake();
+        cfg2.epoch_accesses = 0;
+        assert!(cfg2.validate().is_err());
+
+        let mut cfg3 = SystemConfig::skylake();
+        cfg3.mlp = 0.5;
+        assert!(cfg3.validate().is_err());
+    }
+
+    #[test]
+    fn pom_tlb_aperture_classification() {
+        let pom = SystemConfig::skylake().pom_tlb;
+        assert!(pom.contains(pom.base));
+        assert!(pom.contains(pom.base + pom.size_bytes - 1));
+        assert!(!pom.contains(pom.base + pom.size_bytes));
+        assert!(!pom.contains(0x1000));
+        assert_eq!(pom.entries(), (16 << 20) / 16);
+    }
+
+    #[test]
+    fn scheme_labels_are_distinct() {
+        use std::collections::HashSet;
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltD,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Dip,
+            TranslationScheme::Tsb,
+            TranslationScheme::StaticPartition { data_ways: 8 },
+            TranslationScheme::TsbCsalt,
+        ];
+        let labels: HashSet<_> = schemes.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), schemes.len());
+        assert!(TranslationScheme::CsaltCd.uses_pom_tlb());
+        assert!(!TranslationScheme::Conventional.uses_pom_tlb());
+        assert!(!TranslationScheme::Tsb.uses_pom_tlb());
+        assert!(!TranslationScheme::TsbCsalt.uses_pom_tlb());
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = SystemConfig::skylake();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: SystemConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn dram_bus_cycle_conversion() {
+        let ddr = DramTimings::ddr4_2133();
+        let ratio = ddr.core_cycles_per_bus_cycle(4.0);
+        assert!((ratio - 3.752).abs() < 0.01, "got {ratio}");
+    }
+}

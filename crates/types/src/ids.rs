@@ -1,0 +1,125 @@
+//! Identifier newtypes: address-space IDs, cores, contexts and time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated time, in core clock cycles (4 GHz in the paper's Table 2).
+pub type Cycle = u64;
+
+/// An Address Space Identifier.
+///
+/// Modern TLBs tag entries with an ASID so that a context switch does not
+/// require a TLB flush (§1 of the paper); when the swapped-out context
+/// returns, surviving entries are still usable. Every VM context in the
+/// simulator gets a distinct ASID.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Asid(u16);
+
+impl Asid {
+    /// Wraps a raw ASID value.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// The raw ASID value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+/// A core index within the simulated chip (0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(u8);
+
+impl CoreId {
+    /// Wraps a raw core index.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        Self(raw)
+    }
+
+    /// The raw core index.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Usable as a `Vec` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A schedulable VM context (one guest workload instance on one core).
+///
+/// The context-switch experiments in the paper run 1, 2 or 4 contexts per
+/// core; each is identified by a `ContextId` and owns an [`Asid`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ContextId(u32);
+
+impl ContextId {
+    /// Wraps a raw context index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw context index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Usable as a `Vec` index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(Asid::new(7).raw(), 7);
+        assert_eq!(CoreId::new(3).index(), 3);
+        assert_eq!(ContextId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(Asid::new(1) < Asid::new(2));
+        assert_eq!(CoreId::new(5).to_string(), "core5");
+        assert_eq!(Asid::new(2).to_string(), "asid2");
+        assert_eq!(ContextId::new(0).to_string(), "ctx0");
+    }
+}

@@ -1,0 +1,142 @@
+//! Memory request vocabulary: access types, the data/TLB classification,
+//! and the trace record that workload generators emit.
+
+use crate::addr::VirtAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessType {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessType {
+    /// `true` for stores.
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessType::Write)
+    }
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessType::Read => f.write_str("R"),
+            AccessType::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// Classification of a cache line's contents.
+///
+/// This is *the* distinction CSALT is built on (§3.1 "Classifying Addresses
+/// as Data or TLB"): lines holding translation entries (POM-TLB entries, or
+/// page-table entries for the conventional walker) compete with ordinary
+/// data lines for cache capacity, and the partitioning algorithms treat the
+/// two streams separately. The simulator classifies by address range, the
+/// implementation choice the paper selects because it adds no metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// An ordinary program data line.
+    Data,
+    /// A translation line: a POM-TLB entry, TSB entry or page-table entry.
+    Tlb,
+}
+
+impl EntryKind {
+    /// The other kind.
+    #[inline]
+    pub const fn other(self) -> Self {
+        match self {
+            EntryKind::Data => EntryKind::Tlb,
+            EntryKind::Tlb => EntryKind::Data,
+        }
+    }
+
+    /// Index (0 = data, 1 = TLB) for kind-indexed arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            EntryKind::Data => 0,
+            EntryKind::Tlb => 1,
+        }
+    }
+}
+
+impl fmt::Display for EntryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntryKind::Data => f.write_str("data"),
+            EntryKind::Tlb => f.write_str("tlb"),
+        }
+    }
+}
+
+/// One record of a workload's memory trace: a virtual access plus the
+/// number of non-memory instructions executed since the previous record.
+///
+/// The `gap` field lets the core model account for compute instructions
+/// between memory operations without storing them individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// The virtual address touched.
+    pub vaddr: VirtAddr,
+    /// Load or store.
+    pub ty: AccessType,
+    /// Non-memory instructions retired since the previous memory access.
+    pub gap: u32,
+}
+
+impl MemAccess {
+    /// Convenience constructor for a read with a given gap.
+    #[inline]
+    pub const fn read(vaddr: VirtAddr, gap: u32) -> Self {
+        Self {
+            vaddr,
+            ty: AccessType::Read,
+            gap,
+        }
+    }
+
+    /// Convenience constructor for a write with a given gap.
+    #[inline]
+    pub const fn write(vaddr: VirtAddr, gap: u32) -> Self {
+        Self {
+            vaddr,
+            ty: AccessType::Write,
+            gap,
+        }
+    }
+
+    /// Instructions this record represents (the access itself plus the gap).
+    #[inline]
+    pub const fn instructions(self) -> u64 {
+        self.gap as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_kind_other_is_involutive() {
+        assert_eq!(EntryKind::Data.other().other(), EntryKind::Data);
+        assert_eq!(EntryKind::Tlb.other(), EntryKind::Data);
+        assert_ne!(EntryKind::Data.index(), EntryKind::Tlb.index());
+    }
+
+    #[test]
+    fn mem_access_instruction_count() {
+        let a = MemAccess::read(VirtAddr::new(0x1000), 4);
+        assert_eq!(a.instructions(), 5);
+        assert!(!a.ty.is_write());
+        let w = MemAccess::write(VirtAddr::new(0x2000), 0);
+        assert_eq!(w.instructions(), 1);
+        assert!(w.ty.is_write());
+    }
+}

@@ -1,0 +1,204 @@
+//! Small statistics helpers shared by caches, TLBs and walkers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A hit/miss counter pair with derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HitMissStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl HitMissStats {
+    /// A zeroed counter pair.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { hits: 0, misses: 0 }
+    }
+
+    /// Records one hit.
+    #[inline]
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a hit if `hit`, otherwise a miss.
+    #[inline]
+    pub fn record(&mut self, hit: bool) {
+        if hit {
+            self.record_hit();
+        } else {
+            self.record_miss();
+        }
+    }
+
+    /// Total accesses.
+    #[inline]
+    pub const fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; `0` when there were no accesses.
+    #[inline]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; `0` when there were no accesses.
+    #[inline]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given a retired-instruction count.
+    #[inline]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Resets both counters to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl Add for HitMissStats {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+impl AddAssign for HitMissStats {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for HitMissStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.2}% hit)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// The paper reports geomean IPC improvements across workloads; zero or
+/// negative inputs are skipped (they would otherwise poison the product).
+/// Returns `None` when no usable value remains.
+pub fn geomean<I>(values: I) -> Option<f64>
+where
+    I: IntoIterator<Item = f64>,
+{
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_mpki() {
+        let mut s = HitMissStats::new();
+        for _ in 0..3 {
+            s.record_hit();
+        }
+        s.record_miss();
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.mpki(2000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = HitMissStats::new();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn add_combines_counters() {
+        let a = HitMissStats { hits: 1, misses: 2 };
+        let b = HitMissStats { hits: 3, misses: 4 };
+        let c = a + b;
+        assert_eq!(c.hits, 4);
+        assert_eq!(c.misses, 6);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn record_dispatches() {
+        let mut s = HitMissStats::new();
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        s.reset();
+        assert_eq!(s.accesses(), 0);
+    }
+
+    #[test]
+    fn geomean_of_known_values() {
+        let g = geomean([1.0, 4.0]).expect("nonempty");
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_none());
+        assert!(geomean([0.0, -1.0]).is_none());
+        // Zeros are skipped, not flattened to zero.
+        let g2 = geomean([0.0, 2.0]).expect("one positive");
+        assert!((g2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!HitMissStats::new().to_string().is_empty());
+    }
+}

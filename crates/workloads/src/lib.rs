@@ -1,0 +1,43 @@
+//! Synthetic workload generators for the CSALT simulator.
+//!
+//! The paper drives its simulator with Pin traces of PARSEC, graph500,
+//! GUPS, PageRank and GraphChi connected-component runs (§4.1). Those
+//! traces are not redistributable, so this crate generates address
+//! streams with the same *page-locality structure* — the property every
+//! figure in the evaluation actually depends on (see DESIGN.md §1 for
+//! the substitution argument):
+//!
+//! | benchmark | modelled profile |
+//! |---|---|
+//! | `gups` | uniform random RMW over a huge table (TLB worst case) |
+//! | `graph500` | power-law vertex visits + adjacency bursts |
+//! | `pagerank` | sequential edge stream + power-law rank updates |
+//! | `ccomp` | per-iteration active lists → phased TLB pressure |
+//! | `canneal` | paired random element touches, large footprint |
+//! | `streamcluster` | streaming + small hot centre set (TLB-friendly) |
+//!
+//! [`paper_workloads`] reproduces the ten pairings on the evaluation's
+//! x-axes; [`table3_pairs`] is the heterogeneous subset of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use csalt_workloads::BenchKind;
+//!
+//! let mut gups = BenchKind::Gups.build(42, 0.25);
+//! let access = gups.next_access();
+//! assert!(access.instructions() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benches;
+mod gen;
+mod trace_file;
+mod zipf;
+
+pub use benches::{Canneal, ConnectedComponent, Graph500, Gups, PageRank, StreamCluster};
+pub use gen::{paper_workloads, table3_pairs, BenchKind, Region, TraceGenerator, WorkloadSpec};
+pub use trace_file::TraceFile;
+pub use zipf::Zipf;

@@ -1,0 +1,219 @@
+//! Trace recording and replay.
+//!
+//! The paper drives its simulator from Pin traces; this module gives the
+//! reproduction the same capability: any [`TraceGenerator`]'s stream can
+//! be recorded to a compact binary file and replayed later, and traces
+//! converted from real instrumentation tools (Pin, DynamoRIO, QEMU
+//! plugins) can be fed to the simulator by writing this format.
+//!
+//! # Format
+//!
+//! Little-endian binary: a 16-byte header (`magic "CSLT"`, `version:
+//! u32`, `record count: u64`) followed by 13-byte records of
+//! `(vaddr: u64, gap: u32, is_write: u8)`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use csalt_workloads::{BenchKind, TraceFile, TraceGenerator};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let mut gups = BenchKind::Gups.build(1, 0.1);
+//! TraceFile::record("gups.trace", gups.as_mut(), 100_000)?;
+//!
+//! let mut replay = TraceFile::open("gups.trace")?;
+//! let first = replay.next_access();
+//! # let _ = first;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::gen::TraceGenerator;
+use csalt_types::{AccessType, MemAccess, VirtAddr};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CSLT";
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 13;
+
+/// A recorded trace replayed as a [`TraceGenerator`].
+///
+/// Replay loops: when the recorded stream is exhausted it restarts from
+/// the beginning, so a finite file can drive an arbitrarily long
+/// simulation (matching how the paper replays finite Pin traces).
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    records: Vec<(u64, u32, bool)>,
+    pos: usize,
+    footprint: u64,
+}
+
+impl TraceFile {
+    /// Records `count` accesses from `generator` into `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn record<P: AsRef<Path>>(
+        path: P,
+        generator: &mut dyn TraceGenerator,
+        count: u64,
+    ) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&count.to_le_bytes())?;
+        for _ in 0..count {
+            let a = generator.next_access();
+            w.write_all(&a.vaddr.raw().to_le_bytes())?;
+            w.write_all(&a.gap.to_le_bytes())?;
+            w.write_all(&[a.ty.is_write() as u8])?;
+        }
+        w.flush()
+    }
+
+    /// Opens and fully loads a recorded trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the header or record framing is wrong,
+    /// or any underlying I/O error.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 16];
+        r.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let mut records = Vec::with_capacity(count as usize);
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut max_addr = 0u64;
+        for _ in 0..count {
+            r.read_exact(&mut buf)?;
+            let vaddr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+            let gap = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+            let is_write = buf[12] != 0;
+            max_addr = max_addr.max(vaddr);
+            records.push((vaddr, gap, is_write));
+        }
+        if records.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        Ok(Self {
+            records,
+            pos: 0,
+            footprint: max_addr + 1,
+        })
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records are loaded (never true for a valid file).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceGenerator for TraceFile {
+    fn next_access(&mut self) -> MemAccess {
+        let (vaddr, gap, is_write) = self.records[self.pos];
+        self.pos = (self.pos + 1) % self.records.len();
+        MemAccess {
+            vaddr: VirtAddr::new(vaddr),
+            ty: if is_write {
+                AccessType::Write
+            } else {
+                AccessType::Read
+            },
+            gap,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "trace-file"
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::BenchKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("csalt-trace-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn record_then_replay_is_identical() {
+        let path = tmp("roundtrip");
+        let mut gen_a = BenchKind::Gups.build(11, 0.05);
+        TraceFile::record(&path, gen_a.as_mut(), 5_000).expect("record");
+
+        let mut replay = TraceFile::open(&path).expect("open");
+        assert_eq!(replay.len(), 5_000);
+        let mut gen_b = BenchKind::Gups.build(11, 0.05);
+        for _ in 0..5_000 {
+            assert_eq!(replay.next_access(), gen_b.next_access());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let path = tmp("wrap");
+        let mut g = BenchKind::Canneal.build(2, 0.05);
+        TraceFile::record(&path, g.as_mut(), 10).expect("record");
+        let mut replay = TraceFile::open(&path).expect("open");
+        let first: Vec<_> = (0..10).map(|_| replay.next_access()).collect();
+        let second: Vec<_> = (0..10).map(|_| replay.next_access()).collect();
+        assert_eq!(first, second, "replay loops the file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOPE0000000000000000").expect("write");
+        let err = TraceFile::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp("trunc");
+        let mut g = BenchKind::Gups.build(1, 0.05);
+        TraceFile::record(&path, g.as_mut(), 100).expect("record");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+        assert!(TraceFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footprint_reflects_max_address() {
+        let path = tmp("footprint");
+        let mut g = BenchKind::Gups.build(1, 0.05);
+        TraceFile::record(&path, g.as_mut(), 1000).expect("record");
+        let replay = TraceFile::open(&path).expect("open");
+        assert!(replay.footprint_bytes() > 0x1000_0000_0000);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: simulate one context-switched workload under CSALT-CD
+//! and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use csalt::sim::{run, SimConfig};
+use csalt::types::TranslationScheme;
+use csalt::workloads::{BenchKind, WorkloadSpec};
+
+fn main() {
+    // Two VM instances of GUPS context-switching on every core of the
+    // paper's 8-core machine (Table 2 defaults).
+    let workload = WorkloadSpec::homogeneous("gups", BenchKind::Gups);
+    let mut cfg = SimConfig::new(workload, TranslationScheme::CsaltCd);
+
+    // Keep the example snappy: a shorter measured window than the
+    // experiment harness uses (see csalt_sim::experiments for the
+    // full-scale defaults).
+    cfg.accesses_per_core = 60_000;
+    cfg.warmup_accesses_per_core = 60_000;
+    // Scale the 10 ms context-switch quantum with the run length so
+    // switches actually happen inside the simulated window.
+    cfg.system.cs_interval_cycles = 400_000;
+
+    let result = run(&cfg);
+    let snap = &result.snapshot;
+
+    println!("workload          : {}", result.workload);
+    println!("scheme            : {}", result.scheme);
+    println!("instructions      : {}", result.instructions);
+    println!("geomean IPC       : {:.4}", result.ipc());
+    println!("L2 TLB MPKI       : {:.1}", result.l2_tlb_mpki());
+    println!(
+        "page walks        : {} ({:.1}% of L2 TLB misses eliminated)",
+        snap.page_walks,
+        snap.walk_elimination() * 100.0
+    );
+    println!(
+        "L3 translation hit: {:.1}% of {} cached-TLB probes",
+        snap.l3.tlb.hit_rate() * 100.0,
+        snap.l3.tlb.accesses()
+    );
+    println!(
+        "context switches  : {} across {} cores",
+        result.context_switches,
+        result.core_ipc.len()
+    );
+    if let (Some(l2), Some(l3)) = result.final_partitions {
+        println!("final partitions  : L2 {l2} data ways, L3 {l3} data ways");
+    }
+}

@@ -1,0 +1,70 @@
+//! Scheme face-off: run one workload under every translation scheme the
+//! paper evaluates and print a Figure 7-style comparison.
+//!
+//! ```sh
+//! cargo run --release --example scheme_faceoff -- ccomp
+//! ```
+//!
+//! The optional argument is any Figure 7 workload label (`canneal`,
+//! `can_ccomp`, `can_stream`, `ccomp`, `graph500`, `graph500_gups`,
+//! `gups`, `pagerank`, `page_stream`, `streamcluster`).
+
+use csalt::sim::{run, SimConfig};
+use csalt::types::TranslationScheme;
+use csalt::workloads::paper_workloads;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ccomp".into());
+    let workload = paper_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload '{name}'; pick a Figure 7 label");
+            std::process::exit(1);
+        });
+
+    let schemes = [
+        TranslationScheme::Conventional,
+        TranslationScheme::PomTlb,
+        TranslationScheme::CsaltD,
+        TranslationScheme::CsaltCd,
+        TranslationScheme::Dip,
+        TranslationScheme::Drrip,
+        TranslationScheme::Tsb,
+        TranslationScheme::TsbCsalt,
+        TranslationScheme::StaticPartition { data_ways: 8 },
+    ];
+
+    println!("workload: {name}\n");
+    println!(
+        "{:<16}{:>10}{:>12}{:>12}{:>12}",
+        "scheme", "ipc", "vs pom-tlb", "walks", "tlb-probe$%"
+    );
+
+    let mut pom_ipc = None;
+    for scheme in schemes {
+        let mut cfg = SimConfig::new(workload, scheme);
+        cfg.accesses_per_core = 60_000;
+        cfg.warmup_accesses_per_core = 60_000;
+        cfg.system.cs_interval_cycles = 400_000; // quantum scaled with run
+        let r = run(&cfg);
+        let ipc = r.ipc();
+        if scheme == TranslationScheme::PomTlb {
+            pom_ipc = Some(ipc);
+        }
+        let rel = pom_ipc.map(|p| ipc / p);
+        println!(
+            "{:<16}{:>10.4}{:>12}{:>12}{:>12.1}",
+            scheme.label(),
+            ipc,
+            rel.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into()),
+            r.snapshot.page_walks,
+            r.snapshot.l3.tlb.hit_rate() * 100.0,
+        );
+    }
+    println!();
+    println!(
+        "(vs pom-tlb is computed against the POM-TLB row; conventional is \
+         printed first, before the baseline, so its cell shows '-')"
+    );
+}

@@ -1,0 +1,136 @@
+//! Cross-component validation: independent implementations of the same
+//! behaviour must agree. These tests catch modelling drift that unit
+//! tests of either side alone would miss.
+
+use csalt::cache::Cache;
+use csalt::profiler::StackDistanceProfiler;
+use csalt::types::{EntryKind, LineAddr, ReplacementKind};
+use proptest::prelude::*;
+
+/// The MSA shadow directory *is* a full-LRU cache: its hit prediction at
+/// the full associativity must exactly equal a real True-LRU cache's
+/// hit count on the same trace.
+#[test]
+fn msa_prediction_matches_real_lru_cache() {
+    const SETS: u64 = 32;
+    const WAYS: u32 = 4;
+    let mut cache = Cache::new(SETS, WAYS, ReplacementKind::TrueLru);
+    let mut prof = StackDistanceProfiler::new(SETS, WAYS, 1);
+
+    let mut x = 42u64;
+    let mut hits = 0u64;
+    for _ in 0..200_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let line = (x >> 33) % 4096;
+        let addr = LineAddr::from_line_number(line);
+        if cache.access(addr, EntryKind::Data, false).hit {
+            hits += 1;
+        }
+        let set = line % SETS;
+        let tag = line / SETS;
+        prof.record(set, tag, EntryKind::Data);
+    }
+    let predicted = prof.counts(EntryKind::Data).hits_with_ways(WAYS);
+    assert_eq!(
+        predicted, hits,
+        "shadow-directory prediction must equal the real cache"
+    );
+}
+
+/// Reducing associativity in the prediction must match a real cache
+/// that actually has fewer ways.
+#[test]
+fn msa_prediction_matches_smaller_real_cache() {
+    const SETS: u64 = 16;
+    let mut small = Cache::new(SETS, 2, ReplacementKind::TrueLru);
+    let mut prof = StackDistanceProfiler::new(SETS, 8, 1);
+
+    let mut x = 7u64;
+    let mut hits = 0u64;
+    for _ in 0..100_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let line = (x >> 33) % 512;
+        if small
+            .access(LineAddr::from_line_number(line), EntryKind::Data, false)
+            .hit
+        {
+            hits += 1;
+        }
+        prof.record(line % SETS, line / SETS, EntryKind::Data);
+    }
+    // The 8-deep shadow stack predicts the 2-way cache by summing the
+    // first two stack positions (§3.1's associativity-reduction use).
+    let predicted = prof.counts(EntryKind::Data).hits_with_ways(2);
+    assert_eq!(predicted, hits);
+}
+
+proptest! {
+    /// The equivalence holds for arbitrary traces and geometries.
+    #[test]
+    fn msa_equivalence_holds_for_random_traces(
+        trace in prop::collection::vec(0u64..600, 50..800),
+        ways in 1u32..6,
+    ) {
+        const SETS: u64 = 8;
+        let mut cache = Cache::new(SETS, ways, ReplacementKind::TrueLru);
+        let mut prof = StackDistanceProfiler::new(SETS, ways, 1);
+        let mut hits = 0u64;
+        for &line in &trace {
+            if cache.access(LineAddr::from_line_number(line), EntryKind::Data, false).hit {
+                hits += 1;
+            }
+            prof.record(line % SETS, line / SETS, EntryKind::Data);
+        }
+        prop_assert_eq!(prof.counts(EntryKind::Data).hits_with_ways(ways), hits);
+    }
+
+    /// A partitioned cache serving a single kind behaves exactly like an
+    /// unpartitioned cache with that partition's associativity.
+    #[test]
+    fn partitioned_cache_equals_smaller_cache_for_one_kind(
+        trace in prop::collection::vec(0u64..400, 50..600),
+        data_ways in 1u32..4,
+    ) {
+        const SETS: u64 = 8;
+        let mut partitioned = Cache::new(SETS, 4, ReplacementKind::TrueLru);
+        partitioned.set_partition(data_ways);
+        let mut reference = Cache::new(SETS, data_ways, ReplacementKind::TrueLru);
+        for &line in &trace {
+            let addr = LineAddr::from_line_number(line);
+            let a = partitioned.access(addr, EntryKind::Data, false).hit;
+            let b = reference.access(addr, EntryKind::Data, false).hit;
+            prop_assert_eq!(a, b, "partition must confine data to its ways");
+        }
+    }
+}
+
+/// NRU and BT-PLRU must approximate LRU: on a looping trace that fits
+/// the cache, all policies converge to 100% hits.
+#[test]
+fn pseudo_lru_policies_retain_fitting_working_sets() {
+    for kind in [
+        ReplacementKind::TrueLru,
+        ReplacementKind::Nru,
+        ReplacementKind::BtPlru,
+    ] {
+        // BT-PLRU requires power-of-two associativity: 8 ways is fine.
+        let mut cache = Cache::new(16, 8, kind);
+        let lines: Vec<u64> = (0..96).collect(); // 6 ways' worth per set
+        // Warm.
+        for &l in &lines {
+            cache.access(LineAddr::from_line_number(l), EntryKind::Data, false);
+        }
+        let mut misses = 0;
+        for _ in 0..10 {
+            for &l in &lines {
+                if !cache
+                    .access(LineAddr::from_line_number(l), EntryKind::Data, false)
+                    .hit
+                {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 0, "{kind:?} evicted a fitting working set");
+    }
+}

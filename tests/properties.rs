@@ -1,0 +1,212 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! simulator's correctness rests on.
+
+use csalt::cache::{way_range_mask, Cache, SetReplacement};
+use csalt::profiler::{choose_partition, StackDistanceProfiler, Weights};
+use csalt::ptw::{FrameAllocator, HugePagePolicy, NativeWalker, RadixPageTable};
+use csalt::tlb::{PomTlb, SramTlb};
+use csalt::types::{
+    Asid, EntryKind, LineAddr, PageSize, PhysFrame, PomTlbConfig, ReplacementKind, SystemConfig,
+    TlbGeometry, VirtAddr, VirtPage,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// A cache never holds the same tag twice in one set, and a probe
+    /// after an access always hits.
+    #[test]
+    fn cache_no_duplicate_lines(accesses in prop::collection::vec((0u64..4096, any::<bool>()), 1..400)) {
+        let mut cache = Cache::new(64, 4, ReplacementKind::TrueLru);
+        let mut last = None;
+        for (line, write) in accesses {
+            let addr = LineAddr::from_line_number(line);
+            cache.access(addr, EntryKind::Data, write);
+            last = Some(addr);
+        }
+        prop_assert!(cache.probe(last.expect("nonempty")));
+        // Re-access everything: a hit implies single residency; the
+        // stats stay consistent.
+        let s = *cache.stats();
+        prop_assert_eq!(s.total().accesses(), s.data.accesses() + s.tlb.accesses());
+    }
+
+    /// Partitioned fills never evict the other kind's lines.
+    #[test]
+    fn partition_never_crosses_kinds(
+        data_ways in 1u32..4,
+        ops in prop::collection::vec((0u64..2048, any::<bool>()), 1..500),
+    ) {
+        let mut cache = Cache::new(16, 4, ReplacementKind::TrueLru);
+        cache.set_partition(data_ways);
+        for (line, is_tlb) in ops {
+            let kind = if is_tlb { EntryKind::Tlb } else { EntryKind::Data };
+            let out = cache.access(LineAddr::from_line_number(line), kind, false);
+            if let Some(ev) = out.evicted {
+                prop_assert_eq!(ev.kind, kind, "eviction crossed the partition");
+            }
+        }
+    }
+
+    /// Replacement victim always comes from the allowed mask, for every
+    /// policy.
+    #[test]
+    fn victims_respect_masks(
+        touches in prop::collection::vec(0u32..8, 0..50),
+        lo in 0u32..7,
+        len in 1u32..8,
+    ) {
+        let hi = (lo + len).min(8);
+        for kind in [ReplacementKind::TrueLru, ReplacementKind::Nru, ReplacementKind::BtPlru] {
+            let mut r = SetReplacement::new(kind, 8);
+            for &t in &touches {
+                r.touch(t);
+            }
+            let mask = way_range_mask(lo, hi);
+            let v = r.victim(mask);
+            prop_assert!(mask & (1u64 << v) != 0, "{kind:?}: victim {v} outside {lo}..{hi}");
+        }
+    }
+
+    /// MSA profiler counters always sum to the number of recorded
+    /// accesses, and predicted hits grow monotonically with ways.
+    #[test]
+    fn msa_counters_are_conservative(
+        ops in prop::collection::vec((0u64..32, 0u64..64, any::<bool>()), 1..500),
+    ) {
+        let mut p = StackDistanceProfiler::new(32, 8, 1);
+        for &(set, tag, is_tlb) in &ops {
+            let kind = if is_tlb { EntryKind::Tlb } else { EntryKind::Data };
+            p.record(set, tag, kind);
+        }
+        prop_assert_eq!(p.accesses(), ops.len() as u64);
+        for kind in [EntryKind::Data, EntryKind::Tlb] {
+            let c = p.counts(kind);
+            let mut prev = 0;
+            for n in 0..=8 {
+                let h = c.hits_with_ways(n);
+                prop_assert!(h >= prev, "prediction must be monotone");
+                prev = h;
+            }
+            prop_assert!(c.hits_with_ways(8) + c.misses() == c.accesses());
+        }
+    }
+
+    /// The chosen partition always maximizes weighted marginal utility
+    /// over the feasible range.
+    #[test]
+    fn partition_choice_is_argmax(
+        data in prop::collection::vec(0u64..1000, 9..=9),
+        tlb in prop::collection::vec(0u64..1000, 9..=9),
+        s_dat in 1.0f64..8.0,
+        s_tr in 1.0f64..8.0,
+    ) {
+        use csalt::profiler::{weighted_marginal_utility, LruStackCounts};
+        let d = LruStackCounts::new(data);
+        let t = LruStackCounts::new(tlb);
+        let w = Weights::new(s_dat, s_tr);
+        let dec = choose_partition(&d, &t, 1, w);
+        for n in 1..=7 {
+            let mu = weighted_marginal_utility(&d, &t, n, w);
+            prop_assert!(dec.utility >= mu, "n={n} beats the chosen split");
+        }
+    }
+
+    /// Page-table translations round-trip: the same VA always yields the
+    /// same frame, distinct pages yield distinct frames, and offsets are
+    /// preserved.
+    #[test]
+    fn page_table_translations_are_stable(vas in prop::collection::vec(0u64..(1u64 << 40), 1..60)) {
+        let mut alloc = FrameAllocator::new(0, 4 << 30);
+        let mut pt = RadixPageTable::new(&mut alloc, HugePagePolicy::NONE);
+        let mut by_page: HashMap<u64, u64> = HashMap::new();
+        for raw in vas {
+            let va = VirtAddr::new(raw);
+            let w1 = pt.walk_or_map(va, &mut alloc);
+            let w2 = pt.walk_or_map(va, &mut alloc);
+            prop_assert_eq!(w1.frame, w2.frame);
+            let pa = w1.frame.translate(va);
+            prop_assert_eq!(pa.page_offset(PageSize::Size4K), va.page_offset(PageSize::Size4K));
+            let vpn = raw >> 12;
+            let pfn = w1.frame.pfn();
+            if let Some(prev) = by_page.insert(vpn, pfn) {
+                prop_assert_eq!(prev, pfn, "remap changed the frame");
+            }
+        }
+        // Distinct pages map to distinct frames.
+        let frames: HashSet<u64> = by_page.values().copied().collect();
+        prop_assert_eq!(frames.len(), by_page.len());
+    }
+
+    /// Native page walks read at most 4 PTEs and at least 1.
+    #[test]
+    fn native_walk_access_counts(vas in prop::collection::vec(0u64..(1u64 << 39), 1..50)) {
+        let mut alloc = FrameAllocator::new(0, 4 << 30);
+        let mut w = NativeWalker::new(
+            Asid::new(0),
+            &mut alloc,
+            HugePagePolicy::NONE,
+            SystemConfig::skylake().psc,
+        );
+        for raw in vas {
+            let out = w.walk(VirtAddr::new(raw), &mut alloc);
+            prop_assert!((1..=4).contains(&out.accesses.len()));
+        }
+    }
+
+    /// The POM-TLB always reports lines inside its aperture and recalls
+    /// exactly what was inserted while capacity allows.
+    #[test]
+    fn pom_tlb_recalls_inserts(vpns in prop::collection::vec(0u64..100_000, 1..100)) {
+        let cfg = PomTlbConfig {
+            size_bytes: 4 << 20,
+            ways: 4,
+            entry_bytes: 16,
+            base: 0x7e00_0000_0000,
+        };
+        let mut pom = PomTlb::new(cfg);
+        let asid = Asid::new(3);
+        let mut expected = HashMap::new();
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let page = VirtPage::from_vpn(vpn, PageSize::Size4K);
+            let frame = PhysFrame::from_pfn(i as u64 + 1, PageSize::Size4K);
+            pom.insert(page, asid, frame);
+            expected.insert(vpn, frame);
+        }
+        // With far fewer inserts than capacity (256K entries), every
+        // translation must still be present.
+        for (&vpn, &frame) in &expected {
+            let page = VirtPage::from_vpn(vpn, PageSize::Size4K);
+            let r = pom.lookup(page, asid);
+            prop_assert_eq!(r.frame, Some(frame));
+            prop_assert!(pom.owns(r.line.base()));
+        }
+    }
+
+    /// SRAM TLB inserts are always immediately visible and ASID-scoped.
+    #[test]
+    fn sram_tlb_inserts_visible(vpns in prop::collection::vec(0u64..10_000, 1..60)) {
+        let mut tlb = SramTlb::new(TlbGeometry { entries: 1536, ways: 12, latency: 17 });
+        for &vpn in &vpns {
+            let page = VirtPage::from_vpn(vpn, PageSize::Size4K);
+            let frame = PhysFrame::from_pfn(vpn + 7, PageSize::Size4K);
+            tlb.insert(page, Asid::new(1), frame);
+            prop_assert_eq!(tlb.lookup(page, Asid::new(1)), Some(frame));
+            prop_assert!(tlb.lookup(page, Asid::new(2)).is_none());
+        }
+    }
+
+    /// Workload generators are deterministic and keep addresses inside
+    /// their declared footprint's VA span.
+    #[test]
+    fn generators_deterministic_any_seed(seed in any::<u64>()) {
+        use csalt::workloads::BenchKind;
+        for kind in BenchKind::ALL {
+            let mut a = kind.build(seed, 0.1);
+            let mut b = kind.build(seed, 0.1);
+            for _ in 0..50 {
+                prop_assert_eq!(a.next_access(), b.next_access());
+            }
+        }
+    }
+}

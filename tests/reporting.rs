@@ -1,0 +1,54 @@
+//! Tests for the experiment reporting surface: table construction,
+//! geometric means, and both render formats.
+
+use csalt::sim::experiments::{Row, Table};
+
+fn sample() -> Table {
+    Table {
+        id: "Figure X: sample".into(),
+        columns: vec!["a".into(), "b".into()],
+        rows: vec![
+            Row {
+                label: "w1".into(),
+                values: vec![0.5, 2.0],
+            },
+            Row {
+                label: "w2".into(),
+                values: vec![2.0, 8.0],
+            },
+        ],
+        geomean: vec![1.0, 4.0],
+    }
+}
+
+#[test]
+fn plain_render_contains_all_cells() {
+    let s = sample().render();
+    for needle in ["Figure X", "w1", "w2", "0.500", "8.000", "geomean", "1.000", "4.000"] {
+        assert!(s.contains(needle), "missing {needle} in:\n{s}");
+    }
+}
+
+#[test]
+fn markdown_render_is_a_valid_table() {
+    let md = sample().render_markdown();
+    let lines: Vec<&str> = md.lines().collect();
+    assert!(lines[0].starts_with("| workload |"));
+    assert!(lines[1].starts_with("|---|"));
+    // Header, separator, 2 rows, geomean.
+    assert_eq!(lines.len(), 5);
+    // Every row has the same number of pipes.
+    let pipes = |l: &str| l.matches('|').count();
+    assert!(lines.iter().all(|l| pipes(l) == pipes(lines[0])));
+    assert!(md.contains("**geomean**"));
+}
+
+#[test]
+fn tables_serialize_round_trip() {
+    let t = sample();
+    let json = serde_json::to_string(&t).expect("serialize");
+    let back: Table = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.id, t.id);
+    assert_eq!(back.rows.len(), 2);
+    assert_eq!(back.geomean, t.geomean);
+}
