@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full local CI: everything a change must pass before it merges.
+#
+#   ./ci.sh            # run every gate
+#   ./ci.sh --quick    # skip the release build (fast iteration)
+#
+# Gates:
+#   1. release build of the whole workspace
+#   2. the full test suite (debug: keeps debug_assert! hooks live)
+#   3. the test suite again with csalt-sim's `audit` feature, which
+#      checks the CSALT-A1xx conservation laws at every epoch boundary
+#   4. clippy with the workspace lint table, warnings denied
+#   5. rustfmt check
+#   6. the csalt-audit static sweep over every preset x scheme
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if [[ $quick -eq 0 ]]; then
+    step "cargo build --workspace --release"
+    cargo build --workspace --release
+fi
+
+step "cargo test --workspace"
+cargo test --workspace -q
+
+step "cargo test -p csalt-sim --features audit (conservation laws live)"
+cargo test -p csalt-sim --features audit -q
+
+step "cargo clippy --workspace --all-targets --all-features -- -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo run -p csalt-audit -- --all-presets"
+cargo run -q -p csalt-audit -- --all-presets
+
+printf '\nci.sh: all gates passed\n'

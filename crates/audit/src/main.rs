@@ -1,0 +1,128 @@
+//! `csalt-audit` CLI: sweep every built-in preset × translation scheme
+//! through the static rule registry and report CSALT-Axxx diagnostics.
+//!
+//! Exit status is 0 when no error-severity diagnostic was found, 1 when
+//! at least one was, and 2 on usage errors.
+
+use csalt_audit::{audit_config, conservation_rules, static_rules, AuditReport};
+use csalt_types::{SystemConfig, TranslationScheme};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    list_rules: bool,
+    broken: bool,
+}
+
+const USAGE: &str =
+    "usage: csalt-audit [--all-presets] [--format text|json] [--list-rules] [--broken]
+
+  --all-presets   sweep every built-in preset x scheme (the default action)
+  --format FMT    output format: text (default) or json
+  --list-rules    print the CSALT-Axxx rule registry and exit
+  --broken        audit a deliberately inconsistent config (demonstrates
+                  a failing run; exits non-zero)";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        list_rules: false,
+        broken: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all-presets" => {} // the default action; accepted for scripts
+            "--format" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--format requires a value".to_string())?;
+                opts.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--broken" => opts.broken = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// A config with several seeded inconsistencies, used to demonstrate the
+/// failure path end to end (`--broken`).
+fn broken_config() -> (SystemConfig, TranslationScheme) {
+    let mut cfg = SystemConfig::skylake();
+    cfg.l3.ways = 3; // A002: capacity no longer divides into ways x lines
+    cfg.epoch_accesses = 0; // A010: repartitioning can never trigger
+    cfg.l2_tlb.latency = 0; // A005/A013 territory
+    (cfg, TranslationScheme::StaticPartition { data_ways: 16 }) // A014
+}
+
+fn print_report(report: &AuditReport, format: Format) {
+    match format {
+        Format::Json => match serde_json::to_string_pretty(report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => eprintln!("csalt-audit: failed to serialize report: {e}"),
+        },
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!(
+                "audited {} preset x scheme combinations: {} error(s), {} warning(s)",
+                report.combinations, report.errors, report.warnings
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("csalt-audit: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        println!("static rules (checked per preset x scheme):");
+        for r in static_rules() {
+            println!("  {}  {:<20} {}", r.code, r.name, r.summary);
+        }
+        println!("conservation laws (checked on runtime counters):");
+        for r in conservation_rules() {
+            println!("  {}  {:<20} {}", r.code, r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if opts.broken {
+        let (cfg, scheme) = broken_config();
+        AuditReport::new(1, audit_config("broken-demo", &cfg, &scheme))
+    } else {
+        csalt_audit::audit_all_presets()
+    };
+
+    print_report(&report, opts.format);
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

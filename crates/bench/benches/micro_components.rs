@@ -22,8 +22,8 @@ fn bench_cache_access(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(0x9e37_79b9);
             let line = LineAddr::from_line_number(i % 300_000);
-            black_box(cache.access(line, EntryKind::Data, i % 7 == 0))
-        })
+            black_box(cache.access(line, EntryKind::Data, i.is_multiple_of(7)))
+        });
     });
 }
 
@@ -35,9 +35,13 @@ fn bench_partitioned_cache_access(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(0x9e37_79b9);
             let line = LineAddr::from_line_number(i % 300_000);
-            let kind = if i % 3 == 0 { EntryKind::Tlb } else { EntryKind::Data };
+            let kind = if i.is_multiple_of(3) {
+                EntryKind::Tlb
+            } else {
+                EntryKind::Data
+            };
             black_box(cache.access(line, kind, false))
-        })
+        });
     });
 }
 
@@ -48,7 +52,7 @@ fn bench_profiler_record(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(0x9e37_79b9);
             black_box(prof.record(i % 8192, i % 64, EntryKind::Data))
-        })
+        });
     });
 }
 
@@ -67,7 +71,7 @@ fn bench_l2_tlb_lookup(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(tlb.lookup(VirtPage::from_vpn(i % 2048, PageSize::Size4K), asid))
-        })
+        });
     });
 }
 
@@ -86,7 +90,7 @@ fn bench_nested_walk(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(0x1000);
             black_box(walker.walk(&mut space, VirtAddr::new(i % (1 << 30)), &mut host))
-        })
+        });
     });
 }
 
@@ -97,7 +101,7 @@ fn bench_dram_access(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(0x9e37_79b9);
             black_box(dram.access(PhysAddr::new(i % (1 << 30)), false))
-        })
+        });
     });
 }
 

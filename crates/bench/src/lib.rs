@@ -5,6 +5,9 @@
 //! `csalt_sim::experiments`, prints the paper-style rows to stdout, and
 //! appends the machine-readable result to `target/csalt-results/`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use csalt_sim::experiments::Table;
 use std::io::Write;
 use std::path::PathBuf;
@@ -51,7 +54,11 @@ fn persist(table: &Table) -> std::io::Result<()> {
         .collect();
     let path = dir.join(format!("{slug}.json"));
     let mut f = std::fs::File::create(&path)?;
-    f.write_all(serde_json::to_string_pretty(table).expect("table serializes").as_bytes())?;
+    f.write_all(
+        serde_json::to_string_pretty(table)
+            .expect("table serializes")
+            .as_bytes(),
+    )?;
     println!("(results written to {})", path.display());
     Ok(())
 }
@@ -63,8 +70,7 @@ pub fn results_dir() -> PathBuf {
     if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
         return PathBuf::from(dir).join("csalt-results");
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/csalt-results")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/csalt-results")
 }
 
 #[cfg(test)]

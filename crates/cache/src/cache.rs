@@ -155,7 +155,7 @@ impl Cache {
         Self {
             sets,
             ways,
-            lines: vec![Line::INVALID; (sets * ways as u64) as usize],
+            lines: vec![Line::INVALID; (sets * u64::from(ways)) as usize],
             repl: (0..sets)
                 .map(|_| SetReplacement::new(policy, ways))
                 .collect(),
@@ -168,10 +168,25 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry does not validate.
+    /// Panics if the geometry does not validate; see
+    /// [`Cache::try_from_geometry`] for the fallible form.
     pub fn from_geometry(geom: &csalt_types::CacheGeometry, policy: ReplacementKind) -> Self {
-        geom.validate("cache").expect("geometry must be valid");
-        Self::new(geom.sets(), geom.ways, policy)
+        Self::try_from_geometry(geom, policy).expect("cache geometry must be valid")
+    }
+
+    /// Fallible form of [`Cache::from_geometry`]: returns the first
+    /// CSALT-Axxx geometry violation instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`csalt_types::ConfigError`] when the geometry fails a
+    /// static invariant (zero dimensions, non-dividing capacity, …).
+    pub fn try_from_geometry(
+        geom: &csalt_types::CacheGeometry,
+        policy: ReplacementKind,
+    ) -> Result<Self, csalt_types::ConfigError> {
+        geom.validate("cache")?;
+        Ok(Self::new(geom.sets(), geom.ways, policy))
     }
 
     /// Number of sets.
@@ -232,7 +247,7 @@ impl Cache {
 
     #[inline]
     fn slot(&self, set: u64, way: u32) -> usize {
-        (set * self.ways as u64 + way as u64) as usize
+        (set * u64::from(self.ways) + u64::from(way)) as usize
     }
 
     /// Reconstructs a line address from set + stored tag.
@@ -289,7 +304,10 @@ impl Cache {
                 self.lines[slot].dirty |= write;
                 self.repl[set as usize].touch(way);
                 self.kind_stats_mut(kind).record_hit();
-                return AccessOutcome { hit: true, evicted: None };
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                };
             }
         }
         self.kind_stats_mut(kind).record_miss();
@@ -334,7 +352,10 @@ impl Cache {
         // storage).
         self.repl[set as usize].on_fill(way, insert == InsertPos::Lru);
 
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Invalidates a line if present, returning it (for writeback by the
@@ -361,7 +382,7 @@ impl Cache {
     /// the paper's simulator does exactly this scan periodically).
     pub fn occupancy(&self) -> Occupancy {
         let mut occ = Occupancy {
-            capacity_lines: self.sets * self.ways as u64,
+            capacity_lines: self.sets * u64::from(self.ways),
             ..Occupancy::default()
         };
         for l in &self.lines {
@@ -454,7 +475,7 @@ mod tests {
     fn partition_confines_victims() {
         let mut c = small_cache();
         c.set_partition(2); // ways 0-1 data, 2-3 TLB
-        // Fill 2 data lines and 2 TLB lines (same set).
+                            // Fill 2 data lines and 2 TLB lines (same set).
         c.access(line(0), EntryKind::Data, false);
         c.access(line(4), EntryKind::Data, false);
         c.access(line(8), EntryKind::Tlb, false);

@@ -62,7 +62,7 @@ impl DipController {
     /// Classifies a set as LRU leader, BIP leader or follower.
     pub fn role(&self, set: u64) -> DuelRole {
         debug_assert!(set < self.sets);
-        if set % self.leader_stride == 0 {
+        if set.is_multiple_of(self.leader_stride) {
             DuelRole::LeaderLru
         } else if set % self.leader_stride == 1 {
             DuelRole::LeaderBip

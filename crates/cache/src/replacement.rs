@@ -132,7 +132,7 @@ impl SetReplacement {
             SetReplacement::TrueLru { order } => {
                 let pos = order
                     .iter()
-                    .position(|&w| w as u32 == way)
+                    .position(|&w| u32::from(w) == way)
                     .expect("every way present in recency order");
                 let w = order.remove(pos);
                 order.insert(0, w);
@@ -206,7 +206,7 @@ impl SetReplacement {
             SetReplacement::TrueLru { order } => order
                 .iter()
                 .rev()
-                .map(|&w| w as u32)
+                .map(|&w| u32::from(w))
                 .find(|&w| mask & (1u64 << w) != 0)
                 .expect("mask verified nonempty"),
             SetReplacement::Nru { bits, .. } => {
@@ -250,9 +250,9 @@ impl SetReplacement {
                     {
                         return w;
                     }
-                    for w in 0..rrpv.len() {
+                    for (w, v) in rrpv.iter_mut().enumerate() {
                         if mask & (1u64 << w) != 0 {
-                            rrpv[w] += 1;
+                            *v += 1;
                         }
                     }
                 }
@@ -271,8 +271,9 @@ impl SetReplacement {
         match self {
             SetReplacement::TrueLru { order } => order
                 .iter()
-                .position(|&w| w as u32 == way)
-                .expect("every way present") as u32,
+                .position(|&w| u32::from(w) == way)
+                .expect("every way present")
+                as u32,
             SetReplacement::Nru { bits, ways } => {
                 // Recently-used ways are estimated to occupy the upper
                 // (MRU) half of the stack, others the lower half; within a
@@ -311,8 +312,10 @@ impl SetReplacement {
                 // Estimate: quarter of the stack per RRPV step, ranked
                 // by way index within a step for determinism.
                 let k = rrpv.len() as u32;
-                let v = rrpv[way as usize] as u32;
-                let rank = (0..way).filter(|&w| rrpv[w as usize] as u32 == v).count() as u32;
+                let v = u32::from(rrpv[way as usize]);
+                let rank = (0..way)
+                    .filter(|&w| u32::from(rrpv[w as usize]) == v)
+                    .count() as u32;
                 (v * k / 4 + rank).min(k - 1)
             }
         }

@@ -151,7 +151,8 @@ impl MemoryHierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` does not validate.
+    /// Panics if `cfg` does not validate; see
+    /// [`MemoryHierarchy::try_new`] for the fallible form.
     pub fn new(
         cfg: &SystemConfig,
         scheme: TranslationScheme,
@@ -159,7 +160,25 @@ impl MemoryHierarchy {
         huge: HugePagePolicy,
         profiler_interval: u64,
     ) -> Self {
-        cfg.validate().expect("system config must be valid");
+        Self::try_new(cfg, scheme, virtualized, huge, profiler_interval)
+            .expect("system config must be valid")
+    }
+
+    /// Fallible form of [`MemoryHierarchy::new`]: returns the first
+    /// CSALT-Axxx configuration violation instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`csalt_types::ConfigError`] when `cfg` fails a static
+    /// invariant (`SystemConfig::validate`).
+    pub fn try_new(
+        cfg: &SystemConfig,
+        scheme: TranslationScheme,
+        virtualized: bool,
+        huge: HugePagePolicy,
+        profiler_interval: u64,
+    ) -> Result<Self, csalt_types::ConfigError> {
+        cfg.validate()?;
         let management = match scheme {
             TranslationScheme::CsaltD
             | TranslationScheme::CsaltCd
@@ -210,7 +229,7 @@ impl MemoryHierarchy {
             stacked.best_case_latency(),
         );
 
-        Self {
+        Ok(Self {
             l1d: (0..cores)
                 .map(|_| Cache::from_geometry(&cfg.l1d, cfg.replacement))
                 .collect(),
@@ -226,14 +245,9 @@ impl MemoryHierarchy {
             l1_tlb_4k: (0..cores).map(|_| SramTlb::new(cfg.l1_tlb_4k)).collect(),
             l1_tlb_2m: (0..cores).map(|_| SramTlb::new(cfg.l1_tlb_2m)).collect(),
             l2_tlb: (0..cores).map(|_| SramTlb::new(cfg.l2_tlb)).collect(),
-            pom: scheme
-                .uses_pom_tlb()
-                .then(|| PomTlb::new(cfg.pom_tlb)),
-            tsb: matches!(
-                scheme,
-                TranslationScheme::Tsb | TranslationScheme::TsbCsalt
-            )
-            .then(|| Tsb::new(TSB_ENTRIES_PER_CTX, TSB_BASE, virtualized)),
+            pom: scheme.uses_pom_tlb().then(|| PomTlb::new(cfg.pom_tlb)),
+            tsb: matches!(scheme, TranslationScheme::Tsb | TranslationScheme::TsbCsalt)
+                .then(|| Tsb::new(TSB_ENTRIES_PER_CTX, TSB_BASE, virtualized)),
             nested: NestedWalker::with_levels(cfg.psc, cfg.pt_levels),
             contexts: Vec::new(),
             // Program + page-table memory: everything below the TSB and
@@ -254,7 +268,7 @@ impl MemoryHierarchy {
             scheme,
             huge,
             virtualized,
-        }
+        })
     }
 
     /// Registers a new schedulable context (one VM workload instance),
@@ -303,6 +317,19 @@ impl MemoryHierarchy {
         let data_cycles = self.data_access(core.index(), pa.line(), acc.ty.is_write());
         self.translation_cycles += translation_cycles;
         self.data_cycles += data_cycles;
+        // Conservation laws the counters must satisfy after every access
+        // (debug builds only; CSALT-A102/A103 check the same at run end).
+        debug_assert!(
+            self.page_walk_cycles <= self.translation_cycles,
+            "walk cycles {} exceed translation cycles {}",
+            self.page_walk_cycles,
+            self.translation_cycles
+        );
+        debug_assert!(
+            self.page_walks <= self.l2_tlb.iter().map(|t| t.stats().misses).sum::<u64>(),
+            "page walks {} exceed cumulative L2 TLB misses",
+            self.page_walks
+        );
         AccessCharge {
             translation_cycles,
             data_cycles,
@@ -566,10 +593,7 @@ impl MemoryHierarchy {
     /// Routes a memory access to DDR or the die-stacked device by
     /// aperture and feeds the criticality estimators.
     fn mem_access(&mut self, pa: PhysAddr, write: bool) -> Cycle {
-        let in_pom = self
-            .pom
-            .as_ref()
-            .is_some_and(|p| p.owns(pa));
+        let in_pom = self.pom.as_ref().is_some_and(|p| p.owns(pa));
         let lat = if in_pom {
             let l = self.stacked.access(pa, write);
             self.crit_l2.record_pom_tlb(l);
@@ -583,7 +607,7 @@ impl MemoryHierarchy {
         };
         // Periodic decay keeps the criticality estimates phase-local.
         self.crit_samples += 1;
-        if self.crit_samples % 8192 == 0 {
+        if self.crit_samples.is_multiple_of(8192) {
             self.crit_l2.decay();
             self.crit_l3.decay();
         }
@@ -655,7 +679,9 @@ impl MemoryHierarchy {
     /// Current (first core's L2, L3) data-way partitions, if any.
     pub fn current_partitions(&self) -> (Option<u32>, Option<u32>) {
         (
-            self.l2.first().and_then(|c| c.data_ways()),
+            self.l2
+                .first()
+                .and_then(super::managed::ManagedCache::data_ways),
             self.l3.data_ways(),
         )
     }
@@ -663,7 +689,10 @@ impl MemoryHierarchy {
     /// Partition samples of (first core's L2, L3).
     pub fn partition_traces(&self) -> (&[PartitionSample], &[PartitionSample]) {
         (
-            self.l2.first().map(|c| c.partition_trace()).unwrap_or(&[]),
+            self.l2
+                .first()
+                .map(super::managed::ManagedCache::partition_trace)
+                .unwrap_or(&[]),
             self.l3.partition_trace(),
         )
     }
@@ -801,8 +830,16 @@ mod tests {
             h.access(core, ctx, access_at(0x10_0000 + (i * 4096) % (8 << 30)));
         }
         let (l2, l3) = h.occupancy();
-        assert!(l2.tlb_fraction() > 0.1, "L2 TLB fraction {}", l2.tlb_fraction());
-        assert!(l3.tlb_fraction() > 0.1, "L3 TLB fraction {}", l3.tlb_fraction());
+        assert!(
+            l2.tlb_fraction() > 0.1,
+            "L2 TLB fraction {}",
+            l2.tlb_fraction()
+        );
+        assert!(
+            l3.tlb_fraction() > 0.1,
+            "L3 TLB fraction {}",
+            l3.tlb_fraction()
+        );
     }
 
     #[test]
@@ -980,7 +1017,11 @@ mod extension_tests {
         );
         let ctx = h.add_context();
         for i in 0..10_000u64 {
-            h.access(CoreId::new(0), ctx, access_at(0x10_0000 + (i * 4096) % (1 << 27)));
+            h.access(
+                CoreId::new(0),
+                ctx,
+                access_at(0x10_0000 + (i * 4096) % (1 << 27)),
+            );
         }
         let snap = h.snapshot();
         assert!(snap.pom.expect("POM present").accesses() > 0);

@@ -40,7 +40,7 @@ pub struct PartitionSample {
 impl PartitionSample {
     /// Fraction of the cache's ways assigned to TLB entries.
     pub fn tlb_fraction(&self) -> f64 {
-        self.tlb_ways as f64 / self.total_ways as f64
+        f64::from(self.tlb_ways) / f64::from(self.total_ways)
     }
 }
 
@@ -299,7 +299,12 @@ mod tests {
                 // (4 ways) or TLB (6 ways) yields equal utility and the
                 // tie breaks to the data side; weighting TLB flips it.
                 m.access(line(i % (16 * 4)), EntryKind::Data, false, weights);
-                m.access(line(0x10000 + (i % (16 * 6))), EntryKind::Tlb, false, weights);
+                m.access(
+                    line(0x10000 + (i % (16 * 6))),
+                    EntryKind::Tlb,
+                    false,
+                    weights,
+                );
             }
             m.data_ways().expect("partitioned")
         };

@@ -122,7 +122,7 @@ impl DramModel {
         );
         let row_shift = timings.row_buffer_bytes.trailing_zeros();
         let bank_shift = row_shift;
-        let bank_mask = timings.banks as u64 - 1;
+        let bank_mask = u64::from(timings.banks) - 1;
         Self {
             banks: vec![BankState::default(); timings.banks as usize],
             stats: DramStats::default(),
@@ -165,7 +165,7 @@ impl DramModel {
     #[inline]
     fn burst_cycles(&self) -> f64 {
         // Double data rate: bus_bits/8 bytes per half bus cycle.
-        let bytes_per_bus_cycle = (self.timings.bus_bits as f64 / 8.0) * 2.0;
+        let bytes_per_bus_cycle = (f64::from(self.timings.bus_bits) / 8.0) * 2.0;
         (LINE_BYTES as f64 / bytes_per_bus_cycle) * self.core_per_bus
     }
 
@@ -189,10 +189,10 @@ impl DramModel {
         let (bank, row) = self.map(pa);
         let outcome = self.row_outcome(bank, row);
         let bus_cycles = match outcome {
-            RowOutcome::Hit => self.timings.t_cas as f64,
-            RowOutcome::ClosedMiss => (self.timings.t_rcd + self.timings.t_cas) as f64,
+            RowOutcome::Hit => f64::from(self.timings.t_cas),
+            RowOutcome::ClosedMiss => f64::from(self.timings.t_rcd + self.timings.t_cas),
             RowOutcome::Conflict => {
-                (self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas) as f64
+                f64::from(self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas)
             }
         };
         let latency = (bus_cycles * self.core_per_bus + self.burst_cycles()).round() as Cycle
@@ -214,13 +214,13 @@ impl DramModel {
     /// Latency of a row-buffer hit, in core cycles — the best case this
     /// device can serve. Useful for latency estimators.
     pub fn best_case_latency(&self) -> Cycle {
-        (self.timings.t_cas as f64 * self.core_per_bus + self.burst_cycles()).round() as Cycle
+        (f64::from(self.timings.t_cas) * self.core_per_bus + self.burst_cycles()).round() as Cycle
             + self.controller_overhead
     }
 
     /// Latency of a row conflict, in core cycles — the worst case.
     pub fn worst_case_latency(&self) -> Cycle {
-        ((self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas) as f64 * self.core_per_bus
+        (f64::from(self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas) * self.core_per_bus
             + self.burst_cycles())
         .round() as Cycle
             + self.controller_overhead
@@ -262,7 +262,7 @@ mod tests {
     fn different_row_same_bank_conflicts() {
         let mut m = ddr();
         let row_bytes = m.timings().row_buffer_bytes;
-        let banks = m.timings().banks as u64;
+        let banks = u64::from(m.timings().banks);
         m.access(PhysAddr::new(0), false);
         // Same bank, different row: stride = row_buffer * banks.
         let conflict = m.access(PhysAddr::new(row_bytes * banks), false);

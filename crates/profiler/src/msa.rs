@@ -115,7 +115,7 @@ impl StackDistanceProfiler {
     /// Panics if `set` is out of range.
     pub fn record(&mut self, set: u64, tag: u64, kind: EntryKind) -> Option<u32> {
         assert!(set < self.sets, "set {set} out of range");
-        if set % self.interval != 0 {
+        if !set.is_multiple_of(self.interval) {
             return None;
         }
         let idx = (set / self.interval) as usize;
@@ -187,7 +187,7 @@ mod tests {
         p.record(3, 1, EntryKind::Data); // miss
         p.record(3, 2, EntryKind::Data); // miss
         p.record(3, 3, EntryKind::Data); // miss
-        // Tag 1 now at depth 2.
+                                         // Tag 1 now at depth 2.
         assert_eq!(p.record(3, 1, EntryKind::Data), Some(2));
         let c = p.counts(EntryKind::Data);
         assert_eq!(c.at(2), 1);
@@ -265,7 +265,11 @@ mod tests {
     fn counters_sum_matches_access_count() {
         let mut p = StackDistanceProfiler::new(8, 4, 1);
         for i in 0..1000u64 {
-            let kind = if i % 3 == 0 { EntryKind::Tlb } else { EntryKind::Data };
+            let kind = if i % 3 == 0 {
+                EntryKind::Tlb
+            } else {
+                EntryKind::Data
+            };
             p.record(i % 8, (i * 7) % 13, kind);
         }
         assert_eq!(p.accesses(), 1000);

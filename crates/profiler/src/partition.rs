@@ -62,8 +62,13 @@ pub fn weighted_marginal_utility(
     let k = data.ways();
     assert_eq!(k, tlb.ways(), "profiles must cover the same cache");
     assert!(n <= k, "cannot grant more ways than exist");
-    weights.s_dat * data.hits_with_ways(n) as f64
-        + weights.s_tr * tlb.hits_with_ways(k - n) as f64
+    debug_assert!(
+        weights.s_dat.is_finite() && weights.s_tr.is_finite(),
+        "criticality weights must be finite (got {} / {})",
+        weights.s_dat,
+        weights.s_tr
+    );
+    weights.s_dat * data.hits_with_ways(n) as f64 + weights.s_tr * tlb.hits_with_ways(k - n) as f64
 }
 
 /// The outcome of an epoch's partitioning decision.
@@ -97,7 +102,10 @@ pub fn choose_partition(
 ) -> PartitionDecision {
     let k = data.ways();
     assert_eq!(k, tlb.ways(), "profiles must cover the same cache");
-    assert!(n_min >= 1 && 2 * n_min <= k, "n_min leaves no feasible split");
+    assert!(
+        n_min >= 1 && 2 * n_min <= k,
+        "n_min leaves no feasible split"
+    );
 
     let mut best_n = n_min;
     let mut best_mu = f64::NEG_INFINITY;
@@ -108,11 +116,17 @@ pub fn choose_partition(
             best_n = n;
         }
     }
-    PartitionDecision {
+    let decision = PartitionDecision {
         data_ways: best_n,
         tlb_ways: k - best_n,
         utility: best_mu,
-    }
+    };
+    // The split must conserve the cache's ways and honour the floor —
+    // the same bound CSALT-A104/A014 police statically.
+    debug_assert_eq!(decision.data_ways + decision.tlb_ways, k);
+    debug_assert!(decision.data_ways >= n_min && decision.tlb_ways >= n_min);
+    debug_assert!(decision.utility.is_finite());
+    decision
 }
 
 #[cfg(test)]
@@ -148,7 +162,7 @@ mod tests {
         ];
         for (n, mu) in expect {
             let got = weighted_marginal_utility(&d, &t, n, Weights::UNIT);
-            assert_eq!(got, mu as f64, "MU({n})");
+            assert_eq!(got, f64::from(mu), "MU({n})");
         }
         // Exhaustive argmax over the feasible splits is N = 5 (MU = 72).
         let dec = choose_partition(&d, &t, 1, Weights::UNIT);

@@ -29,8 +29,11 @@ impl FrameAllocator {
     /// multiple of 2 MiB (so both frame sizes tile the region exactly).
     pub fn new(base: u64, size: u64) -> Self {
         let two_m = PageSize::Size2M.bytes();
-        assert!(base % two_m == 0, "base must be 2 MiB aligned");
-        assert!(size > 0 && size % two_m == 0, "size must be 2 MiB granular");
+        assert!(base.is_multiple_of(two_m), "base must be 2 MiB aligned");
+        assert!(
+            size > 0 && size.is_multiple_of(two_m),
+            "size must be 2 MiB granular"
+        );
         Self {
             base,
             size,
@@ -137,9 +140,8 @@ mod tests {
         for _ in 0..512 {
             a.alloc(PageSize::Size4K);
         }
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            a.alloc(PageSize::Size4K)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.alloc(PageSize::Size4K)));
         assert!(r.is_err());
     }
 

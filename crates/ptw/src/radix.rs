@@ -154,7 +154,11 @@ impl RadixPageTable {
                 let mut newly_mapped = false;
                 let entry = node.entry(index as u16).or_insert_with(|| {
                     newly_mapped = true;
-                    let size = if huge { PageSize::Size2M } else { PageSize::Size4K };
+                    let size = if huge {
+                        PageSize::Size2M
+                    } else {
+                        PageSize::Size4K
+                    };
                     PtEntry::Leaf(alloc.alloc(size))
                 });
                 let PtEntry::Leaf(frame) = *entry else {
@@ -194,7 +198,12 @@ impl RadixPageTable {
                 level,
             });
             match self.nodes.get(&table.raw())?.get(&(index as u16))? {
-                PtEntry::Leaf(frame) => return Some(WalkPath { frame: *frame, refs }),
+                PtEntry::Leaf(frame) => {
+                    return Some(WalkPath {
+                        frame: *frame,
+                        refs,
+                    })
+                }
                 PtEntry::Table(pa) => table = *pa,
             }
         }
@@ -260,7 +269,8 @@ mod tests {
             assert_eq!(
                 p1.refs[i].addr.raw() & !0xfff,
                 p2.refs[i].addr.raw() & !0xfff,
-                "level {} table differs", 4 - i
+                "level {} table differs",
+                4 - i
             );
         }
         assert_ne!(p1.refs[3].addr, p2.refs[3].addr);
@@ -274,8 +284,14 @@ mod tests {
         let p1 = pt.walk_or_map(VirtAddr::new(0x0000_0000_1000), &mut a);
         let p2 = pt.walk_or_map(VirtAddr::new(0x7f00_0000_1000), &mut a);
         // Only the root is shared.
-        assert_eq!(p1.refs[0].addr.raw() & !0xfff, p2.refs[0].addr.raw() & !0xfff);
-        assert_ne!(p1.refs[1].addr.raw() & !0xfff, p2.refs[1].addr.raw() & !0xfff);
+        assert_eq!(
+            p1.refs[0].addr.raw() & !0xfff,
+            p2.refs[0].addr.raw() & !0xfff
+        );
+        assert_ne!(
+            p1.refs[1].addr.raw() & !0xfff,
+            p2.refs[1].addr.raw() & !0xfff
+        );
     }
 
     #[test]
@@ -316,7 +332,10 @@ mod tests {
         let va = VirtAddr::new(0xabc_def0);
         let path = pt.walk_or_map(va, &mut a);
         let pa = path.frame.translate(va);
-        assert_eq!(pa.page_offset(PageSize::Size4K), va.page_offset(PageSize::Size4K));
+        assert_eq!(
+            pa.page_offset(PageSize::Size4K),
+            va.page_offset(PageSize::Size4K)
+        );
     }
 
     #[test]

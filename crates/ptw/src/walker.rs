@@ -160,7 +160,14 @@ impl GuestAddressSpace {
         policy: HugePagePolicy,
         host_alloc: &mut FrameAllocator,
     ) -> Self {
-        Self::with_levels(asid, guest_phys_base, guest_phys_size, policy, host_alloc, 4)
+        Self::with_levels(
+            asid,
+            guest_phys_base,
+            guest_phys_size,
+            policy,
+            host_alloc,
+            4,
+        )
     }
 
     /// Creates a VM address space with page tables of the given depth
@@ -251,21 +258,19 @@ impl NestedWalker {
     ) -> WalkPath {
         let as_va = VirtAddr::new(gpa.raw());
         let path = space.host.walk_or_map(as_va, host_alloc);
-        let start = self
-            .host_psc
-            .lookup(space.asid, as_va, space.host.root());
+        let start = self.host_psc.lookup(space.asid, as_va, space.host.root());
         for r in path.refs.iter().filter(|r| r.level <= start.level) {
             accesses.push(r.addr);
         }
-        self.stats.psc_skipped += path
-            .refs
-            .iter()
-            .filter(|r| r.level > start.level)
-            .count() as u64;
+        self.stats.psc_skipped += path.refs.iter().filter(|r| r.level > start.level).count() as u64;
         for r in &path.refs {
             if r.level < 4 {
-                self.host_psc
-                    .fill(space.asid, as_va, r.level, PhysAddr::new(r.addr.raw() & !0xfff));
+                self.host_psc.fill(
+                    space.asid,
+                    as_va,
+                    r.level,
+                    PhysAddr::new(r.addr.raw() & !0xfff),
+                );
             }
         }
         path
@@ -310,8 +315,12 @@ impl NestedWalker {
         }
         for r in &guest_path.refs {
             if r.level < 4 {
-                self.guest_psc
-                    .fill(space.asid, gva, r.level, PhysAddr::new(r.addr.raw() & !0xfff));
+                self.guest_psc.fill(
+                    space.asid,
+                    gva,
+                    r.level,
+                    PhysAddr::new(r.addr.raw() & !0xfff),
+                );
             }
         }
 
@@ -324,7 +333,9 @@ impl NestedWalker {
         let eff_size = guest_page.size().min(final_host.frame.size());
         let eff_page = gva.page(eff_size);
         let gpa_eff_base = guest_path.frame.translate(eff_page.base());
-        let hpa_eff_base = final_host.frame.translate(VirtAddr::new(gpa_eff_base.raw()));
+        let hpa_eff_base = final_host
+            .frame
+            .translate(VirtAddr::new(gpa_eff_base.raw()));
         let frame = hpa_eff_base.frame(eff_size);
 
         self.stats.walks += 1;
@@ -549,13 +560,8 @@ mod five_level_tests {
     #[test]
     fn native_5level_cold_walk_reads_five_ptes() {
         let mut alloc = FrameAllocator::new(0, 2048 * MB2).without_scramble();
-        let mut w = NativeWalker::with_levels(
-            Asid::new(0),
-            &mut alloc,
-            HugePagePolicy::NONE,
-            no_psc(),
-            5,
-        );
+        let mut w =
+            NativeWalker::with_levels(Asid::new(0), &mut alloc, HugePagePolicy::NONE, no_psc(), 5);
         let out = w.walk(VirtAddr::new(0x7f00_1234_5000), &mut alloc);
         assert_eq!(out.accesses.len(), 5);
     }
@@ -600,16 +606,10 @@ mod five_level_tests {
     #[test]
     fn four_and_five_level_translate_consistently() {
         let mut a4 = FrameAllocator::new(0, 512 * MB2).without_scramble();
-        let mut w4 =
-            NativeWalker::new(Asid::new(0), &mut a4, HugePagePolicy::NONE, no_psc());
+        let mut w4 = NativeWalker::new(Asid::new(0), &mut a4, HugePagePolicy::NONE, no_psc());
         let mut a5 = FrameAllocator::new(0, 512 * MB2).without_scramble();
-        let mut w5 = NativeWalker::with_levels(
-            Asid::new(0),
-            &mut a5,
-            HugePagePolicy::NONE,
-            no_psc(),
-            5,
-        );
+        let mut w5 =
+            NativeWalker::with_levels(Asid::new(0), &mut a5, HugePagePolicy::NONE, no_psc(), 5);
         let va = VirtAddr::new(0xdead_b000);
         let o4 = w4.walk(va, &mut a4);
         let o5 = w5.walk(va, &mut a5);

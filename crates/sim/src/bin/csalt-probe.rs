@@ -12,10 +12,7 @@ use csalt_workloads::paper_workloads;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("gups");
-    let accesses: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(150_000);
+    let accesses: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(150_000);
 
     let workload = paper_workloads()
         .into_iter()

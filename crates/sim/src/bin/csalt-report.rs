@@ -22,12 +22,11 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("target/csalt-results"));
     let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
         Ok(rd) => rd
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.path())
             .filter(|p| {
                 p.extension().is_some_and(|x| x == "json")
-                    && p.file_name()
-                        .is_some_and(|n| n != "main_comparison.json")
+                    && p.file_name().is_some_and(|n| n != "main_comparison.json")
             })
             .collect(),
         Err(e) => {

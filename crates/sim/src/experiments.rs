@@ -83,7 +83,7 @@ fn env_f64(key: &str) -> Option<f64> {
 /// Runs configurations in parallel across available CPUs.
 pub fn run_parallel(configs: Vec<SimConfig>) -> Vec<SimResult> {
     let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(4)
         .min(configs.len().max(1));
     let jobs = std::sync::Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>());
@@ -146,7 +146,7 @@ impl Table {
             .collect();
         Self {
             id: id.to_string(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns: columns.iter().map(ToString::to_string).collect(),
             rows,
             geomean,
         }
@@ -246,12 +246,8 @@ pub fn fig01() -> Table {
         .chunks(3)
         .map(|group| {
             let cs = &group[0];
-            let solo_misses: u64 = group[1..]
-                .iter()
-                .map(|r| r.snapshot.l2_tlb.misses)
-                .sum();
-            let solo_instructions: u64 =
-                group[1..].iter().map(|r| r.instructions).sum();
+            let solo_misses: u64 = group[1..].iter().map(|r| r.snapshot.l2_tlb.misses).sum();
+            let solo_instructions: u64 = group[1..].iter().map(|r| r.instructions).sum();
             let nocs_mpki = solo_misses as f64 * 1000.0 / solo_instructions as f64;
             let ratio = if nocs_mpki > 0.0 {
                 cs.l2_tlb_mpki() / nocs_mpki
@@ -406,7 +402,7 @@ pub fn main_comparison() -> MainComparison {
     let flat = run_parallel(configs);
     let results: Vec<Vec<SimResult>> = flat
         .chunks(FIG7_SCHEMES.len())
-        .map(|c| c.to_vec())
+        .map(<[SimResult]>::to_vec)
         .collect();
     let _ = std::fs::create_dir_all(path.parent().expect("has parent")).and_then(|_| {
         std::fs::write(
@@ -488,16 +484,17 @@ impl MainComparison {
             .results
             .iter()
             .map(|per_scheme| {
-                let mpki =
-                    |r: &SimResult| if l3 { r.l3_cache_mpki() } else { r.l2_cache_mpki() };
+                let mpki = |r: &SimResult| {
+                    if l3 {
+                        r.l3_cache_mpki()
+                    } else {
+                        r.l2_cache_mpki()
+                    }
+                };
                 let pom = mpki(&per_scheme[1]).max(1e-9);
                 Row {
                     label: per_scheme[0].workload.clone(),
-                    values: vec![
-                        1.0,
-                        mpki(&per_scheme[2]) / pom,
-                        mpki(&per_scheme[3]) / pom,
-                    ],
+                    values: vec![1.0, mpki(&per_scheme[2]) / pom, mpki(&per_scheme[3]) / pom],
                 }
             })
             .collect();
@@ -734,66 +731,6 @@ pub fn fig16() -> Table {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_render_is_aligned_and_complete() {
-        let t = Table::new(
-            "Test",
-            &["a", "b"],
-            vec![
-                Row {
-                    label: "w1".into(),
-                    values: vec![1.0, 2.0],
-                },
-                Row {
-                    label: "w2".into(),
-                    values: vec![4.0, 8.0],
-                },
-            ],
-        );
-        assert_eq!(t.geomean, vec![2.0, 4.0]);
-        let s = t.render();
-        assert!(s.contains("w1"));
-        assert!(s.contains("geomean"));
-        assert_eq!(s.lines().count(), 5);
-    }
-
-    #[test]
-    fn default_config_uses_scaled_parameters() {
-        let w = WorkloadSpec::homogeneous("gups", BenchKind::Gups);
-        let c = default_config(w, TranslationScheme::CsaltCd);
-        assert_eq!(c.system.epoch_accesses, scaled::EPOCH_256K);
-        assert_eq!(c.system.cs_interval_cycles, scaled::QUANTUM_10MS);
-        assert!(c.virtualized);
-    }
-
-    #[test]
-    fn run_parallel_preserves_order() {
-        let mk = |scheme| {
-            let mut c = SimConfig::new(
-                WorkloadSpec::homogeneous("gups", BenchKind::Gups),
-                scheme,
-            );
-            c.system.cores = 1;
-            c.accesses_per_core = 2_000;
-            c.scale = 0.05;
-            c
-        };
-        let results = run_parallel(vec![
-            mk(TranslationScheme::Conventional),
-            mk(TranslationScheme::PomTlb),
-            mk(TranslationScheme::CsaltCd),
-        ]);
-        assert_eq!(results.len(), 3);
-        assert_eq!(results[0].scheme, TranslationScheme::Conventional);
-        assert_eq!(results[1].scheme, TranslationScheme::PomTlb);
-        assert_eq!(results[2].scheme, TranslationScheme::CsaltCd);
-    }
-}
-
 // ---------------------------------------------------------------------
 // Extensions and ablations beyond the paper's figures.
 // ---------------------------------------------------------------------
@@ -818,8 +755,7 @@ pub fn ext_5level() -> Table {
     let rows = results
         .chunks(4)
         .map(|g| {
-            let (conv4, csalt4, conv5, csalt5) =
-                (g[0].ipc(), g[1].ipc(), g[2].ipc(), g[3].ipc());
+            let (conv4, csalt4, conv5, csalt5) = (g[0].ipc(), g[1].ipc(), g[2].ipc(), g[3].ipc());
             Row {
                 label: g[0].workload.clone(),
                 values: vec![conv5 / conv4, csalt4 / conv4, csalt5 / conv5],
@@ -874,8 +810,7 @@ pub fn ext_huge_pages() -> Table {
     for &b in &four {
         for &f in &fractions {
             for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
-                let mut c =
-                    default_config(WorkloadSpec::homogeneous(b.name(), b), s);
+                let mut c = default_config(WorkloadSpec::homogeneous(b.name(), b), s);
                 c.huge_fraction = f;
                 configs.push(c);
             }
@@ -1006,4 +941,61 @@ pub fn ablation_static() -> Table {
         &["static-4", "static-8", "static-12", "csalt-cd"],
         rows,
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_is_aligned_and_complete() {
+        let t = Table::new(
+            "Test",
+            &["a", "b"],
+            vec![
+                Row {
+                    label: "w1".into(),
+                    values: vec![1.0, 2.0],
+                },
+                Row {
+                    label: "w2".into(),
+                    values: vec![4.0, 8.0],
+                },
+            ],
+        );
+        assert_eq!(t.geomean, vec![2.0, 4.0]);
+        let s = t.render();
+        assert!(s.contains("w1"));
+        assert!(s.contains("geomean"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn default_config_uses_scaled_parameters() {
+        let w = WorkloadSpec::homogeneous("gups", BenchKind::Gups);
+        let c = default_config(w, TranslationScheme::CsaltCd);
+        assert_eq!(c.system.epoch_accesses, scaled::EPOCH_256K);
+        assert_eq!(c.system.cs_interval_cycles, scaled::QUANTUM_10MS);
+        assert!(c.virtualized);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let mk = |scheme| {
+            let mut c = SimConfig::new(WorkloadSpec::homogeneous("gups", BenchKind::Gups), scheme);
+            c.system.cores = 1;
+            c.accesses_per_core = 2_000;
+            c.scale = 0.05;
+            c
+        };
+        let results = run_parallel(vec![
+            mk(TranslationScheme::Conventional),
+            mk(TranslationScheme::PomTlb),
+            mk(TranslationScheme::CsaltCd),
+        ]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].scheme, TranslationScheme::Conventional);
+        assert_eq!(results[1].scheme, TranslationScheme::PomTlb);
+        assert_eq!(results[2].scheme, TranslationScheme::CsaltCd);
+    }
 }

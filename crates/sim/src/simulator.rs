@@ -22,9 +22,7 @@
 
 use csalt_core::{HierarchySnapshot, MemoryHierarchy, PartitionSample};
 use csalt_ptw::HugePagePolicy;
-use csalt_types::{
-    geomean, ContextId, CoreId, Cycle, SystemConfig, TranslationScheme,
-};
+use csalt_types::{geomean, ContextId, CoreId, Cycle, SystemConfig, TranslationScheme};
 use csalt_workloads::{TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -158,8 +156,16 @@ impl SimResult {
         }
         let n = self.occupancy.len() as f64;
         (
-            self.occupancy.iter().map(|s| s.l2_tlb_fraction).sum::<f64>() / n,
-            self.occupancy.iter().map(|s| s.l3_tlb_fraction).sum::<f64>() / n,
+            self.occupancy
+                .iter()
+                .map(|s| s.l2_tlb_fraction)
+                .sum::<f64>()
+                / n,
+            self.occupancy
+                .iter()
+                .map(|s| s.l3_tlb_fraction)
+                .sum::<f64>()
+                / n,
         )
     }
 }
@@ -171,6 +177,21 @@ struct CoreState {
     current_vm: u32,
     next_switch: Cycle,
     switches: u64,
+}
+
+/// Panics with every diagnostic if any is error-severity. Warnings are
+/// swallowed: the run is still meaningful, and the static sweep reports
+/// them separately.
+#[cfg(feature = "audit")]
+fn enforce_audit(context: &str, diags: &[csalt_audit::Diagnostic]) {
+    use csalt_types::Severity;
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+        panic!(
+            "conservation-law audit failed at {context}:\n{}",
+            rendered.join("\n")
+        );
+    }
 }
 
 /// Runs one configuration to completion.
@@ -209,7 +230,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                     let bench = cfg.workload.context_bench(vm);
                     let seed = cfg
                         .seed
-                        .wrapping_add(vm as u64 * 0x9e37_79b9)
+                        .wrapping_add(u64::from(vm) * 0x9e37_79b9)
                         .wrapping_add(core as u64 * 0x85eb_ca6b);
                     bench.build(seed, cfg.scale)
                 })
@@ -242,6 +263,12 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         }
         let mut occupancy = occupancy;
         let mut next_scan = if scan_every > 0 { scan_every } else { u64::MAX };
+        // With the `audit` feature, verify the conservation laws every
+        // time the phase's total access count crosses an epoch boundary —
+        // the moment the partitioner has just acted on those counters.
+        // Counters reset between phases, so the threshold is per-phase.
+        #[cfg(feature = "audit")]
+        let mut next_audit_at = system.epoch_accesses.max(1);
         let mut remaining = cores_state
             .iter()
             .filter(|c| c.accesses_done < total_per_core)
@@ -279,6 +306,28 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 }
             }
 
+            #[cfg(feature = "audit")]
+            {
+                let total: u64 = cores_state.iter().map(|c| c.accesses_done).sum();
+                if total >= next_audit_at {
+                    next_audit_at = total + system.epoch_accesses.max(1);
+                    let snap = hier.snapshot();
+                    enforce_audit(
+                        &format!("epoch boundary ({total} accesses)"),
+                        &csalt_audit::conservation::audit_snapshot("epoch", &snap, &cfg.scheme),
+                    );
+                    let (l2_occ, l3_occ) = hier.occupancy();
+                    enforce_audit(
+                        "epoch occupancy",
+                        &[
+                            csalt_audit::conservation::audit_occupancy("l2", &l2_occ),
+                            csalt_audit::conservation::audit_occupancy("l3", &l3_occ),
+                        ]
+                        .concat(),
+                    );
+                }
+            }
+
             // Periodic occupancy scan, keyed on core 0's progress.
             if cores_state[0].accesses_done >= next_scan {
                 next_scan += scan_every;
@@ -304,7 +353,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         cfg.warmup_accesses_per_core,
     );
     hier.reset_stats();
-    for s in cores_state.iter_mut() {
+    for s in &mut cores_state {
         s.cycles = 0;
         s.instructions = 0;
         s.accesses_done = 0;
@@ -340,7 +389,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         })
         .collect();
 
-    SimResult {
+    let result = SimResult {
         workload: cfg.workload.name.to_string(),
         scheme: cfg.scheme,
         instructions,
@@ -352,7 +401,27 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         l3_partition_trace,
         context_switches: cores_state.iter().map(|c| c.switches).sum(),
         final_partitions: hier.current_partitions(),
+    };
+
+    #[cfg(feature = "audit")]
+    {
+        let mut diags = csalt_audit::conservation::audit_snapshot(
+            result.workload.as_str(),
+            &result.snapshot,
+            &cfg.scheme,
+        );
+        let (l2_occ, l3_occ) = hier.occupancy();
+        diags.extend(csalt_audit::conservation::audit_occupancy("l2", &l2_occ));
+        diags.extend(csalt_audit::conservation::audit_occupancy("l3", &l3_occ));
+        diags.extend(csalt_audit::conservation::audit_ipc(
+            result.workload.as_str(),
+            result.ipc(),
+            result.instructions,
+        ));
+        enforce_audit("run completion", &diags);
     }
+
+    result
 }
 
 #[cfg(test)]
@@ -361,10 +430,7 @@ mod tests {
     use csalt_workloads::{BenchKind, WorkloadSpec};
 
     fn quick(scheme: TranslationScheme) -> SimConfig {
-        let mut cfg = SimConfig::new(
-            WorkloadSpec::homogeneous("gups", BenchKind::Gups),
-            scheme,
-        );
+        let mut cfg = SimConfig::new(WorkloadSpec::homogeneous("gups", BenchKind::Gups), scheme);
         cfg.system.cores = 2;
         cfg.system.cs_interval_cycles = 50_000;
         cfg.system.epoch_accesses = 20_000;

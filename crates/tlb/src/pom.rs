@@ -16,7 +16,9 @@
 //! that address through the cache hierarchy and DRAM timing model.
 
 use crate::sram::TlbKey;
-use csalt_types::{Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, PomTlbConfig, VirtPage};
+use csalt_types::{
+    Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, PomTlbConfig, VirtPage,
+};
 
 #[derive(Debug, Clone, Copy)]
 struct PomEntry {
@@ -58,7 +60,7 @@ impl PomTlb {
         Self {
             sets,
             ways: cfg.ways,
-            entries: vec![None; (sets * cfg.ways as u64) as usize],
+            entries: vec![None; (sets * u64::from(cfg.ways)) as usize],
             cfg,
             stats: HitMissStats::new(),
         }
@@ -96,7 +98,7 @@ impl PomTlb {
         };
         let mixed = (key.page.vpn().wrapping_mul(0x9e37_79b9_7f4a_7c15))
             ^ size_salt
-            ^ ((key.asid.raw() as u64) << 17);
+            ^ (u64::from(key.asid.raw()) << 17);
         // Fibonacci hashing: take the *top* bits, which receive full
         // avalanche from the multiplication. Masking the low bits would
         // let strided VPNs (whose product keeps their trailing zeros)
@@ -122,7 +124,7 @@ impl PomTlb {
         let key = TlbKey { page, asid };
         let set = self.set_of(&key);
         let line = self.line_of_set(set);
-        let base = (set * self.ways as u64) as usize;
+        let base = (set * u64::from(self.ways)) as usize;
         for way in 0..self.ways as usize {
             if let Some(e) = self.entries[base + way] {
                 if e.key == key {
@@ -148,7 +150,7 @@ impl PomTlb {
         let set = self.set_of(&key);
         let line = self.line_of_set(set);
         // Remove a stale copy if present.
-        let base = (set * self.ways as u64) as usize;
+        let base = (set * u64::from(self.ways)) as usize;
         let mut kept: Vec<PomEntry> = self.entries[base..base + self.ways as usize]
             .iter()
             .flatten()
@@ -236,11 +238,19 @@ mod tests {
         let a = Asid::new(0);
         // Find 5 pages in the same set.
         let target = {
-            let k = TlbKey { page: page(0), asid: a };
+            let k = TlbKey {
+                page: page(0),
+                asid: a,
+            };
             p.set_of(&k)
         };
         let colliders: Vec<u64> = (0..200_000u64)
-            .filter(|&v| p.set_of(&TlbKey { page: page(v), asid: a }) == target)
+            .filter(|&v| {
+                p.set_of(&TlbKey {
+                    page: page(v),
+                    asid: a,
+                }) == target
+            })
             .take(5)
             .collect();
         assert_eq!(colliders.len(), 5, "need 5 colliding pages");
@@ -280,7 +290,7 @@ mod tests {
             }
         }
         assert!(
-            hits as f64 / 40_000.0 > 0.95,
+            f64::from(hits) / 40_000.0 > 0.95,
             "expected >95% resident, got {hits}"
         );
     }

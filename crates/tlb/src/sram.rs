@@ -3,7 +3,9 @@
 //! flush them (§1).
 
 use csalt_cache::SetReplacement;
-use csalt_types::{Asid, Cycle, HitMissStats, PageSize, PhysFrame, ReplacementKind, TlbGeometry, VirtPage};
+use csalt_types::{
+    Asid, Cycle, HitMissStats, PageSize, PhysFrame, ReplacementKind, TlbGeometry, VirtPage,
+};
 
 /// Full lookup key: virtual page (number + size) and address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,12 +44,27 @@ impl SramTlb {
     /// # Panics
     ///
     /// Panics if the geometry does not validate or the set count is not a
-    /// power of two.
+    /// power of two; see [`SramTlb::try_new`] for the fallible form.
     pub fn new(geom: TlbGeometry) -> Self {
-        geom.validate("sram-tlb").expect("geometry must be valid");
+        Self::try_new(geom).expect("TLB geometry must be valid")
+    }
+
+    /// Fallible form of [`SramTlb::new`]: returns the first CSALT-Axxx
+    /// geometry violation instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`csalt_types::ConfigError`] when the geometry fails a
+    /// static invariant or the derived set count is not a power of two.
+    pub fn try_new(geom: TlbGeometry) -> Result<Self, csalt_types::ConfigError> {
+        geom.validate("sram-tlb")?;
         let sets = geom.sets();
-        assert!(sets.is_power_of_two(), "TLB set count must be 2^k");
-        Self {
+        if !sets.is_power_of_two() {
+            return Err(csalt_types::ConfigError::new(format!(
+                "sram-tlb: {sets} sets is not a power of two"
+            )));
+        }
+        Ok(Self {
             sets,
             ways: geom.ways,
             latency: geom.latency,
@@ -56,7 +73,7 @@ impl SramTlb {
                 .map(|_| SetReplacement::new(ReplacementKind::TrueLru, geom.ways))
                 .collect(),
             stats: HitMissStats::new(),
-        }
+        })
     }
 
     /// Lookup latency in cycles.
@@ -87,7 +104,7 @@ impl SramTlb {
             PageSize::Size2M => 0x9e37_79b9,
             PageSize::Size1G => 0x7f4a_7c15,
         };
-        ((key.page.vpn() ^ size_salt) & (self.sets as u64 - 1)) as u32
+        ((key.page.vpn() ^ size_salt) & (u64::from(self.sets) - 1)) as u32
     }
 
     #[inline]

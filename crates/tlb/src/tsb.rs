@@ -112,7 +112,9 @@ impl Tsb {
     /// The aperture address of (`asid`, `page`)'s slot.
     fn entry_addr(&mut self, page: VirtPage, asid: Asid) -> PhysAddr {
         let table = self.table_index(asid);
-        PhysAddr::new(self.base + table * self.table_bytes() + self.slot_of(page) * self.entry_bytes)
+        PhysAddr::new(
+            self.base + table * self.table_bytes() + self.slot_of(page) * self.entry_bytes,
+        )
     }
 
     /// The dependent accesses a lookup performs. Natively: the entry
@@ -145,7 +147,10 @@ impl Tsb {
         let accesses = self.walk_lines(page, asid);
         let slot = self.slot_of(page) as usize;
         let entries = self.entries_per_table as usize;
-        let table = self.tables.entry(asid).or_insert_with(|| vec![None; entries]);
+        let table = self
+            .tables
+            .entry(asid)
+            .or_insert_with(|| vec![None; entries]);
         let frame = table[slot].and_then(|s| (s.page == page).then_some(s.frame));
         self.stats.record(frame.is_some());
         TsbLookup { frame, accesses }
@@ -157,7 +162,10 @@ impl Tsb {
         let line = self.entry_addr(page, asid).line();
         let slot = self.slot_of(page) as usize;
         let entries = self.entries_per_table as usize;
-        let table = self.tables.entry(asid).or_insert_with(|| vec![None; entries]);
+        let table = self
+            .tables
+            .entry(asid)
+            .or_insert_with(|| vec![None; entries]);
         table[slot] = Some(TsbSlot { page, frame });
         line
     }

@@ -165,7 +165,7 @@ impl VirtAddr {
     #[inline]
     pub fn pt_index(self, level: u8) -> u64 {
         assert!((1..=5).contains(&level), "page table level out of range");
-        (self.0 >> (12 + 9 * (level as u64 - 1))) & 0x1ff
+        (self.0 >> (12 + 9 * (u64::from(level) - 1))) & 0x1ff
     }
 }
 
@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn virt_addr_page_round_trip() {
-        let va = VirtAddr::new(0xdead_beef_123);
+        let va = VirtAddr::new(0x0dea_dbee_f123);
         for size in PageSize::ALL {
             let page = va.page(size);
             assert_eq!(page.base().raw() + va.page_offset(size), va.raw());

@@ -37,29 +37,21 @@ impl CacheGeometry {
 
     /// Validates that the geometry is internally consistent.
     ///
+    /// Delegates to the audit rule engine's invariants
+    /// ([`crate::invariants::check_cache_geometry`]) so the `CSALT-Axxx`
+    /// rules are the single source of truth.
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if any dimension is zero, the capacity is not
     /// an exact multiple of `ways * line_bytes`, or the set count is not a
     /// power of two (required for bit-sliced indexing).
     pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
-        if self.size_bytes == 0 || self.ways == 0 || self.line_bytes == 0 {
-            return Err(ConfigError::new(format!("{name}: zero-sized dimension")));
+        let violations = crate::invariants::check_cache_geometry(name, self);
+        match crate::invariants::first_error(&violations) {
+            Some(v) => Err(ConfigError::new(v.to_string())),
+            None => Ok(()),
         }
-        if self.size_bytes % (self.line_bytes * self.ways as u64) != 0 {
-            return Err(ConfigError::new(format!(
-                "{name}: capacity {} not divisible by ways*line ({})",
-                self.size_bytes,
-                self.line_bytes * self.ways as u64
-            )));
-        }
-        if !self.sets().is_power_of_two() {
-            return Err(ConfigError::new(format!(
-                "{name}: set count {} is not a power of two",
-                self.sets()
-            )));
-        }
-        Ok(())
     }
 }
 
@@ -83,20 +75,18 @@ impl TlbGeometry {
 
     /// Validates the TLB geometry.
     ///
+    /// Delegates to the audit rule engine's invariants
+    /// ([`crate::invariants::check_tlb_geometry`]).
+    ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if entries/ways are zero or do not divide.
     pub fn validate(&self, name: &str) -> Result<(), ConfigError> {
-        if self.entries == 0 || self.ways == 0 {
-            return Err(ConfigError::new(format!("{name}: zero-sized TLB")));
+        let violations = crate::invariants::check_tlb_geometry(name, self);
+        match crate::invariants::first_error(&violations) {
+            Some(v) => Err(ConfigError::new(v.to_string())),
+            None => Ok(()),
         }
-        if self.entries % self.ways != 0 {
-            return Err(ConfigError::new(format!(
-                "{name}: {} entries not divisible by {} ways",
-                self.entries, self.ways
-            )));
-        }
-        Ok(())
     }
 }
 
@@ -287,9 +277,7 @@ impl TranslationScheme {
     pub const fn uses_pom_tlb(&self) -> bool {
         !matches!(
             self,
-            TranslationScheme::Conventional
-                | TranslationScheme::Tsb
-                | TranslationScheme::TsbCsalt
+            TranslationScheme::Conventional | TranslationScheme::Tsb | TranslationScheme::TsbCsalt
         )
     }
 }
@@ -438,47 +426,53 @@ impl SystemConfig {
 
     /// Validates every sub-configuration.
     ///
+    /// Delegates to the audit rule engine's invariants
+    /// ([`crate::invariants::check_system`]); only error-severity
+    /// violations fail validation — advisory warnings (latency
+    /// monotonicity, epoch sizing) are surfaced by `csalt-audit`.
+    ///
     /// # Errors
     ///
-    /// Returns the first [`ConfigError`] found in any component.
+    /// Returns the first error-severity [`ConfigError`] found in any
+    /// component.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.cores == 0 {
-            return Err(ConfigError::new("zero cores"));
+        let violations = crate::invariants::check_system(self);
+        match crate::invariants::first_error(&violations) {
+            Some(v) => Err(ConfigError::new(v.to_string())),
+            None => Ok(()),
         }
-        if self.core_ghz <= 0.0 {
-            return Err(ConfigError::new("non-positive core clock"));
-        }
-        if self.contexts_per_core == 0 {
-            return Err(ConfigError::new("zero contexts per core"));
-        }
-        if self.mlp < 1.0 {
-            return Err(ConfigError::new("mlp must be >= 1"));
-        }
-        self.l1d.validate("l1d")?;
-        self.l2.validate("l2")?;
-        self.l3.validate("l3")?;
-        self.l1_tlb_4k.validate("l1-tlb-4k")?;
-        self.l1_tlb_2m.validate("l1-tlb-2m")?;
-        self.l2_tlb.validate("l2-tlb")?;
-        if self.pom_tlb.entries() == 0 || self.pom_tlb.entries() % self.pom_tlb.ways as u64 != 0 {
-            return Err(ConfigError::new("pom-tlb: bad geometry"));
-        }
-        if !self.pom_tlb.sets().is_power_of_two() {
-            return Err(ConfigError::new("pom-tlb: set count not a power of two"));
-        }
-        if self.epoch_accesses == 0 {
-            return Err(ConfigError::new("zero epoch length"));
-        }
-        if !(self.pt_levels == 4 || self.pt_levels == 5) {
-            return Err(ConfigError::new("pt_levels must be 4 or 5"));
-        }
-        Ok(())
+    }
+
+    /// All built-in configuration presets, by name. The audit binary
+    /// checks every preset against every translation scheme; new presets
+    /// added here are picked up automatically.
+    pub fn presets() -> Vec<(&'static str, SystemConfig)> {
+        let mut la57 = Self::skylake();
+        la57.pt_levels = 5;
+
+        let mut rrip = Self::skylake();
+        rrip.replacement = ReplacementKind::Rrip;
+
+        let mut dense = Self::skylake();
+        dense.cores = 4;
+        dense.contexts_per_core = 4;
+
+        let mut fast_epoch = Self::skylake();
+        fast_epoch.epoch_accesses = 64_000;
+
+        vec![
+            ("skylake", Self::skylake()),
+            ("skylake-la57", la57),
+            ("skylake-rrip", rrip),
+            ("skylake-4core-4ctx", dense),
+            ("skylake-fast-epoch", fast_epoch),
+        ]
     }
 
     /// Reach of the unified L2 TLB for 4 KiB pages, in bytes.
     #[inline]
     pub fn l2_tlb_reach_4k(&self) -> u64 {
-        self.l2_tlb.entries as u64 * 4096
+        u64::from(self.l2_tlb.entries) * 4096
     }
 }
 
@@ -556,7 +550,10 @@ mod tests {
             TranslationScheme::StaticPartition { data_ways: 8 },
             TranslationScheme::TsbCsalt,
         ];
-        let labels: HashSet<_> = schemes.iter().map(|s| s.label()).collect();
+        let labels: HashSet<_> = schemes
+            .iter()
+            .map(super::TranslationScheme::label)
+            .collect();
         assert_eq!(labels.len(), schemes.len());
         assert!(TranslationScheme::CsaltCd.uses_pom_tlb());
         assert!(!TranslationScheme::Conventional.uses_pom_tlb());

@@ -32,6 +32,7 @@ pub mod addr;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod invariants;
 pub mod request;
 pub mod stats;
 
@@ -42,5 +43,6 @@ pub use config::{
 };
 pub use error::ConfigError;
 pub use ids::{Asid, ContextId, CoreId, Cycle};
+pub use invariants::{Severity, Violation};
 pub use request::{AccessType, EntryKind, MemAccess};
 pub use stats::{geomean, HitMissStats};

@@ -134,7 +134,7 @@ where
     if n == 0 {
         None
     } else {
-        Some((log_sum / n as f64).exp())
+        Some((log_sum / f64::from(n)).exp())
     }
 }
 

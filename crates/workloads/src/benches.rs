@@ -60,7 +60,7 @@ impl HotSet {
     /// Picks the hot-window page for `draw`, or `None` for a tail draw.
     fn select(&mut self, rng: &mut SmallRng, total: u64) -> Option<u64> {
         self.counter += 1;
-        if self.counter % self.drift_interval == 0 {
+        if self.counter.is_multiple_of(self.drift_interval) {
             self.base = (self.base + self.hot_pages / 8 + 1) % total;
         }
         if (rng.gen::<u32>() & 0xff) < self.p_hot {
@@ -765,9 +765,7 @@ mod locality_tests {
         use crate::gen::BenchKind;
         for kind in BenchKind::ALL {
             let mut g = kind.build(3, 0.1);
-            let writes = (0..5000)
-                .filter(|_| g.next_access().ty.is_write())
-                .count();
+            let writes = (0..5000).filter(|_| g.next_access().ty.is_write()).count();
             assert!(writes > 0, "{kind} never writes");
             assert!(writes < 4000, "{kind} writes implausibly often");
         }
@@ -788,11 +786,11 @@ mod locality_tests {
         }
         let mut freqs: Vec<u32> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
-        let total: u64 = freqs.iter().map(|&f| f as u64).sum();
+        let total: u64 = freqs.iter().map(|&f| u64::from(f)).sum();
         let head: u64 = freqs
             .iter()
             .take((freqs.len() / 20).max(1))
-            .map(|&f| f as u64)
+            .map(|&f| u64::from(f))
             .sum();
         assert!(
             head as f64 / total as f64 > 0.3,

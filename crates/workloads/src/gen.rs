@@ -272,7 +272,7 @@ mod tests {
             assert!(g.footprint_bytes() > 0);
             for _ in 0..1000 {
                 let a = g.next_access();
-                assert!(a.gap < 1000, "absurd gap in {}", kind);
+                assert!(a.gap < 1000, "absurd gap in {kind}");
             }
         }
     }

@@ -69,7 +69,7 @@ impl TraceFile {
             let a = generator.next_access();
             w.write_all(&a.vaddr.raw().to_le_bytes())?;
             w.write_all(&a.gap.to_le_bytes())?;
-            w.write_all(&[a.ty.is_write() as u8])?;
+            w.write_all(&[u8::from(a.ty.is_write())])?;
         }
         w.flush()
     }

@@ -102,7 +102,7 @@ mod tests {
         }
         // With θ=0.9, the top 1% of ranks should absorb well over a
         // third of the draws.
-        assert!(head as f64 / N as f64 > 0.35, "head share {head}/{N}");
+        assert!(f64::from(head) / N as f64 > 0.35, "head share {head}/{N}");
     }
 
     #[test]
@@ -117,7 +117,7 @@ mod tests {
             }
         }
         assert!(
-            (head as f64 / N as f64) < 0.2,
+            (f64::from(head) / N as f64) < 0.2,
             "θ=0.2 head share too big: {head}/{N}"
         );
     }

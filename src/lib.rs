@@ -26,6 +26,7 @@
 //! | [`workloads`] | synthetic trace generators for the six benchmarks |
 //! | [`core`] | the assembled hierarchy with every translation scheme |
 //! | [`sim`] | the multi-core simulator and per-figure experiments |
+//! | [`audit`] | CSALT-Axxx static rules and conservation-law auditing |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use csalt_audit as audit;
 pub use csalt_cache as cache;
 pub use csalt_core as core;
 pub use csalt_dram as dram;

@@ -20,7 +20,9 @@ fn msa_prediction_matches_real_lru_cache() {
     let mut x = 42u64;
     let mut hits = 0u64;
     for _ in 0..200_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let line = (x >> 33) % 4096;
         let addr = LineAddr::from_line_number(line);
         if cache.access(addr, EntryKind::Data, false).hit {
@@ -116,7 +118,7 @@ fn pseudo_lru_policies_retain_fitting_working_sets() {
         // BT-PLRU requires power-of-two associativity: 8 ways is fine.
         let mut cache = Cache::new(16, 8, kind);
         let lines: Vec<u64> = (0..96).collect(); // 6 ways' worth per set
-        // Warm.
+                                                 // Warm.
         for &l in &lines {
             cache.access(LineAddr::from_line_number(l), EntryKind::Data, false);
         }

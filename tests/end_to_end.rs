@@ -36,7 +36,10 @@ fn pom_tlb_eliminates_most_page_walks() {
     // L2 TLB misses that would otherwise walk.
     let conv = run(&fast(gups(), TranslationScheme::Conventional));
     let pom = run(&fast(gups(), TranslationScheme::PomTlb));
-    assert!(conv.snapshot.page_walks > 10_000, "conventional walks a lot");
+    assert!(
+        conv.snapshot.page_walks > 10_000,
+        "conventional walks a lot"
+    );
     let eliminated = 1.0 - pom.snapshot.page_walks as f64 / conv.snapshot.page_walks as f64;
     assert!(
         eliminated > 0.9,
@@ -96,8 +99,7 @@ fn translation_entries_occupy_substantial_cache_capacity() {
     let (_, l3) = r.mean_occupancy();
     assert!(
         l3 > 0.05,
-        "TLB entries should occupy noticeable L3 capacity, got {:.3}",
-        l3
+        "TLB entries should occupy noticeable L3 capacity, got {l3:.3}"
     );
 }
 
@@ -187,7 +189,10 @@ fn all_paper_workloads_simulate_under_csalt() {
 
 #[test]
 fn static_partition_is_respected_all_run() {
-    let r = run(&fast(gups(), TranslationScheme::StaticPartition { data_ways: 8 }));
+    let r = run(&fast(
+        gups(),
+        TranslationScheme::StaticPartition { data_ways: 8 },
+    ));
     assert_eq!(r.final_partitions.1, Some(8), "L3 static split must hold");
     assert!(r.ipc() > 0.0);
 }

@@ -209,4 +209,53 @@ proptest! {
             }
         }
     }
+
+    /// Conservation laws (CSALT-A101..A108) hold at the end of randomized
+    /// short simulations, for every translation scheme: counters are never
+    /// lost or double-counted regardless of seed, scheme, context count or
+    /// epoch length.
+    #[test]
+    fn conservation_laws_hold_across_schemes(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..9,
+        contexts in 1u32..3,
+        accesses in 2_000u64..6_000,
+    ) {
+        use csalt::audit::conservation;
+        use csalt::sim::{run, SimConfig};
+        use csalt::types::TranslationScheme;
+        use csalt::workloads::{BenchKind, WorkloadSpec};
+
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltD,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Dip,
+            TranslationScheme::Tsb,
+            TranslationScheme::TsbCsalt,
+            TranslationScheme::Drrip,
+            TranslationScheme::StaticPartition { data_ways: 8 },
+        ];
+        let scheme = schemes[scheme_idx];
+        let mut cfg = SimConfig::new(
+            WorkloadSpec::homogeneous("gups", BenchKind::Gups),
+            scheme,
+        );
+        cfg.system.cores = 1;
+        cfg.system.contexts_per_core = contexts;
+        cfg.system.cs_interval_cycles = 20_000;
+        cfg.system.epoch_accesses = 1_500;
+        cfg.seed = seed;
+        cfg.scale = 0.05;
+        cfg.accesses_per_core = accesses;
+        cfg.warmup_accesses_per_core = 1_000;
+        let r = run(&cfg);
+
+        let diags = conservation::audit_snapshot(&r.workload, &r.snapshot, &scheme);
+        prop_assert!(diags.is_empty(), "conservation violated: {diags:?}");
+        let ipc_diags = conservation::audit_ipc(&r.workload, r.ipc(), r.instructions);
+        prop_assert!(ipc_diags.is_empty(), "IPC not usable: {ipc_diags:?}");
+        prop_assert_eq!(r.snapshot.accesses, accesses);
+    }
 }

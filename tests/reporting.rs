@@ -24,7 +24,9 @@ fn sample() -> Table {
 #[test]
 fn plain_render_contains_all_cells() {
     let s = sample().render();
-    for needle in ["Figure X", "w1", "w2", "0.500", "8.000", "geomean", "1.000", "4.000"] {
+    for needle in [
+        "Figure X", "w1", "w2", "0.500", "8.000", "geomean", "1.000", "4.000",
+    ] {
         assert!(s.contains(needle), "missing {needle} in:\n{s}");
     }
 }

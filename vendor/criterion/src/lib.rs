@@ -1,0 +1,125 @@
+//! Offline shim for the subset of `criterion` this workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until a fixed
+//! wall-clock budget is spent, reporting mean time per iteration. No
+//! statistics, plots, or baselines — just a stable number per benchmark,
+//! enough to compare hot paths run-over-run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Total iterations executed in the measured phase.
+    iterations: u64,
+    /// Wall time spent in the measured phase.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: warm-up (~50 ms), then measured
+    /// batches until the time budget (~300 ms) is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP: Duration = Duration::from_millis(50);
+        const BUDGET: Duration = Duration::from_millis(300);
+
+        let warm_start = Instant::now();
+        let mut batch: u64 = 1;
+        while warm_start.elapsed() < WARMUP {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+
+        let mut iterations: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iterations += batch;
+            if start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry/driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures `f` and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iterations == 0 {
+            println!("{name}: no iterations recorded");
+        } else {
+            let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+            println!(
+                "{name}: {per_iter:.1} ns/iter ({} iters in {:.1} ms)",
+                bencher.iterations,
+                bencher.elapsed.as_secs_f64() * 1e3,
+            );
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function invoking each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iterations > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

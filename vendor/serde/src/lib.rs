@@ -1,0 +1,476 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build container has no registry access, so the real `serde` crate
+//! cannot be fetched. This shim keeps the same *spelling* at every use
+//! site — `#[derive(Serialize, Deserialize)]`, `serde_json::to_string`,
+//! `serde_json::from_slice` — while implementing a much simpler model
+//! underneath: values are converted to and from a self-describing
+//! [`Content`] tree (a JSON-shaped document), and `serde_json` renders or
+//! parses that tree.
+//!
+//! The derive macro (see `serde_derive`) supports exactly the shapes the
+//! workspace contains: named-field structs, single-field newtype tuple
+//! structs, and enums whose variants are units or named-field structs
+//! (externally tagged, matching real serde's JSON encoding).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree mirroring the JSON data model.
+///
+/// Integers keep their sign distinction (`U64` vs `I64`) so that round
+/// trips through text never lose range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrows the object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is an array.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable kind name, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the target type.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a fully formed message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y" for a mismatched content node.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// An enum received a variant name it does not define.
+    pub fn unknown_variant(variant: &str, enum_name: &str) -> Self {
+        DeError {
+            message: format!("unknown variant `{variant}` for enum {enum_name}"),
+        }
+    }
+
+    /// A struct field was absent from the object.
+    pub fn missing_field(field: &str, struct_name: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}` for {struct_name}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the document model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Attempts to rebuild `Self` from the document model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up `name` in a struct's object entries and deserializes it.
+///
+/// Generated code calls this once per field.
+pub fn field<T: Deserialize>(
+    entries: &[(String, Content)],
+    name: &str,
+    struct_name: &str,
+) -> Result<T, DeError> {
+    let value = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(name, struct_name))?;
+    T::from_content(value)
+        .map_err(|e| DeError::custom(format!("field `{struct_name}.{name}`: {e}")))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range")))?,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let raw = u64::from_content(content)?;
+        usize::try_from(raw).map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Content::I64(v)
+                } else {
+                    Content::U64(v as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range")))?,
+                    Content::I64(v) => *v,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+/// Interns a string, returning a `'static` reference.
+///
+/// Needed because `WorkloadSpec.name` is `&'static str`: deserializing it
+/// requires promoting the parsed string. Repeated names (the common case
+/// — a fixed set of workload labels) share one allocation.
+fn intern(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = pool.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(&existing) = guard.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(intern(s)),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", content))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::from_content)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::custom("array length changed during conversion"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::from_content(a)?, B::from_content(b)?)),
+            _ => Err(DeError::expected("2-element array", content)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b, c]) => Ok((
+                A::from_content(a)?,
+                B::from_content(b)?,
+                C::from_content(c)?,
+            )),
+            _ => Err(DeError::expected("3-element array", content)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn unsigned_rejects_negative() {
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn static_str_interning_dedups() {
+        let a = <&'static str>::from_content(&Content::Str("gups".into())).unwrap();
+        let b = <&'static str>::from_content(&Content::Str("gups".into())).unwrap();
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn option_and_tuple_round_trip() {
+        let v: Option<u32> = Some(9);
+        assert_eq!(Option::<u32>::from_content(&v.to_content()).unwrap(), v);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        let t = (3u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn array_length_is_checked() {
+        let c = Content::Seq(vec![Content::U64(1)]);
+        assert!(<[u32; 2]>::from_content(&c).is_err());
+    }
+}

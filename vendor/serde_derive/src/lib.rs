@@ -1,0 +1,393 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (see `vendor/serde`) by scanning the raw token stream — no
+//! `syn`/`quote`, since the registry is unreachable in this container.
+//!
+//! Supported input shapes (exactly what the workspace contains):
+//! - structs with named fields
+//! - tuple structs with a single field (newtypes, encoded transparently)
+//! - enums whose variants are units (encoded as the variant-name string)
+//!   or named-field structs (encoded externally tagged:
+//!   `{"Variant": {fields...}}`)
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and panic
+//! with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name only (types are irrelevant to codegen —
+/// the trait methods dispatch on the value's own impl).
+type Fields = Vec<String>;
+
+enum Shape {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { name: String, fields: Fields },
+    /// `struct Name(Inner);`
+    NewtypeStruct { name: String },
+    /// `enum Name { Unit, Other { x: X } }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Fields>,
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+                 }}\n}}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+             ::serde::Serialize::to_content(&self.0)\n\
+             }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        Some(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_content({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![\
+                                 (\"{vname}\".to_string(), \
+                                 ::serde::Content::Map(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    parse_generated(&code)
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let entries = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object for struct {name}\", content))?;\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                 }}\n}}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+             ::core::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))\n\
+             }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let struct_variants: Vec<&Variant> =
+                variants.iter().filter(|v| v.fields.is_some()).collect();
+            let map_arm = if struct_variants.is_empty() {
+                String::new()
+            } else {
+                let key_arms: String = struct_variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        let inits: String = v
+                            .fields
+                            .as_ref()
+                            .map(|fields| {
+                                fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "{f}: ::serde::field(inner, \"{f}\", \"{vname}\")?,"
+                                        )
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        format!(
+                            "\"{vname}\" => {{\n\
+                             let inner = value.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\
+                             \"object payload for variant {vname}\", value))?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             }},"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                     let (key, value) = &entries[0];\n\
+                     match key.as_str() {{\n\
+                     {key_arms}\n\
+                     other => ::core::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                     }}\n\
+                     }},"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) \
+                 -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::core::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }},\n\
+                 {map_arm}\n\
+                 other => ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"variant of enum {name}\", other)),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    parse_generated(&code)
+}
+
+fn parse_generated(code: &str) -> TokenStream {
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => panic!("serde_derive shim produced invalid Rust: {e}\n{code}"),
+    }
+}
+
+/// Parses the derive input item into one of the supported [`Shape`]s.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), &name);
+                Shape::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive shim: tuple struct `{name}` has {arity} fields; \
+                         only single-field newtypes are supported"
+                    );
+                }
+                Shape::NewtypeStruct { name }
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream(), &name);
+                Shape::Enum { name, variants }
+            }
+            other => panic!("serde_derive shim: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances past any `#[...]` attributes (including doc comments).
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // '[...]'
+        }
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` field lists, returning the names.
+///
+/// Commas *inside* generic argument lists (`Vec<(u64, f64)>`) are skipped
+/// by tracking `<`/`>` nesting; parenthesized tuples arrive as single
+/// group tokens, so only angle brackets need counting.
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name in `{owner}`, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{owner}.{fname}`, got {other:?}"
+            ),
+        }
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume the comma (or run off the end after the last field)
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth: i32 = 0;
+    let mut saw_trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if idx == tokens.len() - 1 {
+                    saw_trailing_comma = true;
+                } else {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    arity
+}
+
+/// Parses enum variants: `Unit, Struct { a: A }, ...`.
+fn parse_variants(stream: TokenStream, owner: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name in `{owner}`, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream(), &vname);
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!(
+                    "serde_derive shim: tuple variant `{owner}::{vname}` is not supported; \
+                     use a struct variant"
+                );
+            }
+            _ => None,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+    }
+    variants
+}
