@@ -9,9 +9,15 @@
 #   2. the full test suite (debug: keeps debug_assert! hooks live)
 #   3. the test suite again with csalt-sim's `audit` feature, which
 #      checks the CSALT-A1xx conservation laws at every epoch boundary
-#   4. clippy with the workspace lint table, warnings denied
-#   5. rustfmt check
-#   6. the csalt-audit static sweep over every preset x scheme
+#   4. csalt-sim still builds with the `telemetry` feature off
+#   5. telemetry stream round-trip: an instrumented run's JSONL must
+#      pass `csalt-report --telemetry --check` (no parse errors, no
+#      stage-sum violations)
+#   6. telemetry overhead smoke: NullRecorder within the <2% budget
+#      (skipped with --quick; needs a release build)
+#   7. clippy with the workspace lint table, warnings denied
+#   8. rustfmt check
+#   9. the csalt-audit static sweep over every preset x scheme
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -31,6 +37,21 @@ cargo test --workspace -q
 
 step "cargo test -p csalt-sim --features audit (conservation laws live)"
 cargo test -p csalt-sim --features audit -q
+
+step "cargo build -p csalt-sim --no-default-features (telemetry feature off)"
+cargo build -q -p csalt-sim --no-default-features
+
+step "telemetry stream round-trip (csalt-experiments run -> csalt-report --check)"
+tmp_stream="$(mktemp -t csalt-telemetry-XXXXXX.jsonl)"
+trap 'rm -f "$tmp_stream"' EXIT
+CSALT_WARMUP=2000 CSALT_SCALE=0.05 cargo run -q -p csalt-sim --bin csalt-experiments -- \
+    run gups csalt-cd --telemetry "$tmp_stream" --telemetry-sample 200 --accesses 8000
+cargo run -q -p csalt-sim --bin csalt-report -- --telemetry "$tmp_stream" --check > /dev/null
+
+if [[ $quick -eq 0 ]]; then
+    step "telemetry overhead smoke (NullRecorder < 2%)"
+    CSALT_SMOKE=1 cargo bench -q -p csalt-bench --bench telemetry_overhead
+fi
 
 step "cargo clippy --workspace --all-targets --all-features -- -D warnings"
 cargo clippy --workspace --all-targets --all-features -- -D warnings

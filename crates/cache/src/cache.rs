@@ -78,6 +78,19 @@ impl CacheStats {
             EntryKind::Tlb => self.tlb,
         }
     }
+
+    /// Counter delta relative to an `earlier` snapshot of the same
+    /// cache (saturating, for telemetry epoch records).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        Self {
+            data: self.data - earlier.data,
+            tlb: self.tlb - earlier.tlb,
+            fills: self.fills.saturating_sub(earlier.fills),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+        }
+    }
 }
 
 /// Snapshot of how much of the cache each entry kind occupies (Figure 3).

@@ -15,8 +15,11 @@
 use crate::managed::{CacheManagement, ManagedCache, PartitionSample};
 use csalt_cache::{Cache, CacheStats, Occupancy};
 use csalt_dram::{DramModel, DramStats};
-use csalt_profiler::{CriticalityEstimator, Weights};
-use csalt_ptw::{FrameAllocator, GuestAddressSpace, HugePagePolicy, NativeWalker, NestedWalker};
+use csalt_profiler::{CriticalityEstimator, CriticalityGauges, Weights};
+use csalt_ptw::{
+    FrameAllocator, GuestAddressSpace, HugePagePolicy, NativeWalker, NestedWalker, WalkDim,
+};
+use csalt_telemetry::{ServedBy, StageSample, WalkStage};
 use csalt_tlb::{PomTlb, SramTlb, Tsb};
 use csalt_types::{
     Asid, ContextId, CoreId, Cycle, EntryKind, HitMissStats, LineAddr, MemAccess, PhysAddr,
@@ -44,6 +47,17 @@ pub struct AccessCharge {
     pub l2_tlb_hit: bool,
     /// Whether a page walk was required.
     pub walked: bool,
+}
+
+/// Access-counter readings of every level a request can touch, used to
+/// attribute a traced access to the level that served it.
+#[derive(Debug, Clone, Copy)]
+struct ServedProbe {
+    l1d: u64,
+    l2: u64,
+    l3: u64,
+    ddr: u64,
+    stacked: u64,
 }
 
 /// Serializable summary of every component's counters.
@@ -98,6 +112,41 @@ impl HierarchySnapshot {
             self.page_walk_cycles as f64 / self.page_walks as f64
         }
     }
+
+    /// Component-wise counter delta relative to an `earlier` snapshot of
+    /// the same hierarchy — the payload of one telemetry epoch record.
+    ///
+    /// All subtraction is saturating (counters are monotonic between
+    /// resets); summing the deltas of every epoch reproduces the final
+    /// snapshot exactly, a property the workspace proptests check.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        let opt_delta = |now: Option<HitMissStats>, then: Option<HitMissStats>| match (now, then) {
+            (Some(a), Some(b)) => Some(a - b),
+            (a, None) => a,
+            (None, Some(_)) => None,
+        };
+        Self {
+            l1_tlb: self.l1_tlb - earlier.l1_tlb,
+            l2_tlb: self.l2_tlb - earlier.l2_tlb,
+            l1d: self.l1d.delta_since(&earlier.l1d),
+            l2: self.l2.delta_since(&earlier.l2),
+            l3: self.l3.delta_since(&earlier.l3),
+            pom: opt_delta(self.pom, earlier.pom),
+            tsb: opt_delta(self.tsb, earlier.tsb),
+            page_walks: self.page_walks.saturating_sub(earlier.page_walks),
+            page_walk_cycles: self
+                .page_walk_cycles
+                .saturating_sub(earlier.page_walk_cycles),
+            translation_cycles: self
+                .translation_cycles
+                .saturating_sub(earlier.translation_cycles),
+            data_cycles: self.data_cycles.saturating_sub(earlier.data_cycles),
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            ddr: self.ddr.delta_since(&earlier.ddr),
+            stacked: self.stacked.delta_since(&earlier.stacked),
+        }
+    }
 }
 
 /// Per-context translation machinery.
@@ -138,6 +187,11 @@ pub struct MemoryHierarchy {
     data_cycles: u64,
     page_walks: u64,
     page_walk_cycles: u64,
+
+    /// Stage-attribution sink for the access currently being traced;
+    /// `None` (the steady state) keeps the hot path to one branch per
+    /// potential stage push.
+    trace: Option<Vec<StageSample>>,
 }
 
 impl MemoryHierarchy {
@@ -268,6 +322,7 @@ impl MemoryHierarchy {
             scheme,
             huge,
             virtualized,
+            trace: None,
         })
     }
 
@@ -314,7 +369,15 @@ impl MemoryHierarchy {
         let (frame, translation_cycles, l1_hit, l2_hit, walked) =
             self.translate(core, ctx, acc.vaddr);
         let pa = frame.translate(acc.vaddr);
+        let probe = self
+            .trace
+            .is_some()
+            .then(|| self.served_probe(core.index()));
         let data_cycles = self.data_access(core.index(), pa.line(), acc.ty.is_write());
+        if let Some(p) = probe {
+            let served = self.served_since(core.index(), &p);
+            self.push_stage(WalkStage::Data, 0, data_cycles, None, served);
+        }
         self.translation_cycles += translation_cycles;
         self.data_cycles += data_cycles;
         // Conservation laws the counters must satisfy after every access
@@ -339,6 +402,88 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Serves one access while recording its full path through the
+    /// hierarchy as per-stage cycle attributions (telemetry walk traces).
+    ///
+    /// The returned stage cycles always sum to
+    /// `translation_cycles + data_cycles`: every blocking cycle the
+    /// access is charged is attributed to exactly one stage, and
+    /// non-blocking work (TLB install stores, dirty writebacks) appears
+    /// in no stage because it is charged to no access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `ctx` is out of range.
+    pub fn access_traced(
+        &mut self,
+        core: CoreId,
+        ctx: ContextId,
+        acc: MemAccess,
+    ) -> (AccessCharge, Vec<StageSample>) {
+        self.trace = Some(Vec::with_capacity(8));
+        let charge = self.access(core, ctx, acc);
+        let stages = self.trace.take().unwrap_or_default();
+        debug_assert_eq!(
+            stages.iter().map(|s| s.cycles).sum::<u64>(),
+            charge.translation_cycles + charge.data_cycles,
+            "stage attribution must be exhaustive"
+        );
+        (charge, stages)
+    }
+
+    /// Appends a stage sample if an access trace is being collected.
+    fn push_stage(
+        &mut self,
+        stage: WalkStage,
+        index: u32,
+        cycles: Cycle,
+        hit: Option<bool>,
+        served_by: Option<ServedBy>,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(StageSample {
+                stage,
+                index,
+                cycles,
+                hit,
+                served_by,
+            });
+        }
+    }
+
+    /// Point-in-time access counters of every level a request can touch,
+    /// taken before an access so [`Self::served_since`] can attribute it.
+    fn served_probe(&self, core: usize) -> ServedProbe {
+        ServedProbe {
+            l1d: self.l1d[core].stats().total().accesses(),
+            l2: self.l2[core].cache().stats().total().accesses(),
+            l3: self.l3.cache().stats().total().accesses(),
+            ddr: self.ddr.stats().accesses,
+            stacked: self.stacked.stats().accesses,
+        }
+    }
+
+    /// Deepest memory level whose access counter advanced since `p` was
+    /// taken — i.e. the level that served the request. Writebacks riding
+    /// on the same access can deepen the answer; attribution is
+    /// best-effort, not part of the cycle accounting.
+    fn served_since(&self, core: usize, p: &ServedProbe) -> Option<ServedBy> {
+        let q = self.served_probe(core);
+        if q.stacked > p.stacked {
+            Some(ServedBy::StackedDram)
+        } else if q.ddr > p.ddr {
+            Some(ServedBy::Ddr)
+        } else if q.l3 > p.l3 {
+            Some(ServedBy::L3)
+        } else if q.l2 > p.l2 {
+            Some(ServedBy::L2)
+        } else if q.l1d > p.l1d {
+            Some(ServedBy::L1d)
+        } else {
+            None
+        }
+    }
+
     /// Resolves `va` to a frame, charging translation cycles.
     fn translate(
         &mut self,
@@ -353,14 +498,17 @@ impl MemoryHierarchy {
         // L1 TLBs (looked up in parallel with the L1 data cache: a hit
         // adds no visible latency).
         if let Some(f) = self.l1_tlb_4k[c].lookup(va.page(csalt_types::PageSize::Size4K), asid) {
+            self.push_stage(WalkStage::L1Tlb, 0, 0, Some(true), None);
             return (f, 0, true, false, false);
         }
         if probe_2m {
             if let Some(f) = self.l1_tlb_2m[c].lookup(va.page(csalt_types::PageSize::Size2M), asid)
             {
+                self.push_stage(WalkStage::L1Tlb, 0, 0, Some(true), None);
                 return (f, 0, true, false, false);
             }
         }
+        self.push_stage(WalkStage::L1Tlb, 0, 0, Some(false), None);
 
         // Unified L2 TLB.
         let mut cycles = self.cfg.l2_tlb.latency;
@@ -373,6 +521,7 @@ impl MemoryHierarchy {
                     None
                 }
             });
+        self.push_stage(WalkStage::L2Tlb, 0, cycles, Some(l2_result.is_some()), None);
         if let Some(f) = l2_result {
             self.install_l1(c, va, asid, f);
             return (f, cycles, false, true, false);
@@ -431,7 +580,7 @@ impl MemoryHierarchy {
         } else {
             &[csalt_types::PageSize::Size4K]
         };
-        for &size in sizes {
+        for (i, &size) in sizes.iter().enumerate() {
             let page = va.page(size);
             let (lookup_line, found) = {
                 let pom = self.pom.as_mut().expect("POM scheme has a POM-TLB");
@@ -440,7 +589,22 @@ impl MemoryHierarchy {
             };
             // The lookup is one memory access to the home line; the data
             // caches may hold it.
-            cycles += self.l2_access(core.index(), lookup_line, EntryKind::Tlb, false);
+            let probe = self
+                .trace
+                .is_some()
+                .then(|| self.served_probe(core.index()));
+            let lookup_cycles = self.l2_access(core.index(), lookup_line, EntryKind::Tlb, false);
+            cycles += lookup_cycles;
+            if let Some(p) = probe {
+                let served = self.served_since(core.index(), &p);
+                self.push_stage(
+                    WalkStage::PomLookup,
+                    i as u32,
+                    lookup_cycles,
+                    Some(found.is_some()),
+                    served,
+                );
+            }
             if let Some(frame) = found {
                 return (page, frame, cycles, false);
             }
@@ -478,8 +642,18 @@ impl MemoryHierarchy {
             (r.frame, r.accesses)
         };
         let mut cycles = 0;
-        for line in accesses {
-            cycles += self.l2_access(core.index(), line, EntryKind::Tlb, false);
+        let hit = frame.is_some();
+        for (i, line) in accesses.into_iter().enumerate() {
+            let probe = self
+                .trace
+                .is_some()
+                .then(|| self.served_probe(core.index()));
+            let c = self.l2_access(core.index(), line, EntryKind::Tlb, false);
+            cycles += c;
+            if let Some(p) = probe {
+                let served = self.served_since(core.index(), &p);
+                self.push_stage(WalkStage::TsbLookup, i as u32, c, Some(hit), served);
+            }
         }
         if let Some(f) = frame {
             return (page, f, cycles, false);
@@ -518,8 +692,26 @@ impl MemoryHierarchy {
         // PTE reads are dependent: charge them sequentially. Walks issue
         // from the walker's cache port on the requesting core's L2.
         let core = (ctx.raw() as usize) % self.l1d.len();
-        for pa in &outcome.accesses {
-            cycles += self.l2_access(core, pa.line(), EntryKind::Tlb, false);
+        let mut guest_idx = 0u32;
+        let mut host_idx = 0u32;
+        for pte in &outcome.accesses {
+            let probe = self.trace.is_some().then(|| self.served_probe(core));
+            let c = self.l2_access(core, pte.addr.line(), EntryKind::Tlb, false);
+            cycles += c;
+            if let Some(p) = probe {
+                let served = self.served_since(core, &p);
+                let (stage, index) = match pte.dim {
+                    WalkDim::Guest => {
+                        guest_idx += 1;
+                        (WalkStage::GuestPte, guest_idx - 1)
+                    }
+                    WalkDim::Host => {
+                        host_idx += 1;
+                        (WalkStage::HostPte, host_idx - 1)
+                    }
+                };
+                self.push_stage(stage, index, c, None, served);
+            }
         }
         self.page_walks += 1;
         self.page_walk_cycles += cycles;
@@ -730,6 +922,25 @@ impl MemoryHierarchy {
             ddr: *self.ddr.stats(),
             stacked: *self.stacked.stats(),
         }
+    }
+
+    /// Mean L2 TLB occupancy (valid entries / capacity) across cores.
+    pub fn l2_tlb_utilization(&self) -> f64 {
+        if self.l2_tlb.is_empty() {
+            return 0.0;
+        }
+        self.l2_tlb.iter().map(SramTlb::utilization).sum::<f64>() / self.l2_tlb.len() as f64
+    }
+
+    /// POM-TLB array occupancy, for schemes that have one.
+    pub fn pom_utilization(&self) -> Option<f64> {
+        self.pom.as_ref().map(PomTlb::utilization)
+    }
+
+    /// Criticality-estimator gauges for the (L2, L3) managed caches —
+    /// the §3.2 latency averages next to the weights they produce.
+    pub fn criticality_gauges(&self) -> (CriticalityGauges, CriticalityGauges) {
+        (self.crit_l2.gauges(), self.crit_l3.gauges())
     }
 
     /// The scheme this hierarchy runs.
@@ -955,6 +1166,119 @@ mod tests {
         let snap = h.snapshot();
         let json = serde_json::to_string(&snap).expect("serializable");
         assert!(json.contains("page_walks"));
+    }
+
+    #[test]
+    fn traced_stage_cycles_sum_to_charge_for_every_scheme() {
+        for scheme in [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Tsb,
+        ] {
+            let mut h = hier(scheme, true);
+            let ctx = h.add_context();
+            for i in 0..64u64 {
+                let (charge, stages) =
+                    h.access_traced(CoreId::new(0), ctx, access_at(0x1000 + i * 0x1800));
+                let stage_sum: u64 = stages.iter().map(|s| s.cycles).sum();
+                assert_eq!(
+                    stage_sum,
+                    charge.translation_cycles + charge.data_cycles,
+                    "scheme {scheme:?}: stage cycles must partition the charge"
+                );
+                assert!(
+                    stages.iter().any(|s| s.stage == WalkStage::Data),
+                    "every trace records the data stage"
+                );
+                if charge.walked {
+                    assert!(
+                        stages
+                            .iter()
+                            .any(|s| matches!(s.stage, WalkStage::GuestPte | WalkStage::HostPte)),
+                        "walked accesses record PTE stages"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_walk_tags_both_dimensions_when_virtualized() {
+        let mut h = hier(TranslationScheme::Conventional, true);
+        let ctx = h.add_context();
+        let (charge, stages) = h.access_traced(CoreId::new(0), ctx, access_at(0x5a5a_0000));
+        assert!(charge.walked);
+        let guests = stages
+            .iter()
+            .filter(|s| s.stage == WalkStage::GuestPte)
+            .count();
+        let hosts = stages
+            .iter()
+            .filter(|s| s.stage == WalkStage::HostPte)
+            .count();
+        assert_eq!(guests, 4, "cold 2D walk reads 4 guest PTEs");
+        // Five embedded host walks (for gL4..gL1 and the final gPA); the
+        // host PSC collapses all but the first to a single terminal read.
+        assert!(
+            (5..=20).contains(&hosts),
+            "2D walk embeds 5 host walks (PSC-compressed): {hosts}"
+        );
+    }
+
+    #[test]
+    fn untraced_access_records_no_stages() {
+        let mut h = hier(TranslationScheme::PomTlb, false);
+        let ctx = h.add_context();
+        h.access(CoreId::new(0), ctx, access_at(0x1000));
+        let (_, stages) = h.access_traced(CoreId::new(0), ctx, access_at(0x2000));
+        assert!(!stages.is_empty());
+        // Tracing is one-shot: the next plain access leaves no residue.
+        h.access(CoreId::new(0), ctx, access_at(0x3000));
+        let (_, stages2) = h.access_traced(CoreId::new(0), ctx, access_at(0x4000));
+        assert!(stages2.iter().all(|s| s.cycles < u64::MAX));
+    }
+
+    #[test]
+    fn snapshot_delta_since_sums_back_to_total() {
+        let mut h = hier(TranslationScheme::CsaltCd, true);
+        let ctx = h.add_context();
+        for i in 0..128u64 {
+            h.access(CoreId::new(0), ctx, access_at(0x1000 + i * 0x940));
+        }
+        let mid = h.snapshot();
+        for i in 0..128u64 {
+            h.access(CoreId::new(0), ctx, access_at(0x90_0000 + i * 0x940));
+        }
+        let end = h.snapshot();
+        let delta = end.delta_since(&mid);
+        assert_eq!(delta.accesses, 128);
+        assert_eq!(
+            mid.translation_cycles + delta.translation_cycles,
+            end.translation_cycles
+        );
+        assert_eq!(mid.data_cycles + delta.data_cycles, end.data_cycles);
+        assert_eq!(mid.page_walks + delta.page_walks, end.page_walks);
+        assert_eq!(
+            mid.l2_tlb.accesses() + delta.l2_tlb.accesses(),
+            end.l2_tlb.accesses()
+        );
+        assert_eq!(mid.ddr.accesses + delta.ddr.accesses, end.ddr.accesses);
+    }
+
+    #[test]
+    fn utilization_gauges_are_bounded() {
+        let mut h = hier(TranslationScheme::CsaltCd, false);
+        let ctx = h.add_context();
+        for i in 0..256u64 {
+            h.access(CoreId::new(0), ctx, access_at(0x4000 + i * 0x1000));
+        }
+        let u = h.l2_tlb_utilization();
+        assert!(u > 0.0 && u <= 1.0, "L2 TLB utilization in (0, 1]: {u}");
+        let p = h.pom_utilization().expect("CSALT-CD has a POM-TLB");
+        assert!((0.0..=1.0).contains(&p), "POM utilization in [0, 1]: {p}");
+        let (g2, g3) = h.criticality_gauges();
+        assert!(g2.s_tr >= g2.s_dat && g3.s_tr >= g3.s_dat);
     }
 
     #[test]

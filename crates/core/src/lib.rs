@@ -43,3 +43,7 @@ mod managed;
 
 pub use hierarchy::{AccessCharge, HierarchySnapshot, MemoryHierarchy};
 pub use managed::{CacheManagement, ManagedCache, PartitionSample};
+
+// Re-export the stage-trace vocabulary so downstream consumers of
+// [`MemoryHierarchy::access_traced`] need not depend on csalt-telemetry.
+pub use csalt_telemetry::{ServedBy, StageSample, WalkStage};

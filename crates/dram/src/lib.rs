@@ -69,12 +69,28 @@ impl DramStats {
         }
     }
 
-    /// Row-buffer hit rate in `[0, 1]`.
-    pub fn row_hit_rate(&self) -> f64 {
+    /// Row-buffer hit rate in `[0, 1]`, or `None` when the device was
+    /// never accessed (matches `HitMissStats::hit_rate` semantics so an
+    /// idle channel never reports a fake 0%).
+    pub fn row_hit_rate(&self) -> Option<f64> {
         if self.accesses == 0 {
-            0.0
+            None
         } else {
-            self.row_hits as f64 / self.accesses as f64
+            Some(self.row_hits as f64 / self.accesses as f64)
+        }
+    }
+
+    /// Counter delta relative to an `earlier` snapshot of the same
+    /// device (saturating, for telemetry epoch records).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        Self {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            row_hits: self.row_hits.saturating_sub(earlier.row_hits),
+            row_closed: self.row_closed.saturating_sub(earlier.row_closed),
+            row_conflicts: self.row_conflicts.saturating_sub(earlier.row_conflicts),
+            writes: self.writes.saturating_sub(earlier.writes),
+            total_latency: self.total_latency.saturating_sub(earlier.total_latency),
         }
     }
 }
@@ -332,6 +348,27 @@ mod tests {
             m.access(PhysAddr::new(i * LINE_BYTES), false);
         }
         // A 2 KiB row holds 32 lines; expect ~31/32 hit rate.
-        assert!(m.stats().row_hit_rate() > 0.9);
+        assert!(m.stats().row_hit_rate().expect("accesses recorded") > 0.9);
+        // An untouched device reports no rate at all, not 0%.
+        assert_eq!(DramStats::default().row_hit_rate(), None);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let mut m = ddr();
+        for i in 0..64u64 {
+            m.access(PhysAddr::new(i * LINE_BYTES), i % 2 == 0);
+        }
+        let mid = *m.stats();
+        for i in 0..64u64 {
+            m.access(PhysAddr::new(i * 7919 * LINE_BYTES), false);
+        }
+        let delta = m.stats().delta_since(&mid);
+        assert_eq!(delta.accesses, 64);
+        assert_eq!(delta.writes, 0);
+        assert_eq!(
+            delta.accesses,
+            delta.row_hits + delta.row_closed + delta.row_conflicts
+        );
     }
 }

@@ -105,6 +105,31 @@ impl CriticalityEstimator {
         self.pom_latency_sum /= 2.0;
         self.pom_samples /= 2.0;
     }
+
+    /// Point-in-time telemetry gauges: the §3.2 inputs (average observed
+    /// service latencies) next to the weights they produce.
+    pub fn gauges(&self) -> CriticalityGauges {
+        let w = self.weights();
+        CriticalityGauges {
+            avg_dram_latency: self.avg_dram(),
+            avg_pom_tlb_latency: self.avg_pom_tlb(),
+            s_dat: w.s_dat,
+            s_tr: w.s_tr,
+        }
+    }
+}
+
+/// Serializable snapshot of one estimator's state for epoch telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalityGauges {
+    /// Average observed off-chip DRAM service latency (core cycles).
+    pub avg_dram_latency: f64,
+    /// Average observed POM-TLB (stacked DRAM) service latency.
+    pub avg_pom_tlb_latency: f64,
+    /// Resulting data-hit criticality weight (`S_Dat`).
+    pub s_dat: f64,
+    /// Resulting translation-hit criticality weight (`S_Tr`).
+    pub s_tr: f64,
 }
 
 #[cfg(test)]
@@ -168,5 +193,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_latency_rejected() {
         CriticalityEstimator::new(0, 100, 50);
+    }
+
+    #[test]
+    fn gauges_mirror_weights_and_averages() {
+        let mut e = CriticalityEstimator::new(42, 168, 84);
+        e.record_dram(210);
+        e.record_pom_tlb(126);
+        let g = e.gauges();
+        assert_eq!(g.avg_dram_latency, e.avg_dram());
+        assert_eq!(g.avg_pom_tlb_latency, e.avg_pom_tlb());
+        let w = e.weights();
+        assert_eq!(g.s_dat, w.s_dat);
+        assert_eq!(g.s_tr, w.s_tr);
     }
 }

@@ -42,7 +42,7 @@ mod epoch;
 mod msa;
 mod partition;
 
-pub use criticality::CriticalityEstimator;
+pub use criticality::{CriticalityEstimator, CriticalityGauges};
 pub use epoch::EpochController;
 pub use msa::{LruStackCounts, StackDistanceProfiler};
 pub use partition::{choose_partition, weighted_marginal_utility, PartitionDecision, Weights};

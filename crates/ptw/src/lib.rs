@@ -40,4 +40,6 @@ mod walker;
 pub use frames::FrameAllocator;
 pub use psc::{PagingStructureCache, PscStart};
 pub use radix::{HugePagePolicy, PteRef, RadixPageTable, WalkPath};
-pub use walker::{GuestAddressSpace, NativeWalker, NestedWalker, WalkOutcome, WalkStats};
+pub use walker::{
+    GuestAddressSpace, NativeWalker, NestedWalker, PteRead, WalkDim, WalkOutcome, WalkStats,
+};

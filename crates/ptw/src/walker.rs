@@ -37,6 +37,31 @@ impl WalkStats {
     }
 }
 
+/// Which page-table dimension one PTE read belongs to.
+///
+/// Native (1D) walks read only the machine dimension and report every
+/// step as [`WalkDim::Host`]; nested (2D) walks interleave guest PTE
+/// reads with the embedded host walks that locate them, and telemetry
+/// uses the tag to attribute walk cycles per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkDim {
+    /// A guest-dimension PTE read (gVA → gPA table).
+    Guest,
+    /// A host/machine-dimension PTE read (gPA → hPA table, or any step
+    /// of a native walk).
+    Host,
+}
+
+/// One PTE read performed during a walk: where it landed in machine
+/// memory and which dimension issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteRead {
+    /// Machine-physical address of the PTE.
+    pub addr: PhysAddr,
+    /// Issuing dimension.
+    pub dim: WalkDim,
+}
+
 /// The outcome of a translation-producing walk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalkOutcome {
@@ -45,9 +70,9 @@ pub struct WalkOutcome {
     pub page: VirtPage,
     /// The frame backing that page in machine-physical memory.
     pub frame: PhysFrame,
-    /// Ordered machine-physical addresses of every PTE read performed;
+    /// Ordered PTE reads performed (machine-physical, dimension-tagged);
     /// the caller routes these through the cache hierarchy.
-    pub accesses: Vec<PhysAddr>,
+    pub accesses: Vec<PteRead>,
 }
 
 /// A native (non-virtualized) address space: one page table over machine
@@ -106,11 +131,14 @@ impl NativeWalker {
     pub fn walk(&mut self, va: VirtAddr, alloc: &mut FrameAllocator) -> WalkOutcome {
         let path = self.table.walk_or_map(va, alloc);
         let start = self.psc.lookup(self.asid, va, self.table.root());
-        let accesses: Vec<PhysAddr> = path
+        let accesses: Vec<PteRead> = path
             .refs
             .iter()
             .filter(|r| r.level <= start.level)
-            .map(|r| r.addr)
+            .map(|r| PteRead {
+                addr: r.addr,
+                dim: WalkDim::Host,
+            })
             .collect();
         self.fill_psc(va, &path);
         self.stats.walks += 1;
@@ -254,13 +282,16 @@ impl NestedWalker {
         space: &mut GuestAddressSpace,
         gpa: PhysAddr,
         host_alloc: &mut FrameAllocator,
-        accesses: &mut Vec<PhysAddr>,
+        accesses: &mut Vec<PteRead>,
     ) -> WalkPath {
         let as_va = VirtAddr::new(gpa.raw());
         let path = space.host.walk_or_map(as_va, host_alloc);
         let start = self.host_psc.lookup(space.asid, as_va, space.host.root());
         for r in path.refs.iter().filter(|r| r.level <= start.level) {
-            accesses.push(r.addr);
+            accesses.push(PteRead {
+                addr: r.addr,
+                dim: WalkDim::Host,
+            });
         }
         self.stats.psc_skipped += path.refs.iter().filter(|r| r.level > start.level).count() as u64;
         for r in &path.refs {
@@ -311,7 +342,10 @@ impl NestedWalker {
             // walk), then read it.
             let pte_host = self.host_translate(space, r.addr, host_alloc, &mut accesses);
             let pte_hpa = pte_host.frame.translate(VirtAddr::new(r.addr.raw()));
-            accesses.push(pte_hpa);
+            accesses.push(PteRead {
+                addr: pte_hpa,
+                dim: WalkDim::Guest,
+            });
         }
         for r in &guest_path.refs {
             if r.level < 4 {
@@ -422,6 +456,14 @@ mod tests {
         // 4 × (4 + 1) + 4 = 24.
         assert_eq!(out.accesses.len(), 24);
         assert_eq!(w.stats().avg_accesses(), 24.0);
+        // Dimension tags: exactly 4 guest PTE reads, 20 host-walk reads.
+        let guest = out
+            .accesses
+            .iter()
+            .filter(|a| a.dim == WalkDim::Guest)
+            .count();
+        assert_eq!(guest, 4);
+        assert_eq!(out.accesses.len() - guest, 20);
     }
 
     #[test]
@@ -495,7 +537,11 @@ mod tests {
         let mut w = NestedWalker::new(psc_cfg());
         let out = w.walk(&mut space, VirtAddr::new(0x7777_0000), &mut halloc);
         for a in &out.accesses {
-            assert!(a.raw() < 2048 * MB2, "access {a} beyond machine memory");
+            assert!(
+                a.addr.raw() < 2048 * MB2,
+                "access {} beyond machine memory",
+                a.addr
+            );
         }
     }
 

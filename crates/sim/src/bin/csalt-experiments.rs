@@ -5,12 +5,23 @@
 //! csalt-experiments list
 //! csalt-experiments fig07 fig08
 //! csalt-experiments all
+//! csalt-experiments run gups csalt-cd --telemetry out.jsonl --telemetry-sample 1000
 //! ```
 //!
 //! Honors the same environment knobs as the bench harness
 //! (`CSALT_ACCESSES`, `CSALT_WARMUP`, `CSALT_SCALE`).
 
 use csalt_sim::experiments as exp;
+#[cfg(feature = "telemetry")]
+use csalt_sim::{run_instrumented, Instrumentation};
+#[cfg(feature = "telemetry")]
+use csalt_telemetry::{NullRecorder, Recorder, StreamRecorder};
+#[cfg(feature = "telemetry")]
+use csalt_types::TranslationScheme;
+#[cfg(feature = "telemetry")]
+use csalt_workloads::paper_workloads;
+#[cfg(feature = "telemetry")]
+use std::path::PathBuf;
 
 struct Entry {
     name: &'static str,
@@ -123,15 +134,141 @@ fn registry() -> Vec<Entry> {
     ]
 }
 
+/// `csalt-experiments run <workload> [scheme] [flags]` — one
+/// instrumented simulation with the telemetry stream on disk.
+///
+/// Flags: `--telemetry <path>` (JSONL or CSV by extension; omitted =
+/// discard records, still useful with `--progress`),
+/// `--telemetry-sample <N>` (trace every Nth translation; 0 = off),
+/// `--progress <N>` (heartbeat every N epochs on stderr),
+/// `--accesses <N>` (per-core access budget override).
+#[cfg(feature = "telemetry")]
+fn run_single(args: &[String]) {
+    let mut workload_name: Option<&str> = None;
+    let mut scheme = TranslationScheme::CsaltCd;
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut sample_interval: u64 = 0;
+    let mut progress: u64 = 0;
+    let mut accesses: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--telemetry" => telemetry_path = Some(PathBuf::from(value("--telemetry"))),
+            "--telemetry-sample" => {
+                sample_interval = parse_or_die(value("--telemetry-sample"), "--telemetry-sample");
+            }
+            "--progress" => progress = parse_or_die(value("--progress"), "--progress"),
+            "--accesses" => accesses = Some(parse_or_die(value("--accesses"), "--accesses")),
+            name if workload_name.is_none() => workload_name = Some(name),
+            label => {
+                scheme = TranslationScheme::parse_label(label).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scheme '{label}' — try conventional, pom-tlb, csalt-d, \
+                         csalt-cd, dip, tsb, tsb-csalt, drrip or static-<ways>"
+                    );
+                    std::process::exit(2);
+                });
+            }
+        }
+    }
+
+    let Some(name) = workload_name else {
+        eprintln!("usage: csalt-experiments run <workload> [scheme] [--telemetry <path>] [--telemetry-sample <N>] [--progress <N>] [--accesses <N>]");
+        std::process::exit(2);
+    };
+    let workload = paper_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| {
+            let known: Vec<String> = paper_workloads().into_iter().map(|w| w.name).collect();
+            eprintln!("unknown workload '{name}' — one of: {}", known.join(", "));
+            std::process::exit(2);
+        });
+
+    let mut cfg = exp::default_config(workload, scheme);
+    if let Some(n) = accesses {
+        cfg.accesses_per_core = n;
+    }
+
+    let mut stream: Option<StreamRecorder> = telemetry_path.as_deref().map(|path| {
+        StreamRecorder::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        })
+    });
+    let mut null = NullRecorder;
+    let recorder: &mut dyn Recorder = match stream.as_mut() {
+        Some(s) => s,
+        None => &mut null,
+    };
+    let mut inst = Instrumentation {
+        recorder,
+        sample_interval,
+        progress_every_epochs: progress,
+    };
+    let result = run_instrumented(&cfg, &mut inst);
+
+    println!(
+        "{} / {}: ipc {:.4}, l2-tlb mpki {:.2}, walks {}, translation cyc/acc {:.1}",
+        cfg.workload.name,
+        scheme.label(),
+        result.ipc(),
+        result.l2_tlb_mpki(),
+        result.snapshot.page_walks,
+        result.snapshot.translation_cycles as f64 / result.snapshot.accesses.max(1) as f64,
+    );
+    if let Some(s) = &stream {
+        if let Some(path) = &telemetry_path {
+            println!(
+                "telemetry: {} records to {} ({} skipped)",
+                s.records_written(),
+                path.display(),
+                s.records_skipped(),
+            );
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+fn parse_or_die(text: &str, flag: &str) -> u64 {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: '{text}' is not a non-negative integer");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = registry();
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: csalt-experiments <name>... | all | list\n");
+        println!("usage: csalt-experiments <name>... | all | list | run <workload> [scheme] [--telemetry <path>]\n");
         for e in &registry {
             println!("  {:<22} {}", e.name, e.about);
         }
+        println!(
+            "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --progress <N>",
+            "run"
+        );
         return;
+    }
+    if args[0] == "run" {
+        #[cfg(feature = "telemetry")]
+        {
+            run_single(&args[1..]);
+            return;
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            eprintln!("`run` needs the `telemetry` feature (on by default)");
+            std::process::exit(2);
+        }
     }
     let wanted: Vec<&Entry> = if args.iter().any(|a| a == "all") {
         registry.iter().collect()

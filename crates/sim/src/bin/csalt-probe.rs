@@ -43,7 +43,7 @@ fn main() {
         TranslationScheme::Dip,
         TranslationScheme::Tsb,
     ] {
-        let mut cfg = default_config(workload, scheme);
+        let mut cfg = default_config(workload.clone(), scheme);
         cfg.accesses_per_core = accesses;
         cfg.occupancy_scan_interval = accesses / 16;
         let r = run(&cfg);
@@ -52,8 +52,12 @@ fn main() {
             (Some(a), Some(b)) => format!("{a}/{b}"),
             _ => "-".into(),
         };
+        // Never-probed TLB partitions print "-" rather than a fake 0%.
+        let pct = |rate: Option<f64>| {
+            rate.map_or_else(|| "-".to_owned(), |v| format!("{:.2}", v * 100.0))
+        };
         println!(
-            "{:<14}{:>8.4}{:>10.2}{:>10.2}{:>10.2}{:>10}{:>10.0}{:>9.3}{:>9.3}{:>10.1}  part(d):{} l2t%:{:.2} l3t%:{:.2} stk:{} ddr:{}",
+            "{:<14}{:>8.4}{:>10.2}{:>10.2}{:>10.2}{:>10}{:>10.0}{:>9.3}{:>9.3}{:>10.1}  part(d):{} l2t%:{} l3t%:{} stk:{} ddr:{}",
             scheme.label(),
             r.ipc(),
             r.l2_tlb_mpki(),
@@ -65,8 +69,8 @@ fn main() {
             l3o,
             r.snapshot.translation_cycles as f64 / r.snapshot.accesses as f64,
             part,
-            r.snapshot.l2.tlb.hit_rate(),
-            r.snapshot.l3.tlb.hit_rate(),
+            pct(r.snapshot.l2.tlb.hit_rate()),
+            pct(r.snapshot.l3.tlb.hit_rate()),
             r.snapshot.stacked.accesses,
             r.snapshot.ddr.accesses,
         );

@@ -1,9 +1,16 @@
 //! Assembles a markdown report from the JSON results the bench targets
-//! persist under `target/csalt-results/`.
+//! persist under `target/csalt-results/`, or summarizes a telemetry
+//! stream produced by `csalt-experiments run --telemetry`.
 //!
-//! Usage: `csalt-report [results_dir]` — prints markdown to stdout.
+//! Usage:
+//! * `csalt-report [results_dir]` — markdown tables to stdout.
+//! * `csalt-report --telemetry <file> [--check]` — stream counts plus
+//!   per-scheme latency percentile tables; `--check` exits nonzero on
+//!   parse errors or walk traces whose stage cycles don't sum to the
+//!   recorded total.
 
 use csalt_sim::experiments::Table;
+use csalt_telemetry::summarize_stream;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -15,9 +22,61 @@ fn emit(text: &str) {
     }
 }
 
+/// Summarizes one JSONL telemetry stream: record counts, validation
+/// verdict, and a percentile table per latency instrument.
+fn telemetry_report(path: &PathBuf, check: bool) {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let summary = summarize_stream(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        std::process::exit(1);
+    });
+
+    emit(&format!("## Telemetry stream: {}\n", path.display()));
+    emit(&format!(
+        "{} records ({} provenance, {} epochs, {} walk traces, {} histograms); \
+         {} parse errors, {} stage-sum violations\n",
+        summary.lines,
+        summary.provenance,
+        summary.epochs,
+        summary.walk_traces,
+        summary.histograms,
+        summary.parse_errors,
+        summary.stage_sum_violations,
+    ));
+    for (instrument, title) in [
+        ("translation_cycles", "Translation latency (cycles)"),
+        ("data_cycles", "Data-path latency (cycles)"),
+        ("total_cycles", "Total access latency (cycles)"),
+    ] {
+        if let Some(table) = summary.percentile_table(instrument, title) {
+            emit(&table);
+        }
+    }
+    if check && !summary.is_clean() {
+        eprintln!(
+            "telemetry check FAILED: {} parse errors, {} stage-sum violations",
+            summary.parse_errors, summary.stage_sum_violations,
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--telemetry") {
+        let Some(path) = args.get(1).map(PathBuf::from) else {
+            eprintln!("usage: csalt-report --telemetry <file> [--check]");
+            std::process::exit(2);
+        };
+        let check = args.iter().any(|a| a == "--check");
+        telemetry_report(&path, check);
+        return;
+    }
+    let dir: PathBuf = args
+        .first()
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/csalt-results"));
     let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {

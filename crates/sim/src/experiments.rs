@@ -229,7 +229,7 @@ pub fn fig01() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         // The context-switched pair.
-        configs.push(default_config(w, TranslationScheme::Conventional));
+        configs.push(default_config(w.clone(), TranslationScheme::Conventional));
         // Each member alone, one context per core.
         for i in 0..2 {
             let b = w.context_bench(i);
@@ -278,7 +278,7 @@ pub fn tab01() -> Table {
     let mut configs = Vec::new();
     for w in homogeneous_six() {
         for virtualized in [false, true] {
-            let mut c = default_config(w, TranslationScheme::Conventional);
+            let mut c = default_config(w.clone(), TranslationScheme::Conventional);
             c.virtualized = virtualized;
             configs.push(c);
         }
@@ -374,7 +374,7 @@ pub fn main_comparison() -> MainComparison {
         results: Vec<Vec<SimResult>>,
     }
 
-    let probe = default_config(paper_workloads()[0], TranslationScheme::PomTlb);
+    let probe = default_config(paper_workloads()[0].clone(), TranslationScheme::PomTlb);
     let key = format!(
         "v1-acc{}-warm{}-scale{}",
         probe.accesses_per_core, probe.warmup_accesses_per_core, probe.scale
@@ -394,9 +394,9 @@ pub fn main_comparison() -> MainComparison {
 
     let workloads = paper_workloads();
     let mut configs = Vec::new();
-    for &w in &workloads {
+    for w in &workloads {
         for s in FIG7_SCHEMES {
-            configs.push(default_config(w, s));
+            configs.push(default_config(w.clone(), s));
         }
     }
     let flat = run_parallel(configs);
@@ -557,7 +557,7 @@ pub fn fig12() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
-            let mut c = default_config(w, s);
+            let mut c = default_config(w.clone(), s);
             c.virtualized = false;
             configs.push(c);
         }
@@ -593,7 +593,7 @@ pub fn fig13() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         for s in schemes {
-            configs.push(default_config(w, s));
+            configs.push(default_config(w.clone(), s));
         }
     }
     let results = run_parallel(configs);
@@ -626,7 +626,7 @@ pub fn fig14() -> Table {
     for w in paper_workloads() {
         for &n in &counts {
             for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
-                let mut c = default_config(w, s);
+                let mut c = default_config(w.clone(), s);
                 c.system.contexts_per_core = n;
                 configs.push(c);
             }
@@ -665,7 +665,7 @@ pub fn fig15() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         for &e in &epochs {
-            let mut c = default_config(w, TranslationScheme::CsaltCd);
+            let mut c = default_config(w.clone(), TranslationScheme::CsaltCd);
             c.system.epoch_accesses = e;
             configs.push(c);
         }
@@ -704,7 +704,7 @@ pub fn fig16() -> Table {
     for w in paper_workloads() {
         for &q in &quanta {
             for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
-                let mut c = default_config(w, s);
+                let mut c = default_config(w.clone(), s);
                 c.system.cs_interval_cycles = q;
                 configs.push(c);
             }
@@ -745,7 +745,7 @@ pub fn ext_5level() -> Table {
     for w in homogeneous_six() {
         for levels in [4u8, 5] {
             for s in [TranslationScheme::Conventional, TranslationScheme::CsaltCd] {
-                let mut c = default_config(w, s);
+                let mut c = default_config(w.clone(), s);
                 c.system.pt_levels = levels;
                 configs.push(c);
             }
@@ -775,7 +775,7 @@ pub fn ext_tsb_csalt() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         for s in [TranslationScheme::Tsb, TranslationScheme::TsbCsalt] {
-            configs.push(default_config(w, s));
+            configs.push(default_config(w.clone(), s));
         }
     }
     let results = run_parallel(configs);
@@ -851,7 +851,7 @@ pub fn ext_drrip() -> Table {
     let mut configs = Vec::new();
     for w in paper_workloads() {
         for s in schemes {
-            configs.push(default_config(w, s));
+            configs.push(default_config(w.clone(), s));
         }
     }
     let results = run_parallel(configs);
@@ -886,7 +886,7 @@ pub fn ablation_replacement() -> Table {
     let mut configs = Vec::new();
     for w in homogeneous_six() {
         for &k in &kinds {
-            let mut c = default_config(w, TranslationScheme::CsaltCd);
+            let mut c = default_config(w.clone(), TranslationScheme::CsaltCd);
             c.system.replacement = k;
             configs.push(c);
         }
@@ -916,14 +916,14 @@ pub fn ablation_static() -> Table {
     let statics = [4u32, 8, 12];
     let mut configs = Vec::new();
     for w in homogeneous_six() {
-        configs.push(default_config(w, TranslationScheme::PomTlb));
+        configs.push(default_config(w.clone(), TranslationScheme::PomTlb));
         for &d in &statics {
             configs.push(default_config(
-                w,
+                w.clone(),
                 TranslationScheme::StaticPartition { data_ways: d },
             ));
         }
-        configs.push(default_config(w, TranslationScheme::CsaltCd));
+        configs.push(default_config(w.clone(), TranslationScheme::CsaltCd));
     }
     let results = run_parallel(configs);
     let rows = results
@@ -973,7 +973,7 @@ mod tests {
     #[test]
     fn default_config_uses_scaled_parameters() {
         let w = WorkloadSpec::homogeneous("gups", BenchKind::Gups);
-        let c = default_config(w, TranslationScheme::CsaltCd);
+        let c = default_config(w.clone(), TranslationScheme::CsaltCd);
         assert_eq!(c.system.epoch_accesses, scaled::EPOCH_256K);
         assert_eq!(c.system.cs_interval_cycles, scaled::QUANTUM_10MS);
         assert!(c.virtualized);

@@ -32,3 +32,6 @@ pub mod experiments;
 mod simulator;
 
 pub use simulator::{run, OccupancySample, SimConfig, SimResult};
+
+#[cfg(feature = "telemetry")]
+pub use simulator::{run_instrumented, Instrumentation};

@@ -20,17 +20,23 @@
 //! latency divided by the configured memory-level parallelism (data
 //! misses overlap through MSHRs; translations do not).
 
-use csalt_core::{HierarchySnapshot, MemoryHierarchy, PartitionSample};
+use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
 use csalt_ptw::HugePagePolicy;
-use csalt_types::{geomean, ContextId, CoreId, Cycle, SystemConfig, TranslationScheme};
+use csalt_types::{geomean, ContextId, CoreId, Cycle, MemAccess, SystemConfig, TranslationScheme};
 use csalt_workloads::{TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "telemetry")]
+use csalt_telemetry::{
+    EpochRecord, HistogramRecord, Log2Histogram, ProvenanceRecord, Recorder, TelemetryRecord,
+    WalkTraceRecord, FORMAT_VERSION,
+};
+
 /// Everything one simulation run needs.
 ///
-/// Serializes for experiment provenance; not deserializable because
-/// workload names are static strings.
-#[derive(Debug, Clone, Serialize)]
+/// Round-trips through JSON: experiment provenance (the first record of
+/// every telemetry stream) can be re-parsed to reproduce a run exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// The machine (Table 2 plus scaled epoch / quantum).
     pub system: SystemConfig,
@@ -179,6 +185,46 @@ struct CoreState {
     switches: u64,
 }
 
+/// Observation points of the measured phase. The engine is monomorphized
+/// over the implementation: [`run`] passes [`NoHooks`], whose no-op
+/// defaults inline away entirely, so the uninstrumented path pays
+/// nothing for the existence of telemetry.
+trait PhaseHooks {
+    /// Whether the access with this measured-phase ordinal should run
+    /// through [`MemoryHierarchy::access_traced`].
+    fn wants_trace(&mut self, _index: u64) -> bool {
+        false
+    }
+    /// Called once per retired access with its cycle charges.
+    fn on_access(&mut self, _charge: &AccessCharge) {}
+    /// Called for accesses selected by [`PhaseHooks::wants_trace`] with
+    /// the full per-stage attribution.
+    fn on_traced(
+        &mut self,
+        _index: u64,
+        _core: usize,
+        _ctx: ContextId,
+        _acc: &MemAccess,
+        _charge: &AccessCharge,
+        _stages: Vec<StageSample>,
+    ) {
+    }
+    /// Called after every round-robin sweep over the cores with the
+    /// phase's cumulative access count and target.
+    fn after_sweep(
+        &mut self,
+        _hier: &MemoryHierarchy,
+        _cores: &[CoreState],
+        _total: u64,
+        _target: u64,
+    ) {
+    }
+}
+
+/// The zero-cost hook set used by the plain [`run`] path.
+struct NoHooks;
+impl PhaseHooks for NoHooks {}
+
 /// Panics with every diagnostic if any is error-severity. Warnings are
 /// swallowed: the run is still meaningful, and the static sweep reports
 /// them separately.
@@ -200,6 +246,12 @@ fn enforce_audit(context: &str, diags: &[csalt_audit::Diagnostic]) {
 ///
 /// Panics if the configuration is invalid (zero cores, bad geometry…).
 pub fn run(cfg: &SimConfig) -> SimResult {
+    simulate(cfg, &mut NoHooks)
+}
+
+/// The engine shared by [`run`] and the instrumented path, monomorphized
+/// over the hook set.
+fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
     let system = &cfg.system;
     system.validate().expect("system config must be valid");
     let cores = system.cores as usize;
@@ -254,13 +306,18 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     let scan_every = cfg.occupancy_scan_interval;
 
     // One scheduling phase: run every core to `total_per_core` accesses.
+    // `hooks` is `None` during warmup (warmup is never observed) and
+    // `Some` during the measured phase.
     let mut phase = |cores_state: &mut Vec<CoreState>,
                      hier: &mut MemoryHierarchy,
                      occupancy: Option<&mut Vec<OccupancySample>>,
-                     total_per_core: u64| {
+                     total_per_core: u64,
+                     mut hooks: Option<&mut H>| {
         if total_per_core == 0 {
             return;
         }
+        let target_total = total_per_core * cores as u64;
+        let mut total_done: u64 = 0;
         let mut occupancy = occupancy;
         let mut next_scan = if scan_every > 0 { scan_every } else { u64::MAX };
         // With the `audit` feature, verify the conservation laws every
@@ -290,7 +347,23 @@ pub fn run(cfg: &SimConfig) -> SimResult {
 
                 let vm = state.current_vm as usize;
                 let acc = threads[vm][core].next_access();
-                let charge = hier.access(CoreId::new(core as u8), vm_ctx[vm], acc);
+                let traced = hooks
+                    .as_deref_mut()
+                    .is_some_and(|h| h.wants_trace(total_done));
+                let charge = if traced {
+                    let (charge, stages) =
+                        hier.access_traced(CoreId::new(core as u8), vm_ctx[vm], acc);
+                    if let Some(h) = hooks.as_deref_mut() {
+                        h.on_traced(total_done, core, vm_ctx[vm], &acc, &charge, stages);
+                    }
+                    charge
+                } else {
+                    hier.access(CoreId::new(core as u8), vm_ctx[vm], acc)
+                };
+                if let Some(h) = hooks.as_deref_mut() {
+                    h.on_access(&charge);
+                }
+                total_done += 1;
 
                 // Cycle model: compute instructions + blocking
                 // translation + overlapped data stalls.
@@ -304,6 +377,10 @@ pub fn run(cfg: &SimConfig) -> SimResult {
                 if state.accesses_done >= total_per_core {
                     remaining -= 1;
                 }
+            }
+
+            if let Some(h) = hooks.as_deref_mut() {
+                h.after_sweep(hier, cores_state, total_done, target_total);
             }
 
             #[cfg(feature = "audit")]
@@ -351,6 +428,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         &mut hier,
         None,
         cfg.warmup_accesses_per_core,
+        None,
     );
     hier.reset_stats();
     for s in &mut cores_state {
@@ -366,6 +444,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         &mut hier,
         Some(&mut occupancy),
         cfg.accesses_per_core,
+        Some(hooks),
     );
 
     let (l2_trace, l3_trace) = hier.partition_traces();
@@ -390,7 +469,7 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         .collect();
 
     let result = SimResult {
-        workload: cfg.workload.name.to_string(),
+        workload: cfg.workload.name.clone(),
         scheme: cfg.scheme,
         instructions,
         core_cycles: cores_state.iter().map(|c| c.cycles).collect(),
@@ -422,6 +501,263 @@ pub fn run(cfg: &SimConfig) -> SimResult {
     }
 
     result
+}
+
+/// Options for [`run_instrumented`]: where telemetry goes and how much
+/// of it to produce.
+#[cfg(feature = "telemetry")]
+pub struct Instrumentation<'a> {
+    /// Destination for every emitted [`TelemetryRecord`].
+    pub recorder: &'a mut dyn Recorder,
+    /// Record a full walk trace every `N` measured accesses (0 = none).
+    pub sample_interval: u64,
+    /// Print a heartbeat line to stderr every `N` epochs (0 = none).
+    pub progress_every_epochs: u64,
+}
+
+/// Runs one configuration with telemetry: a provenance header, one
+/// [`EpochRecord`] per repartitioning epoch (plus a final partial
+/// epoch, so the per-epoch deltas sum exactly to the run totals),
+/// sampled [`WalkTraceRecord`]s, and end-of-run latency histograms.
+///
+/// The simulated machine behaves identically to [`run`] — tracing reads
+/// counters, it never charges cycles — so results are bit-equal.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+#[cfg(feature = "telemetry")]
+pub fn run_instrumented(cfg: &SimConfig, inst: &mut Instrumentation<'_>) -> SimResult {
+    // A disabled recorder (e.g. `NullRecorder`) drops everything, so
+    // skip the hook bookkeeping entirely and take the same monomorphized
+    // no-op path as `run` — this is what keeps a telemetry-capable build
+    // free when telemetry is not requested.
+    if !inst.recorder.is_enabled() && inst.progress_every_epochs == 0 {
+        return simulate(cfg, &mut NoHooks);
+    }
+    let workload = cfg.workload.name.clone();
+    let scheme = cfg.scheme.label();
+    inst.recorder.record(&TelemetryRecord::Provenance {
+        record: ProvenanceRecord {
+            tool: "csalt-sim".to_owned(),
+            format_version: FORMAT_VERSION,
+            workload: workload.clone(),
+            scheme: scheme.clone(),
+            sample_interval: inst.sample_interval,
+            config_json: serde_json::to_string(cfg).unwrap_or_default(),
+        },
+    });
+    let switch_overhead = cfg.switch_overhead_cycles;
+    let epoch_len = cfg.system.epoch_accesses.max(1);
+    let mut hooks = LiveHooks {
+        inst,
+        workload,
+        scheme,
+        epoch_len,
+        next_epoch_at: epoch_len,
+        epoch: 0,
+        last_emit_total: 0,
+        prev: None,
+        prev_instructions: 0,
+        prev_switches: 0,
+        switch_overhead,
+        translation_hist: Log2Histogram::new(),
+        data_hist: Log2Histogram::new(),
+        total_hist: Log2Histogram::new(),
+    };
+    let result = simulate(cfg, &mut hooks);
+    hooks.finish();
+    result
+}
+
+/// The live hook set behind [`run_instrumented`].
+#[cfg(feature = "telemetry")]
+struct LiveHooks<'a, 'b> {
+    inst: &'a mut Instrumentation<'b>,
+    workload: String,
+    scheme: String,
+    epoch_len: u64,
+    next_epoch_at: u64,
+    epoch: u64,
+    last_emit_total: u64,
+    prev: Option<HierarchySnapshot>,
+    prev_instructions: u64,
+    prev_switches: u64,
+    switch_overhead: Cycle,
+    translation_hist: Log2Histogram,
+    data_hist: Log2Histogram,
+    total_hist: Log2Histogram,
+}
+
+#[cfg(feature = "telemetry")]
+impl LiveHooks<'_, '_> {
+    /// Emits the epoch record covering `(last emission, total]`.
+    fn emit_epoch(&mut self, hier: &MemoryHierarchy, cores: &[CoreState], total: u64) {
+        let snap = hier.snapshot();
+        let delta = match &self.prev {
+            Some(p) => snap.delta_since(p),
+            None => snap.clone(),
+        };
+        let instructions: u64 = cores.iter().map(|c| c.instructions).sum();
+        let instr_delta = instructions.saturating_sub(self.prev_instructions);
+        let switches: u64 = cores.iter().map(|c| c.switches).sum();
+        let switch_delta = switches.saturating_sub(self.prev_switches);
+        let (l2_occ, l3_occ) = hier.occupancy();
+        let (l2_ways, l3_ways) = hier.current_partitions();
+        let (g2, g3) = hier.criticality_gauges();
+        let per_walk = if delta.page_walks == 0 {
+            0.0
+        } else {
+            delta.page_walk_cycles as f64 / delta.page_walks as f64
+        };
+        let cpi = if instr_delta == 0 {
+            0.0
+        } else {
+            delta.translation_cycles as f64 / instr_delta as f64
+        };
+        let rate = |hits: u64, accesses: u64| (accesses > 0).then(|| hits as f64 / accesses as f64);
+        let record = EpochRecord {
+            workload: self.workload.clone(),
+            scheme: self.scheme.clone(),
+            epoch: self.epoch,
+            at_access: total,
+            accesses: delta.accesses,
+            instructions: instr_delta,
+            translation_cycles: delta.translation_cycles,
+            data_cycles: delta.data_cycles,
+            page_walks: delta.page_walks,
+            page_walk_cycles: delta.page_walk_cycles,
+            l1_tlb: delta.l1_tlb,
+            l2_tlb: delta.l2_tlb,
+            pom: delta.pom,
+            tsb: delta.tsb,
+            l2_cache: delta.l2.total(),
+            l3_cache: delta.l3.total(),
+            ddr_accesses: delta.ddr.accesses,
+            ddr_row_hits: delta.ddr.row_hits,
+            stacked_accesses: delta.stacked.accesses,
+            stacked_row_hits: delta.stacked.row_hits,
+            context_switches: switch_delta,
+            switch_overhead_cycles: switch_delta * self.switch_overhead,
+            l1_tlb_mpki: delta.l1_tlb.mpki(instr_delta),
+            l2_tlb_mpki: delta.l2_tlb.mpki(instr_delta),
+            l2_cache_mpki: delta.l2.total().mpki(instr_delta),
+            l3_cache_mpki: delta.l3.total().mpki(instr_delta),
+            translation_cpi: cpi,
+            walk_cycles_per_walk: per_walk,
+            ddr_row_hit_rate: rate(delta.ddr.row_hits, delta.ddr.accesses),
+            stacked_row_hit_rate: rate(delta.stacked.row_hits, delta.stacked.accesses),
+            l2_data_ways: l2_ways,
+            l3_data_ways: l3_ways,
+            l2_tlb_occupancy: l2_occ.tlb_fraction(),
+            l3_tlb_occupancy: l3_occ.tlb_fraction(),
+            l2_tlb_utilization: hier.l2_tlb_utilization(),
+            pom_utilization: hier.pom_utilization(),
+            l2_weight_data: g2.s_dat,
+            l2_weight_translation: g2.s_tr,
+            l3_weight_data: g3.s_dat,
+            l3_weight_translation: g3.s_tr,
+        };
+        self.inst
+            .recorder
+            .record(&TelemetryRecord::Epoch { record });
+        self.prev = Some(snap);
+        self.prev_instructions = instructions;
+        self.prev_switches = switches;
+        self.last_emit_total = total;
+        self.epoch += 1;
+    }
+
+    /// Emits the end-of-run latency histograms and flushes the sink.
+    fn finish(&mut self) {
+        for (name, hist) in [
+            ("translation_cycles", &self.translation_hist),
+            ("data_cycles", &self.data_hist),
+            ("total_cycles", &self.total_hist),
+        ] {
+            if let Some(record) =
+                HistogramRecord::from_histogram(name, &self.workload, &self.scheme, hist)
+            {
+                self.inst
+                    .recorder
+                    .record(&TelemetryRecord::Histogram { record });
+            }
+        }
+        self.inst.recorder.flush();
+    }
+}
+
+#[cfg(feature = "telemetry")]
+impl PhaseHooks for LiveHooks<'_, '_> {
+    fn wants_trace(&mut self, index: u64) -> bool {
+        self.inst.sample_interval > 0 && index.is_multiple_of(self.inst.sample_interval)
+    }
+
+    fn on_access(&mut self, charge: &AccessCharge) {
+        self.translation_hist.record(charge.translation_cycles);
+        self.data_hist.record(charge.data_cycles);
+        self.total_hist
+            .record(charge.translation_cycles + charge.data_cycles);
+    }
+
+    fn on_traced(
+        &mut self,
+        index: u64,
+        core: usize,
+        ctx: ContextId,
+        acc: &MemAccess,
+        charge: &AccessCharge,
+        stages: Vec<StageSample>,
+    ) {
+        let record = WalkTraceRecord {
+            workload: self.workload.clone(),
+            scheme: self.scheme.clone(),
+            access_index: index,
+            core,
+            context: u64::from(ctx.raw()),
+            vaddr: acc.vaddr.raw(),
+            write: acc.ty.is_write(),
+            translation_cycles: charge.translation_cycles,
+            data_cycles: charge.data_cycles,
+            total_cycles: charge.translation_cycles + charge.data_cycles,
+            l1_tlb_hit: charge.l1_tlb_hit,
+            l2_tlb_hit: charge.l2_tlb_hit,
+            walked: charge.walked,
+            stages,
+        };
+        self.inst
+            .recorder
+            .record(&TelemetryRecord::WalkTrace { record });
+    }
+
+    fn after_sweep(
+        &mut self,
+        hier: &MemoryHierarchy,
+        cores: &[CoreState],
+        total: u64,
+        target: u64,
+    ) {
+        while total >= self.next_epoch_at {
+            self.next_epoch_at += self.epoch_len;
+            self.emit_epoch(hier, cores, total);
+            if self.inst.progress_every_epochs > 0
+                && self.epoch.is_multiple_of(self.inst.progress_every_epochs)
+            {
+                eprintln!(
+                    "[csalt] {} / {}: epoch {}, {total} of {target} accesses retired ({} remaining)",
+                    self.workload,
+                    self.scheme,
+                    self.epoch,
+                    target.saturating_sub(total),
+                );
+            }
+        }
+        // The final (usually partial) epoch: emitted exactly once, when
+        // the phase target is reached, so delta sums equal run totals.
+        if total >= target && total > self.last_emit_total {
+            self.emit_epoch(hier, cores, total);
+        }
+    }
 }
 
 #[cfg(test)]

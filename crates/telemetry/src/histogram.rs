@@ -1,0 +1,291 @@
+//! Power-of-two bucketed histograms for cycle-latency distributions.
+//!
+//! Latencies in the simulator span four orders of magnitude (a 0-cycle L1
+//! TLB hit to a multi-hundred-cycle nested walk that misses to DDR), so a
+//! log2 bucketing keeps the footprint constant (65 counters) while still
+//! resolving the percentiles the paper's walk-latency figures need.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for the value `0` plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` holds only the value `0`; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k - 1]`, so every bucket boundary is an exact power of
+/// two. The exact minimum, maximum and sum are tracked alongside the
+/// buckets so means are exact and percentile estimates can be clamped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample: `0` for the value zero, otherwise the
+    /// bit length of the value (so `1 -> 1`, `2..=3 -> 2`, `4..=7 -> 3`).
+    #[inline]
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive `(lower, upper)` value bounds of bucket `index`.
+    ///
+    /// For every `index >= 1` the lower bound is the exact power of two
+    /// `2^(index-1)`; the unit tests pin this down.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            k => (1u64 << (k - 1), (1u64 << k) - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded samples, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Upper-bound estimate of the `p`-quantile (`p` in `[0, 1]`).
+    ///
+    /// Returns the inclusive upper edge of the first bucket whose
+    /// cumulative count reaches `ceil(p * total)`, clamped to the exact
+    /// observed maximum. `None` when the histogram is empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let clamped = p.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((clamped * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let (_, upper) = Self::bucket_bounds(i);
+                return Some(upper.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(lower, upper, count)` triples.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Rebuilds a histogram from serialized summary parts, the inverse of
+    /// [`Log2Histogram::nonzero_buckets`]. Used by `csalt-report` to merge
+    /// histogram records from several runs of the same scheme.
+    ///
+    /// The reconstructed `min`/`max`/`sum` come from the summary fields,
+    /// so percentile clamping behaves as it did on the recording side.
+    #[must_use]
+    pub fn from_parts(buckets: &[(u64, u64, u64)], sum: u64, min: u64, max: u64) -> Self {
+        let mut h = Self::new();
+        for &(lo, _, count) in buckets {
+            h.counts[Self::bucket_index(lo)] += count;
+            h.total += count;
+        }
+        if h.total > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
+    }
+
+    /// Sum of all recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Resets the histogram to empty.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        for k in 1..64usize {
+            let (lo, hi) = Log2Histogram::bucket_bounds(k);
+            assert_eq!(lo, 1u64 << (k - 1), "bucket {k} lower bound");
+            assert!(lo.is_power_of_two(), "bucket {k} lower bound 2^n");
+            if k < 64 {
+                assert_eq!(hi, (1u64 << k) - 1, "bucket {k} upper bound");
+            }
+            // The two edge values land in the bucket; the next power of two
+            // lands in the next bucket.
+            assert_eq!(Log2Histogram::bucket_index(lo), k);
+            assert_eq!(Log2Histogram::bucket_index(hi), k);
+            if k < 63 {
+                assert_eq!(Log2Histogram::bucket_index(hi + 1), k + 1);
+            }
+        }
+        assert_eq!(Log2Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 100);
+        let p50 = h.percentile(0.50).expect("nonempty");
+        let p99 = h.percentile(0.99).expect("nonempty");
+        // Bucketed estimates are upper bounds of the containing bucket.
+        assert!((32..=63).contains(&p50), "p50 estimate {p50}");
+        assert!((64..=100).contains(&p99), "p99 estimate {p99}");
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.min(), Some(1));
+        let mean = h.mean().expect("nonempty");
+        assert!((mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_samples_live_in_bucket_zero() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.percentile(0.5), Some(0));
+        assert_eq!(h.nonzero_buckets(), vec![(0, 0, 2)]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Log2Histogram::new();
+        assert!(h.percentile(0.5).is_none());
+        assert!(h.mean().is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_and_from_parts_round_trip() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 5, 17, 17, 300] {
+            a.record(v);
+        }
+        for v in [2u64, 1000, 64] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.total(), 8);
+        assert_eq!(merged.max(), Some(1000));
+
+        let rebuilt = Log2Histogram::from_parts(
+            &a.nonzero_buckets(),
+            a.sum(),
+            a.min().expect("nonempty"),
+            a.max().expect("nonempty"),
+        );
+        assert_eq!(rebuilt, a);
+    }
+}

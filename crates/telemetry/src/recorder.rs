@@ -1,0 +1,671 @@
+//! Recorder implementations: where telemetry records go.
+//!
+//! The [`Recorder`] trait is the single seam between the simulator and
+//! the outside world. The hot path only ever sees `&mut dyn Recorder`;
+//! with a [`NullRecorder`] every method is a no-op behind an
+//! `is_enabled()` check, which is what keeps the instrumented build
+//! within the <2% overhead budget the bench suite enforces.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::histogram::Log2Histogram;
+use crate::record::{EpochRecord, InstrumentsRecord, TelemetryRecord};
+
+/// Sink abstraction for telemetry: counters, gauges, log2 histograms
+/// and structured records.
+///
+/// Instrument state (counters/gauges/histograms) is local to each
+/// recorder instance — in particular each [`SharedRecorder`] clone keeps
+/// its own, so parallel runs never contend on a lock in the per-access
+/// path. `flush` drains accumulated instruments into an
+/// [`InstrumentsRecord`] where the implementation has a stream.
+pub trait Recorder: Send {
+    /// Whether this recorder keeps anything at all. Callers may skip
+    /// building records when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Sets the named gauge to `value`.
+    fn gauge(&mut self, _name: &'static str, _value: f64) {}
+
+    /// Records one sample into the named log2 histogram.
+    fn observe(&mut self, _name: &'static str, _value: u64) {}
+
+    /// Removes and returns the named histogram, if this recorder has
+    /// accumulated one. Lets the producer wrap per-run histograms into
+    /// labelled [`crate::record::HistogramRecord`]s at end of run.
+    fn take_histogram(&mut self, _name: &str) -> Option<Log2Histogram> {
+        None
+    }
+
+    /// Emits one structured record.
+    fn record(&mut self, rec: &TelemetryRecord);
+
+    /// Flushes buffered output and drains instrument state.
+    fn flush(&mut self) {}
+}
+
+/// A recorder that drops everything; the default for uninstrumented runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _rec: &TelemetryRecord) {}
+}
+
+/// Name-keyed instrument storage shared by the concrete recorders.
+///
+/// Linear scans over small vectors beat a hash map here: the simulator
+/// uses a handful of static instrument names, and `&'static str`
+/// comparisons on short names are cheap.
+#[derive(Debug, Default)]
+struct InstrumentSet {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Log2Histogram)>,
+}
+
+impl InstrumentSet {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 += delta;
+        } else {
+            self.counters.push((name, delta));
+        }
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        if let Some(slot) = self.gauges.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.gauges.push((name, value));
+        }
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        if let Some(slot) = self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            slot.1.record(value);
+        } else {
+            let mut h = Log2Histogram::new();
+            h.record(value);
+            self.histograms.push((name, h));
+        }
+    }
+
+    fn take_histogram(&mut self, name: &str) -> Option<Log2Histogram> {
+        let pos = self.histograms.iter().position(|(n, _)| *n == name)?;
+        Some(self.histograms.swap_remove(pos).1)
+    }
+
+    fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Drains counters and gauges into a record; histograms are expected
+    /// to be claimed via `take_histogram` by the producer (who owns the
+    /// workload/scheme labels), so leftovers are dropped silently.
+    fn drain(&mut self) -> Option<InstrumentsRecord> {
+        if self.counters.is_empty() && self.gauges.is_empty() {
+            return None;
+        }
+        let rec = InstrumentsRecord {
+            counters: self
+                .counters
+                .drain(..)
+                .map(|(n, v)| (n.to_owned(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .drain(..)
+                .map(|(n, v)| (n.to_owned(), v))
+                .collect(),
+        };
+        self.histograms.clear();
+        Some(rec)
+    }
+}
+
+/// On-disk stream format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// One JSON-encoded [`TelemetryRecord`] per line; carries every
+    /// record kind.
+    Jsonl,
+    /// Spreadsheet-friendly flat rows; carries only epoch records
+    /// (other kinds are counted in `records_skipped`).
+    Csv,
+}
+
+impl StreamFormat {
+    /// Infers the format from a path extension: `.csv` means CSV,
+    /// anything else means JSONL.
+    #[must_use]
+    pub fn from_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) if ext.eq_ignore_ascii_case("csv") => Self::Csv,
+            _ => Self::Jsonl,
+        }
+    }
+}
+
+/// Default in-memory buffer size before records are pushed to the sink.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 256 * 1024;
+
+const CSV_HEADER: &str = "workload,scheme,epoch,at_access,accesses,instructions,\
+translation_cycles,data_cycles,page_walks,page_walk_cycles,l1_tlb_mpki,l2_tlb_mpki,\
+l2_cache_mpki,l3_cache_mpki,translation_cpi,walk_cycles_per_walk,context_switches,\
+switch_overhead_cycles,l2_data_ways,l3_data_ways,l2_tlb_occupancy,l3_tlb_occupancy,\
+ddr_row_hit_rate,stacked_row_hit_rate";
+
+/// A bounded-buffer streaming recorder writing JSONL or CSV.
+///
+/// Records accumulate in an in-memory byte buffer flushed to the sink
+/// whenever it crosses `buffer_capacity`, so a fine-grained epoch
+/// stream does not issue one `write` syscall per record. I/O errors
+/// never panic the simulation; they are counted in `write_errors`.
+pub struct StreamRecorder {
+    sink: Box<dyn Write + Send>,
+    format: StreamFormat,
+    buf: Vec<u8>,
+    buffer_capacity: usize,
+    instruments: InstrumentSet,
+    records_written: u64,
+    records_skipped: u64,
+    write_errors: u64,
+    csv_header_written: bool,
+}
+
+impl std::fmt::Debug for StreamRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamRecorder")
+            .field("format", &self.format)
+            .field("records_written", &self.records_written)
+            .field("records_skipped", &self.records_skipped)
+            .field("write_errors", &self.write_errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamRecorder {
+    /// Wraps an arbitrary sink.
+    #[must_use]
+    pub fn new(sink: Box<dyn Write + Send>, format: StreamFormat) -> Self {
+        Self {
+            sink,
+            format,
+            buf: Vec::with_capacity(DEFAULT_BUFFER_CAPACITY.min(64 * 1024)),
+            buffer_capacity: DEFAULT_BUFFER_CAPACITY,
+            instruments: InstrumentSet::default(),
+            records_written: 0,
+            records_skipped: 0,
+            write_errors: 0,
+            csv_header_written: false,
+        }
+    }
+
+    /// Creates (truncating) a file sink, inferring the format from the
+    /// extension (`.csv` → CSV, otherwise JSONL).
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let format = StreamFormat::from_path(path);
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file)), format))
+    }
+
+    /// Overrides the buffer flush threshold (bytes). `0` flushes after
+    /// every record.
+    #[must_use]
+    pub fn with_buffer_capacity(mut self, bytes: usize) -> Self {
+        self.buffer_capacity = bytes;
+        self
+    }
+
+    /// Records successfully serialized into the stream so far.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Records dropped because the format cannot carry them (CSV mode).
+    #[must_use]
+    pub fn records_skipped(&self) -> u64 {
+        self.records_skipped
+    }
+
+    /// Failed sink writes or serialization errors so far.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.records_written += 1;
+        if self.buf.len() >= self.buffer_capacity {
+            self.flush_buf();
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.sink.write_all(&self.buf).is_err() {
+            self.write_errors += 1;
+        }
+        self.buf.clear();
+    }
+
+    fn emit(&mut self, rec: &TelemetryRecord) {
+        match self.format {
+            StreamFormat::Jsonl => match serde_json::to_string(rec) {
+                Ok(line) => self.push_line(&line),
+                Err(_) => self.write_errors += 1,
+            },
+            StreamFormat::Csv => {
+                if let TelemetryRecord::Epoch { record } = rec {
+                    if !self.csv_header_written {
+                        self.csv_header_written = true;
+                        // The header is not a record: bypass the counter.
+                        self.buf.extend_from_slice(CSV_HEADER.as_bytes());
+                        self.buf.push(b'\n');
+                    }
+                    let row = csv_row(record);
+                    self.push_line(&row);
+                } else {
+                    self.records_skipped += 1;
+                }
+            }
+        }
+    }
+}
+
+fn fmt_opt_u32(v: Option<u32>) -> String {
+    v.map_or_else(String::new, |x| x.to_string())
+}
+
+fn fmt_opt_rate(v: Option<f64>) -> String {
+    v.map_or_else(String::new, |x| format!("{x:.6}"))
+}
+
+fn csv_row(r: &EpochRecord) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.3},{},{},{},{},{:.6},{:.6},{},{}",
+        r.workload,
+        r.scheme,
+        r.epoch,
+        r.at_access,
+        r.accesses,
+        r.instructions,
+        r.translation_cycles,
+        r.data_cycles,
+        r.page_walks,
+        r.page_walk_cycles,
+        r.l1_tlb_mpki,
+        r.l2_tlb_mpki,
+        r.l2_cache_mpki,
+        r.l3_cache_mpki,
+        r.translation_cpi,
+        r.walk_cycles_per_walk,
+        r.context_switches,
+        r.switch_overhead_cycles,
+        fmt_opt_u32(r.l2_data_ways),
+        fmt_opt_u32(r.l3_data_ways),
+        r.l2_tlb_occupancy,
+        r.l3_tlb_occupancy,
+        fmt_opt_rate(r.ddr_row_hit_rate),
+        fmt_opt_rate(r.stacked_row_hit_rate),
+    )
+}
+
+impl Recorder for StreamRecorder {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.instruments.counter(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.instruments.gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.instruments.observe(name, value);
+    }
+
+    fn take_histogram(&mut self, name: &str) -> Option<Log2Histogram> {
+        self.instruments.take_histogram(name)
+    }
+
+    fn record(&mut self, rec: &TelemetryRecord) {
+        self.emit(rec);
+    }
+
+    fn flush(&mut self) {
+        if let Some(instruments) = self.instruments.drain() {
+            self.emit(&TelemetryRecord::Instruments {
+                record: instruments,
+            });
+        }
+        self.flush_buf();
+        if self.sink.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+impl Drop for StreamRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A cloneable handle over one shared [`StreamRecorder`], for parallel
+/// experiment sweeps.
+///
+/// Structured records go through a mutex to the shared stream; the
+/// instrument API (counters, gauges, histograms) stays **clone-local**
+/// so per-access `observe` calls never take the lock. Each worker run
+/// gets its own clone, flushes its instruments at end of run, and the
+/// owner calls [`SharedRecorder::finish`] once at program exit.
+pub struct SharedRecorder {
+    stream: Arc<Mutex<StreamRecorder>>,
+    instruments: InstrumentSet,
+}
+
+impl std::fmt::Debug for SharedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedRecorder").finish_non_exhaustive()
+    }
+}
+
+impl Clone for SharedRecorder {
+    /// Clones the stream handle with a **fresh** (empty) instrument set.
+    fn clone(&self) -> Self {
+        Self {
+            stream: Arc::clone(&self.stream),
+            instruments: InstrumentSet::default(),
+        }
+    }
+}
+
+impl SharedRecorder {
+    /// Wraps a stream recorder for shared use.
+    #[must_use]
+    pub fn new(stream: StreamRecorder) -> Self {
+        Self {
+            stream: Arc::new(Mutex::new(stream)),
+            instruments: InstrumentSet::default(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StreamRecorder> {
+        self.stream.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Flushes the underlying stream to its sink. Call once when the
+    /// whole sweep is done.
+    pub fn finish(&self) {
+        self.lock().flush();
+    }
+
+    /// Total records written to the shared stream.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.lock().records_written()
+    }
+
+    /// Failed writes on the shared stream.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.lock().write_errors()
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.instruments.counter(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.instruments.gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.instruments.observe(name, value);
+    }
+
+    fn take_histogram(&mut self, name: &str) -> Option<Log2Histogram> {
+        self.instruments.take_histogram(name)
+    }
+
+    fn record(&mut self, rec: &TelemetryRecord) {
+        self.lock().emit(rec);
+    }
+
+    fn flush(&mut self) {
+        if let Some(instruments) = self.instruments.drain() {
+            self.lock().emit(&TelemetryRecord::Instruments {
+                record: instruments,
+            });
+        }
+    }
+}
+
+/// An in-memory recorder for tests and in-process consumers.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    records: Vec<TelemetryRecord>,
+    instruments: InstrumentSet,
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records received so far, in order.
+    #[must_use]
+    pub fn records(&self) -> &[TelemetryRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, returning its records.
+    #[must_use]
+    pub fn into_records(self) -> Vec<TelemetryRecord> {
+        self.records
+    }
+
+    /// Current value of a named counter, if touched.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.instruments.counter_value(name)
+    }
+
+    /// Last value written to a named gauge, if any.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.instruments.gauge_value(name)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.instruments.counter(name, delta);
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.instruments.gauge(name, value);
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64) {
+        self.instruments.observe(name, value);
+    }
+
+    fn take_histogram(&mut self, name: &str) -> Option<Log2Histogram> {
+        self.instruments.take_histogram(name)
+    }
+
+    fn record(&mut self, rec: &TelemetryRecord) {
+        self.records.push(rec.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ProvenanceRecord, TelemetryRecord};
+    use std::sync::mpsc;
+
+    fn provenance(tag: &str) -> TelemetryRecord {
+        TelemetryRecord::Provenance {
+            record: ProvenanceRecord {
+                tool: "test".into(),
+                format_version: crate::record::FORMAT_VERSION,
+                workload: tag.into(),
+                scheme: "Conventional".into(),
+                sample_interval: 0,
+                config_json: "{}".into(),
+            },
+        }
+    }
+
+    /// A sink that hands written bytes back through a channel so tests
+    /// can inspect what a Box<dyn Write + Send> received.
+    struct ChannelSink(mpsc::Sender<Vec<u8>>);
+
+    impl Write for ChannelSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0
+                .send(buf.to_vec())
+                .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "closed"))?;
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drain(rx: &mpsc::Receiver<Vec<u8>>) -> String {
+        let mut bytes = Vec::new();
+        while let Ok(chunk) = rx.try_recv() {
+            bytes.extend_from_slice(&chunk);
+        }
+        String::from_utf8(bytes).expect("utf8 stream")
+    }
+
+    #[test]
+    fn jsonl_stream_parses_back() {
+        let (tx, rx) = mpsc::channel();
+        let mut rec = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Jsonl);
+        rec.record(&provenance("w0"));
+        rec.counter("runs", 2);
+        rec.gauge("ipc", 1.25);
+        rec.flush();
+        let text = drain(&rx);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "provenance + instruments: {text}");
+        let first: TelemetryRecord = serde_json::from_str(lines[0]).expect("line 0 parses");
+        assert_eq!(first, provenance("w0"));
+        let second: TelemetryRecord = serde_json::from_str(lines[1]).expect("line 1 parses");
+        match second {
+            TelemetryRecord::Instruments { record } => {
+                assert_eq!(record.counters, vec![("runs".to_owned(), 2)]);
+                assert_eq!(record.gauges.len(), 1);
+            }
+            other => panic!("expected instruments record, got {other:?}"),
+        }
+        assert_eq!(rec.write_errors(), 0);
+    }
+
+    #[test]
+    fn bounded_buffer_defers_writes() {
+        let (tx, rx) = mpsc::channel();
+        let mut rec = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Jsonl)
+            .with_buffer_capacity(usize::MAX);
+        rec.record(&provenance("w1"));
+        assert!(drain(&rx).is_empty(), "buffered record must not hit sink");
+        rec.flush();
+        assert!(!drain(&rx).is_empty(), "flush pushes the buffer");
+    }
+
+    #[test]
+    fn csv_mode_keeps_only_epoch_rows() {
+        let (tx, rx) = mpsc::channel();
+        let mut rec = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Csv)
+            .with_buffer_capacity(0);
+        rec.record(&provenance("w2"));
+        assert_eq!(rec.records_skipped(), 1);
+        assert!(drain(&rx).is_empty());
+    }
+
+    #[test]
+    fn shared_recorder_clones_do_not_share_instruments() {
+        let (tx, _rx) = mpsc::channel();
+        let base = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Jsonl);
+        let mut a = SharedRecorder::new(base);
+        a.observe("lat", 8);
+        let mut b = a.clone();
+        assert!(b.take_histogram("lat").is_none(), "clone starts empty");
+        assert_eq!(
+            a.take_histogram("lat").map(|h| h.total()),
+            Some(1),
+            "original keeps its samples"
+        );
+    }
+
+    #[test]
+    fn memory_recorder_accumulates() {
+        let mut m = MemoryRecorder::new();
+        m.record(&provenance("w3"));
+        m.counter("c", 1);
+        m.counter("c", 4);
+        m.observe("h", 31);
+        assert_eq!(m.records().len(), 1);
+        assert_eq!(m.counter_value("c"), Some(5));
+        let h = m.take_histogram("h").expect("histogram exists");
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.max(), Some(31));
+    }
+
+    #[test]
+    fn format_inference_from_extension() {
+        assert_eq!(
+            StreamFormat::from_path(Path::new("out.csv")),
+            StreamFormat::Csv
+        );
+        assert_eq!(
+            StreamFormat::from_path(Path::new("out.jsonl")),
+            StreamFormat::Jsonl
+        );
+        assert_eq!(
+            StreamFormat::from_path(Path::new("noext")),
+            StreamFormat::Jsonl
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Consumer-side helpers: parse a JSONL telemetry stream back into
+//! merged histograms and validation counters.
+//!
+//! `csalt-report --telemetry` is a thin shell around
+//! [`summarize_stream`]; keeping the logic here makes it unit-testable
+//! without spawning the binary.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+use crate::histogram::Log2Histogram;
+use crate::record::TelemetryRecord;
+
+/// Aggregated view of one telemetry stream.
+#[derive(Debug, Default)]
+pub struct StreamSummary {
+    /// Total lines consumed (blank lines excluded).
+    pub lines: u64,
+    /// Lines that failed to parse as a [`TelemetryRecord`].
+    pub parse_errors: u64,
+    /// Provenance records seen (normally one per run).
+    pub provenance: u64,
+    /// Epoch records seen.
+    pub epochs: u64,
+    /// Walk-trace records seen.
+    pub walk_traces: u64,
+    /// Walk traces whose stage cycles do not sum to the recorded total.
+    pub stage_sum_violations: u64,
+    /// Histogram records seen.
+    pub histograms: u64,
+    /// Instruments records seen.
+    pub instruments: u64,
+    /// Histograms merged per `(instrument name, scheme)`.
+    pub merged: BTreeMap<(String, String), Log2Histogram>,
+}
+
+impl StreamSummary {
+    /// True when the stream is well-formed: everything parsed and every
+    /// walk trace's stages summed to its recorded total latency.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.parse_errors == 0 && self.stage_sum_violations == 0
+    }
+
+    /// Schemes that contributed to the named instrument, in stable order.
+    #[must_use]
+    pub fn schemes_for(&self, instrument: &str) -> Vec<&str> {
+        self.merged
+            .keys()
+            .filter(|(name, _)| name == instrument)
+            .map(|(_, scheme)| scheme.as_str())
+            .collect()
+    }
+
+    /// Merged histogram for one `(instrument, scheme)` pair.
+    #[must_use]
+    pub fn histogram(&self, instrument: &str, scheme: &str) -> Option<&Log2Histogram> {
+        self.merged.get(&(instrument.to_owned(), scheme.to_owned()))
+    }
+
+    /// Renders a markdown percentile table for one instrument, one row
+    /// per scheme. Returns `None` when no histogram carries that name.
+    #[must_use]
+    pub fn percentile_table(&self, instrument: &str, title: &str) -> Option<String> {
+        let schemes = self.schemes_for(instrument);
+        if schemes.is_empty() {
+            return None;
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {title}\n\n"));
+        out.push_str("| scheme | samples | mean | p50 | p95 | p99 | max |\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+        for scheme in schemes {
+            let Some(h) = self.histogram(instrument, scheme) else {
+                continue;
+            };
+            let mean = h.mean().unwrap_or(f64::NAN);
+            let fmt_pct = |p: f64| {
+                h.percentile(p)
+                    .map_or_else(|| "-".to_owned(), |v| v.to_string())
+            };
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {} | {} | {} | {} |\n",
+                scheme,
+                h.total(),
+                mean,
+                fmt_pct(0.50),
+                fmt_pct(0.95),
+                fmt_pct(0.99),
+                h.max().map_or_else(|| "-".to_owned(), |v| v.to_string()),
+            ));
+        }
+        Some(out)
+    }
+
+    fn absorb(&mut self, rec: &TelemetryRecord) {
+        match rec {
+            TelemetryRecord::Provenance { .. } => self.provenance += 1,
+            TelemetryRecord::Epoch { .. } => self.epochs += 1,
+            TelemetryRecord::WalkTrace { record } => {
+                self.walk_traces += 1;
+                let stage_sum: u64 = record.stages.iter().map(|s| s.cycles).sum();
+                let consistent = stage_sum == record.total_cycles
+                    && record.total_cycles == record.translation_cycles + record.data_cycles;
+                if !consistent {
+                    self.stage_sum_violations += 1;
+                }
+            }
+            TelemetryRecord::Histogram { record } => {
+                self.histograms += 1;
+                let key = (record.name.clone(), record.scheme.clone());
+                self.merged
+                    .entry(key)
+                    .or_default()
+                    .merge(&record.to_histogram());
+            }
+            TelemetryRecord::Instruments { .. } => self.instruments += 1,
+        }
+    }
+}
+
+/// Parses a JSONL telemetry stream, merging histograms per scheme and
+/// validating walk-trace cycle attribution along the way.
+///
+/// # Errors
+/// Propagates I/O errors from the reader; malformed lines are *not*
+/// errors here — they are counted in [`StreamSummary::parse_errors`] so
+/// the caller can decide (`csalt-report --check` turns them fatal).
+pub fn summarize_stream<R: BufRead>(reader: R) -> std::io::Result<StreamSummary> {
+    let mut summary = StreamSummary::default();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        match serde_json::from_str::<TelemetryRecord>(trimmed) {
+            Ok(rec) => summary.absorb(&rec),
+            Err(_) => summary.parse_errors += 1,
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HistogramRecord, StageSample, WalkStage, WalkTraceRecord};
+
+    fn hist_line(scheme: &str, values: &[u64]) -> String {
+        let mut h = Log2Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        let rec = TelemetryRecord::Histogram {
+            record: HistogramRecord::from_histogram("translation_cycles", "w", scheme, &h)
+                .expect("nonempty"),
+        };
+        serde_json::to_string(&rec).expect("serialize")
+    }
+
+    fn trace_line(total: u64, stage_cycles: u64) -> String {
+        let rec = TelemetryRecord::WalkTrace {
+            record: WalkTraceRecord {
+                workload: "w".into(),
+                scheme: "s".into(),
+                access_index: 0,
+                core: 0,
+                context: 0,
+                vaddr: 0,
+                write: false,
+                translation_cycles: total,
+                data_cycles: 0,
+                total_cycles: total,
+                l1_tlb_hit: false,
+                l2_tlb_hit: true,
+                walked: false,
+                stages: vec![StageSample {
+                    stage: WalkStage::L2Tlb,
+                    index: 0,
+                    cycles: stage_cycles,
+                    hit: Some(true),
+                    served_by: None,
+                }],
+            },
+        };
+        serde_json::to_string(&rec).expect("serialize")
+    }
+
+    #[test]
+    fn merges_histograms_per_scheme_and_flags_bad_lines() {
+        let stream = format!(
+            "{}\n{}\nnot json\n{}\n{}\n",
+            hist_line("CSALT-D", &[10, 20]),
+            hist_line("CSALT-D", &[40]),
+            hist_line("Conventional", &[100]),
+            trace_line(17, 17),
+        );
+        let summary = summarize_stream(stream.as_bytes()).expect("in-memory read");
+        assert_eq!(summary.lines, 5);
+        assert_eq!(summary.parse_errors, 1);
+        assert_eq!(summary.histograms, 3);
+        assert_eq!(summary.walk_traces, 1);
+        assert_eq!(summary.stage_sum_violations, 0);
+        assert!(!summary.is_clean(), "parse error must make it dirty");
+        let merged = summary
+            .histogram("translation_cycles", "CSALT-D")
+            .expect("merged histogram");
+        assert_eq!(merged.total(), 3);
+        assert_eq!(merged.max(), Some(40));
+        let table = summary
+            .percentile_table("translation_cycles", "Translation latency (cycles)")
+            .expect("table");
+        assert!(table.contains("CSALT-D"));
+        assert!(table.contains("Conventional"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn stage_sum_violation_detected() {
+        let stream = trace_line(17, 16);
+        let summary = summarize_stream(stream.as_bytes()).expect("in-memory read");
+        assert_eq!(summary.stage_sum_violations, 1);
+        assert!(!summary.is_clean());
+    }
+}

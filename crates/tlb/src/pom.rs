@@ -169,6 +169,18 @@ impl PomTlb {
     pub fn valid_entries(&self) -> u64 {
         self.entries.iter().filter(|e| e.is_some()).count() as u64
     }
+
+    /// Fraction of POM-TLB slots holding a valid translation, in
+    /// `[0, 1]` — a telemetry gauge tracking how much of the large
+    /// in-DRAM table a workload actually touches.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.sets * u64::from(self.ways);
+        if capacity == 0 {
+            0.0
+        } else {
+            self.valid_entries() as f64 / capacity as f64
+        }
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,12 @@ impl SramTlb {
     pub fn valid_entries(&self) -> u32 {
         self.entries.iter().filter(|e| e.is_some()).count() as u32
     }
+
+    /// Fraction of entry slots currently holding a valid translation,
+    /// in `[0, 1]` — a telemetry gauge for reach-starvation diagnosis.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.valid_entries()) / f64::from(self.capacity())
+    }
 }
 
 #[cfg(test)]

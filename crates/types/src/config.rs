@@ -272,6 +272,26 @@ impl TranslationScheme {
         }
     }
 
+    /// Parses the labels produced by [`TranslationScheme::label`]
+    /// (CLI argument form). Returns `None` for unknown labels.
+    #[must_use]
+    pub fn parse_label(label: &str) -> Option<Self> {
+        match label {
+            "conventional" => Some(TranslationScheme::Conventional),
+            "pom-tlb" => Some(TranslationScheme::PomTlb),
+            "csalt-d" => Some(TranslationScheme::CsaltD),
+            "csalt-cd" => Some(TranslationScheme::CsaltCd),
+            "dip" => Some(TranslationScheme::Dip),
+            "tsb" => Some(TranslationScheme::Tsb),
+            "tsb-csalt" => Some(TranslationScheme::TsbCsalt),
+            "drrip" => Some(TranslationScheme::Drrip),
+            other => {
+                let ways = other.strip_prefix("static-")?.parse().ok()?;
+                Some(TranslationScheme::StaticPartition { data_ways: ways })
+            }
+        }
+    }
+
     /// Whether the scheme uses the large L3 TLB (everything except the
     /// conventional walker and the TSB).
     pub const fn uses_pom_tlb(&self) -> bool {

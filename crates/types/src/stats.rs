@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// A hit/miss counter pair with derived rates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -48,23 +48,27 @@ impl HitMissStats {
         self.hits + self.misses
     }
 
-    /// Hit rate in `[0, 1]`; `0` when there were no accesses.
+    /// Hit rate in `[0, 1]`, or `None` when there were no accesses.
+    ///
+    /// The old `f64` version returned `0.0` for an untouched structure,
+    /// which rendered as a misleading "0% hit" in reports; distinguishing
+    /// "never accessed" is the caller's job now.
     #[inline]
-    pub fn hit_rate(&self) -> f64 {
+    pub fn hit_rate(&self) -> Option<f64> {
         if self.accesses() == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / self.accesses() as f64
+            Some(self.hits as f64 / self.accesses() as f64)
         }
     }
 
-    /// Miss rate in `[0, 1]`; `0` when there were no accesses.
+    /// Miss rate in `[0, 1]`, or `None` when there were no accesses.
     #[inline]
-    pub fn miss_rate(&self) -> f64 {
+    pub fn miss_rate(&self) -> Option<f64> {
         if self.accesses() == 0 {
-            0.0
+            None
         } else {
-            self.misses as f64 / self.accesses() as f64
+            Some(self.misses as f64 / self.accesses() as f64)
         }
     }
 
@@ -102,15 +106,35 @@ impl AddAssign for HitMissStats {
     }
 }
 
+impl Sub for HitMissStats {
+    type Output = Self;
+
+    /// Counter delta between two snapshots of the same structure.
+    ///
+    /// Saturating: counters are monotonic, so a negative delta can only
+    /// mean the operands were swapped or came from different resets —
+    /// clamping to zero keeps telemetry total-conservation checks sane
+    /// instead of panicking mid-run.
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(rhs.hits),
+            misses: self.misses.saturating_sub(rhs.misses),
+        }
+    }
+}
+
 impl fmt::Display for HitMissStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} hits / {} misses ({:.2}% hit)",
-            self.hits,
-            self.misses,
-            self.hit_rate() * 100.0
-        )
+        match self.hit_rate() {
+            Some(rate) => write!(
+                f,
+                "{} hits / {} misses ({:.2}% hit)",
+                self.hits,
+                self.misses,
+                rate * 100.0
+            ),
+            None => write!(f, "0 hits / 0 misses (no accesses)"),
+        }
     }
 }
 
@@ -150,17 +174,30 @@ mod tests {
         }
         s.record_miss();
         assert_eq!(s.accesses(), 4);
-        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
-        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        let hr = s.hit_rate().expect("accesses recorded");
+        let mr = s.miss_rate().expect("accesses recorded");
+        assert!((hr - 0.75).abs() < 1e-12);
+        assert!((mr - 0.25).abs() < 1e-12);
         assert!((s.mpki(2000) - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn empty_stats_have_zero_rates() {
+    fn empty_stats_have_no_rates() {
         let s = HitMissStats::new();
-        assert_eq!(s.hit_rate(), 0.0);
-        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), None);
+        assert_eq!(s.miss_rate(), None);
         assert_eq!(s.mpki(0), 0.0);
+        assert!(s.to_string().contains("no accesses"));
+    }
+
+    #[test]
+    fn sub_computes_saturating_deltas() {
+        let earlier = HitMissStats { hits: 2, misses: 5 };
+        let later = HitMissStats { hits: 7, misses: 5 };
+        let delta = later - earlier;
+        assert_eq!(delta, HitMissStats { hits: 5, misses: 0 });
+        // Swapped operands clamp instead of wrapping.
+        assert_eq!(earlier - later, HitMissStats { hits: 0, misses: 0 });
     }
 
     #[test]

@@ -162,28 +162,28 @@ impl fmt::Display for BenchKind {
 /// instances that context-switch on the machine (two VM contexts per
 /// core by default; homogeneous pairs are two instances of the same
 /// program, heterogeneous pairs follow Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// The label used on the paper's x-axes.
-    pub name: &'static str,
+    pub name: String,
     /// The two VM contexts' benchmarks.
     pub contexts: [BenchKind; 2],
 }
 
 impl WorkloadSpec {
     /// Homogeneous pair: two instances of `bench`.
-    pub const fn homogeneous(name: &'static str, bench: BenchKind) -> Self {
+    pub fn homogeneous(name: impl Into<String>, bench: BenchKind) -> Self {
         Self {
             contexts: [bench, bench],
-            name,
+            name: name.into(),
         }
     }
 
     /// Heterogeneous pair.
-    pub const fn pair(name: &'static str, a: BenchKind, b: BenchKind) -> Self {
+    pub fn pair(name: impl Into<String>, a: BenchKind, b: BenchKind) -> Self {
         Self {
             contexts: [a, b],
-            name,
+            name: name.into(),
         }
     }
 
@@ -230,7 +230,7 @@ mod tests {
     fn paper_workload_list_matches_figure7() {
         let w = paper_workloads();
         assert_eq!(w.len(), 10);
-        let names: Vec<_> = w.iter().map(|s| s.name).collect();
+        let names: Vec<_> = w.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             vec![

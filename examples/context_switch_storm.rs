@@ -31,7 +31,7 @@ fn main() {
     for contexts in [1u32, 2, 4] {
         let mut results = Vec::new();
         for scheme in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
-            let mut cfg = SimConfig::new(workload, scheme);
+            let mut cfg = SimConfig::new(workload.clone(), scheme);
             cfg.system.contexts_per_core = contexts;
             cfg.system.cs_interval_cycles = 400_000; // quantum scaled with run
             cfg.accesses_per_core = 50_000;

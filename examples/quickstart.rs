@@ -38,8 +38,11 @@ fn main() {
         snap.walk_elimination() * 100.0
     );
     println!(
-        "L3 translation hit: {:.1}% of {} cached-TLB probes",
-        snap.l3.tlb.hit_rate() * 100.0,
+        "L3 translation hit: {}% of {} cached-TLB probes",
+        snap.l3
+            .tlb
+            .hit_rate()
+            .map_or_else(|| "-".into(), |v| format!("{:.1}", v * 100.0)),
         snap.l3.tlb.accesses()
     );
     println!(

@@ -43,7 +43,7 @@ fn main() {
 
     let mut pom_ipc = None;
     for scheme in schemes {
-        let mut cfg = SimConfig::new(workload, scheme);
+        let mut cfg = SimConfig::new(workload.clone(), scheme);
         cfg.accesses_per_core = 60_000;
         cfg.warmup_accesses_per_core = 60_000;
         cfg.system.cs_interval_cycles = 400_000; // quantum scaled with run
@@ -54,12 +54,16 @@ fn main() {
         }
         let rel = pom_ipc.map(|p| ipc / p);
         println!(
-            "{:<16}{:>10.4}{:>12}{:>12}{:>12.1}",
+            "{:<16}{:>10.4}{:>12}{:>12}{:>12}",
             scheme.label(),
             ipc,
             rel.map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into()),
             r.snapshot.page_walks,
-            r.snapshot.l3.tlb.hit_rate() * 100.0,
+            r.snapshot
+                .l3
+                .tlb
+                .hit_rate()
+                .map_or_else(|| "-".into(), |v| format!("{:.1}", v * 100.0)),
         );
     }
     println!();

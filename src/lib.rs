@@ -26,6 +26,7 @@
 //! | [`workloads`] | synthetic trace generators for the six benchmarks |
 //! | [`core`] | the assembled hierarchy with every translation scheme |
 //! | [`sim`] | the multi-core simulator and per-figure experiments |
+//! | [`telemetry`] | recorders, per-epoch records, walk traces, latency histograms |
 //! | [`audit`] | CSALT-Axxx static rules and conservation-law auditing |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub use csalt_dram as dram;
 pub use csalt_profiler as profiler;
 pub use csalt_ptw as ptw;
 pub use csalt_sim as sim;
+pub use csalt_telemetry as telemetry;
 pub use csalt_tlb as tlb;
 pub use csalt_types as types;
 pub use csalt_workloads as workloads;

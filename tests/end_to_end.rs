@@ -178,7 +178,7 @@ fn virtualized_walks_cost_more_than_native() {
 #[test]
 fn all_paper_workloads_simulate_under_csalt() {
     for w in paper_workloads() {
-        let mut cfg = fast(w, TranslationScheme::CsaltCd);
+        let mut cfg = fast(w.clone(), TranslationScheme::CsaltCd);
         cfg.accesses_per_core = 5_000;
         cfg.warmup_accesses_per_core = 5_000;
         let r = run(&cfg);

@@ -259,3 +259,93 @@ proptest! {
         prop_assert_eq!(r.snapshot.accesses, accesses);
     }
 }
+
+proptest! {
+    /// Per-epoch snapshot deltas recompose exactly to the final totals:
+    /// for an arbitrary access stream cut into arbitrary epochs, summing
+    /// `delta_since` over consecutive checkpoint pairs gives the same
+    /// counters as the whole run (the invariant the telemetry stream's
+    /// `EpochRecord`s rely on).
+    #[test]
+    fn snapshot_epoch_deltas_recompose(
+        scheme_idx in 0usize..4,
+        addrs in prop::collection::vec(0u64..(1u64 << 30), 32..300),
+        cuts in prop::collection::vec(any::<bool>(), 32..300),
+    ) {
+        use csalt::core::MemoryHierarchy;
+        use csalt::types::{CoreId, MemAccess, SystemConfig, TranslationScheme, VirtAddr};
+
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Tsb,
+        ];
+        let mut h = MemoryHierarchy::new(
+            &SystemConfig::skylake(),
+            schemes[scheme_idx],
+            true,
+            HugePagePolicy::NONE,
+            1,
+        );
+        let ctx = h.add_context();
+        let core = CoreId::new(0);
+        let mut checkpoints = vec![h.snapshot()];
+        for (i, addr) in addrs.iter().enumerate() {
+            h.access(core, ctx, MemAccess::read(VirtAddr::new(addr & !0x3f), 4));
+            if cuts.get(i).copied().unwrap_or(false) {
+                checkpoints.push(h.snapshot());
+            }
+        }
+        let end = h.snapshot();
+        checkpoints.push(end.clone());
+
+        let mut acc = 0u64;
+        let mut xl = 0u64;
+        let mut data = 0u64;
+        let mut walks = 0u64;
+        let mut l2t = 0u64;
+        let mut ddr = 0u64;
+        let mut stacked = 0u64;
+        for pair in checkpoints.windows(2) {
+            let d = pair[1].delta_since(&pair[0]);
+            acc += d.accesses;
+            xl += d.translation_cycles;
+            data += d.data_cycles;
+            walks += d.page_walks;
+            l2t += d.l2_tlb.accesses();
+            ddr += d.ddr.accesses;
+            stacked += d.stacked.accesses;
+        }
+        prop_assert_eq!(acc, end.accesses);
+        prop_assert_eq!(acc, addrs.len() as u64);
+        prop_assert_eq!(xl, end.translation_cycles);
+        prop_assert_eq!(data, end.data_cycles);
+        prop_assert_eq!(walks, end.page_walks);
+        prop_assert_eq!(l2t, end.l2_tlb.accesses());
+        prop_assert_eq!(ddr, end.ddr.accesses);
+        prop_assert_eq!(stacked, end.stacked.accesses);
+    }
+
+    /// Every scheme's CLI label parses back to the same scheme.
+    #[test]
+    fn scheme_labels_round_trip(data_ways in 1u32..16) {
+        use csalt::types::TranslationScheme;
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltD,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Dip,
+            TranslationScheme::Tsb,
+            TranslationScheme::TsbCsalt,
+            TranslationScheme::Drrip,
+            TranslationScheme::StaticPartition { data_ways },
+        ];
+        for s in schemes {
+            prop_assert_eq!(TranslationScheme::parse_label(&s.label()), Some(s));
+        }
+        prop_assert_eq!(TranslationScheme::parse_label("bogus"), None);
+        prop_assert_eq!(TranslationScheme::parse_label("static-x"), None);
+    }
+}

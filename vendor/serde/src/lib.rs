@@ -15,9 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashSet;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -281,32 +279,6 @@ impl Serialize for str {
     }
 }
 
-/// Interns a string, returning a `'static` reference.
-///
-/// Needed because `WorkloadSpec.name` is `&'static str`: deserializing it
-/// requires promoting the parsed string. Repeated names (the common case
-/// — a fixed set of workload labels) share one allocation.
-fn intern(s: &str) -> &'static str {
-    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let pool = POOL.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut guard = pool.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    if let Some(&existing) = guard.get(s) {
-        return existing;
-    }
-    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-    guard.insert(leaked);
-    leaked
-}
-
-impl Deserialize for &'static str {
-    fn from_content(content: &Content) -> Result<Self, DeError> {
-        match content {
-            Content::Str(s) => Ok(intern(s)),
-            other => Err(DeError::expected("string", other)),
-        }
-    }
-}
-
 impl<T: Serialize> Serialize for Option<T> {
     fn to_content(&self) -> Content {
         match self {
@@ -450,13 +422,6 @@ mod tests {
     #[test]
     fn unsigned_rejects_negative() {
         assert!(u32::from_content(&Content::I64(-1)).is_err());
-    }
-
-    #[test]
-    fn static_str_interning_dedups() {
-        let a = <&'static str>::from_content(&Content::Str("gups".into())).unwrap();
-        let b = <&'static str>::from_content(&Content::Str("gups".into())).unwrap();
-        assert!(std::ptr::eq(a, b));
     }
 
     #[test]
