@@ -15,9 +15,12 @@
 #      stage-sum violations)
 #   6. telemetry overhead smoke: NullRecorder within the <2% budget
 #      (skipped with --quick; needs a release build)
-#   7. clippy with the workspace lint table, warnings denied
-#   8. rustfmt check
-#   9. the csalt-audit static sweep over every preset x scheme
+#   7. engine throughput smoke: steady-state accesses/sec per scheme must
+#      stay within 20% of the floor recorded in BENCH_throughput.json
+#      (skipped with --quick; needs a release build)
+#   8. clippy with the workspace lint table, warnings denied
+#   9. rustfmt check
+#  10. the csalt-audit static sweep over every preset x scheme
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -51,6 +54,9 @@ cargo run -q -p csalt-sim --bin csalt-report -- --telemetry "$tmp_stream" --chec
 if [[ $quick -eq 0 ]]; then
     step "telemetry overhead smoke (NullRecorder < 2%)"
     CSALT_SMOKE=1 cargo bench -q -p csalt-bench --bench telemetry_overhead
+
+    step "throughput smoke (within 20% of BENCH_throughput.json floor)"
+    CSALT_SMOKE=1 cargo bench -q -p csalt-bench --bench throughput
 fi
 
 step "cargo clippy --workspace --all-targets --all-features -- -D warnings"

@@ -8,8 +8,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use csalt_cache::Cache;
 use csalt_dram::DramModel;
 use csalt_profiler::StackDistanceProfiler;
-use csalt_ptw::{FrameAllocator, GuestAddressSpace, HugePagePolicy, NestedWalker};
-use csalt_tlb::SramTlb;
+use csalt_ptw::{FrameAllocator, GuestAddressSpace, HugePagePolicy, NestedWalker, RadixPageTable};
+use csalt_tlb::{SramTlb, Tsb};
 use csalt_types::{
     Asid, DramTimings, EntryKind, LineAddr, PageSize, PhysAddr, PhysFrame, ReplacementKind,
     SystemConfig, VirtAddr, VirtPage,
@@ -75,6 +75,44 @@ fn bench_l2_tlb_lookup(c: &mut Criterion) {
     });
 }
 
+fn bench_radix_walk(c: &mut Criterion) {
+    // Read-only walks over the arena-backed radix table: the per-PTE cost
+    // of every simulated page walk, without PSC or nested-dimension
+    // effects.
+    let mut alloc = FrameAllocator::new(0, 16 << 30);
+    let mut table = RadixPageTable::new(&mut alloc, HugePagePolicy::NONE);
+    for vpn in 0..4096u64 {
+        table.walk_or_map(VirtAddr::new(vpn << 12), &mut alloc);
+    }
+    let mut i = 0u64;
+    c.bench_function("radix_table_walk", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(table.walk(VirtAddr::new((i % 4096) << 12)))
+        });
+    });
+}
+
+fn bench_tsb_lookup(c: &mut Criterion) {
+    // Single-hash TSB probe (virtualized mode: guest + host tables).
+    let mut tsb = Tsb::new(1 << 16, 0x7d00_0000_0000, true);
+    let asid = Asid::new(1);
+    for vpn in 0..40_000u64 {
+        tsb.insert(
+            VirtPage::from_vpn(vpn, PageSize::Size4K),
+            asid,
+            PhysFrame::from_pfn(vpn, PageSize::Size4K),
+        );
+    }
+    let mut i = 0u64;
+    c.bench_function("tsb_lookup", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9e37_79b9);
+            black_box(tsb.lookup(VirtPage::from_vpn(i % 65_536, PageSize::Size4K), asid))
+        });
+    });
+}
+
 fn bench_nested_walk(c: &mut Criterion) {
     let mut host = FrameAllocator::new(0, 64 << 30);
     let mut space = GuestAddressSpace::new(
@@ -111,6 +149,8 @@ criterion_group!(
     bench_partitioned_cache_access,
     bench_profiler_record,
     bench_l2_tlb_lookup,
+    bench_radix_walk,
+    bench_tsb_lookup,
     bench_nested_walk,
     bench_dram_access
 );

@@ -1,0 +1,235 @@
+//! Steady-state simulator throughput per translation scheme — the
+//! perf-trajectory gate.
+//!
+//! Every figure replays hundreds of millions of accesses through
+//! `MemoryHierarchy::access`, so accesses/sec is the binding constraint
+//! on how many scenarios the harness can afford. This bench measures it
+//! on a fig07-style configuration (virtualized, 2 contexts/core, scaled
+//! quantum and epoch, the `graph500_gups` pairing) for the four Figure 7
+//! schemes and records the result in `BENCH_throughput.json` at the repo
+//! root, so future PRs are held to the recorded floor.
+//!
+//! Modes:
+//!
+//! * default (`cargo bench -p csalt-bench --bench throughput`) —
+//!   full-length measurement, best of 3 rounds per scheme; **rewrites**
+//!   `BENCH_throughput.json` with the new numbers and the current git
+//!   revision. Run this after any intentional perf change.
+//! * `CSALT_SMOKE=1` — short run used by `ci.sh`: measures each scheme
+//!   at the *smoke* length, compares against the recorded smoke-length
+//!   floor (like-for-like: short runs are systematically slower than
+//!   the full-length rate because less of the modelled state is warm),
+//!   and **fails** if any scheme drops more than 20% below it. Retries
+//!   a failing comparison up to two more times, keeping each scheme's
+//!   best rate, so a transient co-tenant noise burst does not fail the
+//!   gate. Never writes the file.
+//!
+//! The throughput metric counts every simulated access (warmup +
+//! measured phase — both run the identical hot path) divided by the
+//! run's wall time, minimized over rounds to reject scheduler noise.
+
+use csalt_sim::{experiments, run, SimConfig};
+use csalt_types::TranslationScheme;
+use csalt_workloads::{BenchKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Tolerated drop below the recorded accesses/sec before the smoke
+/// gate fails (covers machine-to-machine and co-tenant noise).
+const MAX_REGRESSION: f64 = 0.20;
+
+/// The recorded perf trajectory: `BENCH_throughput.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct ThroughputRecord {
+    /// `git rev-parse --short HEAD` at measurement time.
+    git_rev: String,
+    /// Workload pairing measured (fig07 x-axis label).
+    workload: String,
+    /// Simulated cores.
+    cores: u32,
+    /// Measured-phase accesses per core.
+    accesses_per_core: u64,
+    /// Warmup accesses per core (also counted — same hot path).
+    warmup_accesses_per_core: u64,
+    /// Per-scheme steady-state throughput, in fig07 presentation order.
+    schemes: Vec<SchemeThroughput>,
+}
+
+/// One scheme's recorded measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct SchemeThroughput {
+    /// `TranslationScheme::label()`.
+    scheme: String,
+    /// Simulated accesses per wall-clock second (full-length run).
+    accesses_per_sec: f64,
+    /// Same metric at the smoke-length run — the floor `CSALT_SMOKE=1`
+    /// compares against (short runs are systematically slower).
+    smoke_accesses_per_sec: f64,
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The fig07-style configuration: `default_config` knobs without the
+/// env overrides, so the recorded number is reproducible.
+fn config(scheme: TranslationScheme, accesses: u64, warmup: u64) -> SimConfig {
+    let mut cfg = SimConfig::new(
+        WorkloadSpec::pair("graph500_gups", BenchKind::Graph500, BenchKind::Gups),
+        scheme,
+    );
+    cfg.accesses_per_core = accesses;
+    cfg.warmup_accesses_per_core = warmup;
+    cfg.scale = experiments::scaled::SCALE;
+    cfg.system.cs_interval_cycles = experiments::scaled::QUANTUM_10MS;
+    cfg.system.epoch_accesses = experiments::scaled::EPOCH_256K;
+    cfg
+}
+
+/// Best-of-`rounds` accesses/sec for one scheme.
+fn measure(cfg: &SimConfig, rounds: u32) -> f64 {
+    let total_accesses =
+        (cfg.accesses_per_core + cfg.warmup_accesses_per_core) * u64::from(cfg.system.cores);
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let r = run(cfg);
+        let elapsed = t.elapsed().as_secs_f64();
+        assert!(r.instructions > 0, "run produced no work");
+        best = best.max(total_accesses as f64 / elapsed);
+    }
+    best
+}
+
+/// (accesses, warmup, rounds) for the smoke-length run.
+const SMOKE_RUN: (u64, u64, u32) = (20_000, 20_000, 2);
+/// (accesses, warmup, rounds) for the full-length run.
+const FULL_RUN: (u64, u64, u32) = (60_000, 60_000, 3);
+/// Smoke attempts before a regression verdict sticks (noise bursts).
+const SMOKE_ATTEMPTS: u32 = 3;
+
+/// One smoke-length measurement of every fig07 scheme.
+fn measure_smoke_all() -> Vec<(String, f64)> {
+    let (accesses, warmup, rounds) = SMOKE_RUN;
+    experiments::FIG7_SCHEMES
+        .into_iter()
+        .map(|scheme| {
+            let cfg = config(scheme, accesses, warmup);
+            (scheme.label(), measure(&cfg, rounds))
+        })
+        .collect()
+}
+
+fn run_smoke_gate(path: &Path) {
+    let recorded: ThroughputRecord = serde_json::from_str(&std::fs::read_to_string(path).expect(
+        "BENCH_throughput.json missing — record it with \
+         `cargo bench -p csalt-bench --bench throughput`",
+    ))
+    .expect("BENCH_throughput.json must parse");
+
+    // Keep each scheme's best rate across attempts: one quiet window is
+    // enough to prove the engine is not slower.
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for attempt in 1..=SMOKE_ATTEMPTS {
+        for (label, aps) in measure_smoke_all() {
+            match best.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, b)) => *b = b.max(aps),
+                None => best.push((label, aps)),
+            }
+        }
+        let mut failed = false;
+        for rec in &recorded.schemes {
+            let Some(now) = best
+                .iter()
+                .find(|(l, _)| *l == rec.scheme)
+                .map(|&(_, aps)| aps)
+            else {
+                continue;
+            };
+            let (label, floor) = (&rec.scheme, rec.smoke_accesses_per_sec);
+            let ratio = now / floor;
+            let ok = ratio >= 1.0 - MAX_REGRESSION;
+            println!(
+                "{label:>14}: {now:>12.0} vs recorded {floor:>12.0} ({:+.1}%) {}",
+                (ratio - 1.0) * 100.0,
+                if ok { "ok" } else { "REGRESSION" },
+            );
+            failed |= !ok;
+        }
+        if !failed {
+            println!("throughput smoke ok (attempt {attempt}/{SMOKE_ATTEMPTS})");
+            return;
+        }
+        if attempt < SMOKE_ATTEMPTS {
+            println!("attempt {attempt}/{SMOKE_ATTEMPTS} below floor; retrying (noise?)");
+        }
+    }
+    panic!(
+        "throughput fell more than {:.0}% below the smoke floor recorded in \
+         BENCH_throughput.json (rev {}) on {} consecutive attempts; if the \
+         slowdown is intended, re-record with \
+         `cargo bench -p csalt-bench --bench throughput`",
+        MAX_REGRESSION * 100.0,
+        recorded.git_rev,
+        SMOKE_ATTEMPTS,
+    );
+}
+
+fn main() {
+    let path = repo_root().join("BENCH_throughput.json");
+    if std::env::var("CSALT_SMOKE").is_ok() {
+        run_smoke_gate(&path);
+        return;
+    }
+
+    let (accesses, warmup, rounds) = FULL_RUN;
+    let smoke_rates = measure_smoke_all();
+    let mut schemes = Vec::new();
+    for scheme in experiments::FIG7_SCHEMES {
+        let cfg = config(scheme, accesses, warmup);
+        let aps = measure(&cfg, rounds);
+        let smoke_aps = smoke_rates
+            .iter()
+            .find(|(l, _)| *l == scheme.label())
+            .map(|&(_, aps)| aps)
+            .expect("smoke pass covers every fig07 scheme");
+        println!(
+            "{:>14}: {:>12.0} accesses/sec (smoke-length {:>12.0})",
+            scheme.label(),
+            aps,
+            smoke_aps,
+        );
+        schemes.push(SchemeThroughput {
+            scheme: scheme.label(),
+            accesses_per_sec: aps,
+            smoke_accesses_per_sec: smoke_aps,
+        });
+    }
+
+    let record = ThroughputRecord {
+        git_rev: git_rev(),
+        workload: "graph500_gups".to_owned(),
+        cores: config(TranslationScheme::Conventional, accesses, warmup)
+            .system
+            .cores,
+        accesses_per_core: accesses,
+        warmup_accesses_per_core: warmup,
+        schemes,
+    };
+    let json = serde_json::to_string_pretty(&record).expect("record serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_throughput.json");
+    println!("recorded -> {}", path.display());
+}

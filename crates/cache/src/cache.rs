@@ -125,30 +125,32 @@ impl Occupancy {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    kind: EntryKind,
-    dirty: bool,
-    valid: bool,
-}
-
-impl Line {
-    const INVALID: Line = Line {
-        tag: 0,
-        kind: EntryKind::Data,
-        dirty: false,
-        valid: false,
-    };
-}
+/// Sentinel tag for an invalid way (no real tag reaches all-ones: that
+/// would need a line number near `u64::MAX`, far beyond any physical
+/// address space).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative, write-back, write-allocate cache with optional way
 /// partitioning between data and TLB lines.
+///
+/// Line metadata is struct-of-arrays: the tags sit in one flat `u64`
+/// array (with [`INVALID_TAG`] marking empty ways) so the per-set way
+/// scan — the hottest loop in the simulator — compares one word per way;
+/// kind and dirty bits live in parallel arrays touched only on hits and
+/// fills.
 #[derive(Debug, Clone)]
 pub struct Cache {
     sets: u64,
+    /// `log2(sets)` — set count is a power of two, so the tag split is a
+    /// shift rather than a division on the hot lookup path.
+    set_shift: u32,
     ways: u32,
-    lines: Vec<Line>,
+    /// Tag per slot; [`INVALID_TAG`] marks an invalid way.
+    tags: Vec<u64>,
+    /// Content classification per slot (garbage where invalid).
+    kinds: Vec<EntryKind>,
+    /// Dirty bit per slot (garbage where invalid).
+    dirty: Vec<bool>,
     repl: Vec<SetReplacement>,
     /// `Some(n)` ⇒ ways `0..n` belong to data, `n..K` to TLB entries.
     data_ways: Option<u32>,
@@ -165,10 +167,14 @@ impl Cache {
     pub fn new(sets: u64, ways: u32, policy: ReplacementKind) -> Self {
         assert!(sets > 0 && sets.is_power_of_two(), "sets must be 2^k");
         assert!((1..=64).contains(&ways), "ways must be in 1..=64");
+        let slots = (sets * u64::from(ways)) as usize;
         Self {
             sets,
+            set_shift: sets.trailing_zeros(),
             ways,
-            lines: vec![Line::INVALID; (sets * u64::from(ways)) as usize],
+            tags: vec![INVALID_TAG; slots],
+            kinds: vec![EntryKind::Data; slots],
+            dirty: vec![false; slots],
             repl: (0..sets)
                 .map(|_| SetReplacement::new(policy, ways))
                 .collect(),
@@ -255,7 +261,9 @@ impl Cache {
 
     #[inline]
     fn tag(&self, line: LineAddr) -> u64 {
-        line.line_number() / self.sets
+        let tag = line.line_number() >> self.set_shift;
+        debug_assert!(tag != INVALID_TAG, "tag collides with invalid sentinel");
+        tag
     }
 
     #[inline]
@@ -266,7 +274,7 @@ impl Cache {
     /// Reconstructs a line address from set + stored tag.
     #[inline]
     fn line_addr(&self, set: u64, tag: u64) -> LineAddr {
-        LineAddr::from_line_number(tag * self.sets + set)
+        LineAddr::from_line_number((tag << self.set_shift) + set)
     }
 
     /// The replacement candidate mask for an incoming line of `kind`.
@@ -283,10 +291,8 @@ impl Cache {
     pub fn probe(&self, line: LineAddr) -> bool {
         let set = self.set_index(line);
         let tag = self.tag(line);
-        (0..self.ways).any(|w| {
-            let l = &self.lines[self.slot(set, w)];
-            l.valid && l.tag == tag
-        })
+        let base = self.slot(set, 0);
+        self.tags[base..base + self.ways as usize].contains(&tag)
     }
 
     /// Performs one access with conventional MRU insertion.
@@ -309,19 +315,21 @@ impl Cache {
     ) -> AccessOutcome {
         let set = self.set_index(line);
         let tag = self.tag(line);
+        let base = self.slot(set, 0);
+        let ways = self.ways as usize;
 
-        // Lookup: all K ways are scanned irrespective of partition.
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == tag {
-                self.lines[slot].dirty |= write;
-                self.repl[set as usize].touch(way);
-                self.kind_stats_mut(kind).record_hit();
-                return AccessOutcome {
-                    hit: true,
-                    evicted: None,
-                };
-            }
+        // Lookup: all K ways are scanned irrespective of partition. The
+        // set's tags are sliced once so the scan is a flat one-word-per-
+        // way compare — this is the hottest loop in the simulator.
+        let set_tags = &self.tags[base..base + ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            self.dirty[base + way] |= write;
+            self.repl[set as usize].touch(way as u32);
+            self.kind_stats_mut(kind).record_hit();
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
         self.kind_stats_mut(kind).record_miss();
 
@@ -330,35 +338,34 @@ impl Cache {
         let mask = self.partition_mask(kind);
         let invalid_way = (0..self.ways)
             .filter(|&w| mask & (1u64 << w) != 0)
-            .find(|&w| !self.lines[self.slot(set, w)].valid);
+            .find(|&w| self.tags[base + w as usize] == INVALID_TAG);
         let (way, evicted) = match invalid_way {
             Some(w) => (w, None),
             None => {
                 let w = self.repl[set as usize].victim(mask);
-                let old = self.lines[self.slot(set, w)];
-                debug_assert!(old.valid);
+                let slot = self.slot(set, w);
+                let old_tag = self.tags[slot];
+                debug_assert!(old_tag != INVALID_TAG);
+                let old_dirty = self.dirty[slot];
                 self.stats.evictions += 1;
-                if old.dirty {
+                if old_dirty {
                     self.stats.writebacks += 1;
                 }
                 (
                     w,
                     Some(Evicted {
-                        line: self.line_addr(set, old.tag),
-                        kind: old.kind,
-                        dirty: old.dirty,
+                        line: self.line_addr(set, old_tag),
+                        kind: self.kinds[slot],
+                        dirty: old_dirty,
                     }),
                 )
             }
         };
 
         let slot = self.slot(set, way);
-        self.lines[slot] = Line {
-            tag,
-            kind,
-            dirty: write,
-            valid: true,
-        };
+        self.tags[slot] = tag;
+        self.kinds[slot] = kind;
+        self.dirty[slot] = write;
         self.stats.fills += 1;
         // Mru: make the fill most-recent (or RRIP's SRRIP long insert);
         // Lru: leave it the preferred victim (LIP/BIP; BRRIP for RRIP
@@ -378,13 +385,12 @@ impl Cache {
         let tag = self.tag(line);
         for way in 0..self.ways {
             let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == tag {
-                let old = self.lines[slot];
-                self.lines[slot] = Line::INVALID;
+            if self.tags[slot] == tag {
+                self.tags[slot] = INVALID_TAG;
                 return Some(Evicted {
-                    line: self.line_addr(set, old.tag),
-                    kind: old.kind,
-                    dirty: old.dirty,
+                    line: self.line_addr(set, tag),
+                    kind: self.kinds[slot],
+                    dirty: self.dirty[slot],
                 });
             }
         }
@@ -398,9 +404,9 @@ impl Cache {
             capacity_lines: self.sets * u64::from(self.ways),
             ..Occupancy::default()
         };
-        for l in &self.lines {
-            if l.valid {
-                match l.kind {
+        for (t, k) in self.tags.iter().zip(&self.kinds) {
+            if *t != INVALID_TAG {
+                match k {
                     EntryKind::Data => occ.data_lines += 1,
                     EntryKind::Tlb => occ.tlb_lines += 1,
                 }
@@ -416,10 +422,7 @@ impl Cache {
         let set = self.set_index(line);
         let tag = self.tag(line);
         (0..self.ways)
-            .find(|&w| {
-                let l = &self.lines[self.slot(set, w)];
-                l.valid && l.tag == tag
-            })
+            .find(|&w| self.tags[self.slot(set, w)] == tag)
             .map(|w| self.repl[set as usize].stack_position(w))
     }
 

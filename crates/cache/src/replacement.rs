@@ -48,10 +48,15 @@ pub fn way_range_mask(lo: u32, hi: u32) -> WayMask {
 /// [`stack_position`]: SetReplacement::stack_position
 #[derive(Debug, Clone)]
 pub enum SetReplacement {
-    /// Exact recency order; `order[0]` is the MRU way.
+    /// Exact recency via monotonic stamps: a touch writes one stamp, the
+    /// victim is the minimum-stamp way. Stamps are always distinct, so
+    /// the order is total — identical semantics to an MRU list without
+    /// moving elements on every touch.
     TrueLru {
-        /// Way indices ordered MRU → LRU.
-        order: Vec<u8>,
+        /// Last-touch stamp per way; larger = more recent.
+        stamps: Vec<u64>,
+        /// Monotonic touch counter.
+        clock: u64,
     },
     /// One "not recently used" bit per way (1 = not recently used).
     Nru {
@@ -92,7 +97,8 @@ impl SetReplacement {
             ReplacementKind::TrueLru => SetReplacement::TrueLru {
                 // Initial order: way 0 is MRU ... way K-1 is LRU; with an
                 // empty set, victims come from the high ways first.
-                order: (0..ways as u8).collect(),
+                stamps: (0..u64::from(ways)).rev().map(|s| s + 1).collect(),
+                clock: u64::from(ways),
             },
             ReplacementKind::Nru => SetReplacement::Nru {
                 bits: way_range_mask(0, ways),
@@ -115,7 +121,7 @@ impl SetReplacement {
     /// Number of ways this state covers.
     pub fn ways(&self) -> u32 {
         match self {
-            SetReplacement::TrueLru { order } => order.len() as u32,
+            SetReplacement::TrueLru { stamps, .. } => stamps.len() as u32,
             SetReplacement::Nru { ways, .. } | SetReplacement::BtPlru { ways, .. } => *ways,
             SetReplacement::Rrip { rrpv } => rrpv.len() as u32,
         }
@@ -129,13 +135,9 @@ impl SetReplacement {
     pub fn touch(&mut self, way: u32) {
         assert!(way < self.ways(), "way {way} out of range");
         match self {
-            SetReplacement::TrueLru { order } => {
-                let pos = order
-                    .iter()
-                    .position(|&w| u32::from(w) == way)
-                    .expect("every way present in recency order");
-                let w = order.remove(pos);
-                order.insert(0, w);
+            SetReplacement::TrueLru { stamps, clock } => {
+                *clock += 1;
+                stamps[way as usize] = *clock;
             }
             SetReplacement::Nru { bits, ways } => {
                 *bits &= !(1u64 << way);
@@ -203,11 +205,12 @@ impl SetReplacement {
         let mask = mask & full;
         assert!(mask != 0, "victim mask selects no way");
         match self {
-            SetReplacement::TrueLru { order } => order
+            SetReplacement::TrueLru { stamps, .. } => stamps
                 .iter()
-                .rev()
-                .map(|&w| u32::from(w))
-                .find(|&w| mask & (1u64 << w) != 0)
+                .enumerate()
+                .filter(|(w, _)| mask & (1u64 << w) != 0)
+                .min_by_key(|(_, &s)| s)
+                .map(|(w, _)| w as u32)
                 .expect("mask verified nonempty"),
             SetReplacement::Nru { bits, .. } => {
                 if *bits & mask == 0 {
@@ -269,11 +272,11 @@ impl SetReplacement {
     pub fn stack_position(&self, way: u32) -> u32 {
         assert!(way < self.ways(), "way {way} out of range");
         match self {
-            SetReplacement::TrueLru { order } => order
-                .iter()
-                .position(|&w| u32::from(w) == way)
-                .expect("every way present")
-                as u32,
+            SetReplacement::TrueLru { stamps, .. } => {
+                // Exact depth: the number of ways touched more recently.
+                let s = stamps[way as usize];
+                stamps.iter().filter(|&&o| o > s).count() as u32
+            }
             SetReplacement::Nru { bits, ways } => {
                 // Recently-used ways are estimated to occupy the upper
                 // (MRU) half of the stack, others the lower half; within a

@@ -17,7 +17,7 @@ use csalt_cache::{Cache, CacheStats, Occupancy};
 use csalt_dram::{DramModel, DramStats};
 use csalt_profiler::{CriticalityEstimator, CriticalityGauges, Weights};
 use csalt_ptw::{
-    FrameAllocator, GuestAddressSpace, HugePagePolicy, NativeWalker, NestedWalker, WalkDim,
+    FrameAllocator, GuestAddressSpace, HugePagePolicy, NativeWalker, NestedWalker, PteRead, WalkDim,
 };
 use csalt_telemetry::{ServedBy, StageSample, WalkStage};
 use csalt_tlb::{PomTlb, SramTlb, Tsb};
@@ -150,6 +150,10 @@ impl HierarchySnapshot {
 }
 
 /// Per-context translation machinery.
+// One instance lives inline per hierarchy and is matched on every
+// translation; boxing the walker to shrink the enum would trade a few
+// hundred resident bytes for a pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Translator {
     Virtualized(GuestAddressSpace),
     Native(NativeWalker),
@@ -174,6 +178,10 @@ pub struct MemoryHierarchy {
     nested: NestedWalker,
     contexts: Vec<Translator>,
     host_alloc: FrameAllocator,
+    /// Reused PTE-read buffer: every page walk appends into it and it
+    /// is cleared before reuse, so the steady-state access path never
+    /// allocates.
+    walk_scratch: Vec<PteRead>,
 
     ddr: DramModel,
     stacked: DramModel,
@@ -304,6 +312,8 @@ impl MemoryHierarchy {
                 .then(|| Tsb::new(TSB_ENTRIES_PER_CTX, TSB_BASE, virtualized)),
             nested: NestedWalker::with_levels(cfg.psc, cfg.pt_levels),
             contexts: Vec::new(),
+            // 35 reads is the 5-level nested worst case; 64 never grows.
+            walk_scratch: Vec::with_capacity(64),
             // Program + page-table memory: everything below the TSB and
             // POM apertures. 256 GiB is far beyond any experiment's
             // footprint; allocation is lazy.
@@ -643,7 +653,7 @@ impl MemoryHierarchy {
         };
         let mut cycles = 0;
         let hit = frame.is_some();
-        for (i, line) in accesses.into_iter().enumerate() {
+        for (i, &line) in accesses.iter().enumerate() {
             let probe = self
                 .trace
                 .is_some()
@@ -676,6 +686,10 @@ impl MemoryHierarchy {
         ctx: ContextId,
         va: VirtAddr,
     ) -> (csalt_types::VirtPage, PhysFrame, Cycle) {
+        // Take the scratch buffer so the walkers can borrow `self`
+        // mutably; put back below (keeps its capacity — no allocation).
+        let mut accesses = std::mem::take(&mut self.walk_scratch);
+        accesses.clear();
         let outcome = {
             let Self {
                 contexts,
@@ -684,8 +698,10 @@ impl MemoryHierarchy {
                 ..
             } = self;
             match &mut contexts[ctx.index()] {
-                Translator::Virtualized(space) => nested.walk(space, va, host_alloc),
-                Translator::Native(walker) => walker.walk(va, host_alloc),
+                Translator::Virtualized(space) => {
+                    nested.walk_into(space, va, host_alloc, &mut accesses)
+                }
+                Translator::Native(walker) => walker.walk_into(va, host_alloc, &mut accesses),
             }
         };
         let mut cycles = 0;
@@ -694,7 +710,7 @@ impl MemoryHierarchy {
         let core = (ctx.raw() as usize) % self.l1d.len();
         let mut guest_idx = 0u32;
         let mut host_idx = 0u32;
-        for pte in &outcome.accesses {
+        for pte in &accesses {
             let probe = self.trace.is_some().then(|| self.served_probe(core));
             let c = self.l2_access(core, pte.addr.line(), EntryKind::Tlb, false);
             cycles += c;
@@ -713,23 +729,10 @@ impl MemoryHierarchy {
                 self.push_stage(stage, index, c, None, served);
             }
         }
+        self.walk_scratch = accesses;
         self.page_walks += 1;
         self.page_walk_cycles += cycles;
         (outcome.page, outcome.frame, cycles)
-    }
-
-    /// Weights for the given managed level under the current scheme.
-    fn weights(&self, l3: bool) -> Weights {
-        match self.scheme {
-            TranslationScheme::CsaltCd | TranslationScheme::TsbCsalt => {
-                if l3 {
-                    self.crit_l3.weights()
-                } else {
-                    self.crit_l2.weights()
-                }
-            }
-            _ => Weights::UNIT,
-        }
     }
 
     /// A data access through L1 → L2 → L3 → DRAM.
@@ -751,8 +754,22 @@ impl MemoryHierarchy {
 
     /// An access at the L2 level (and below), returning its latency.
     fn l2_access(&mut self, core: usize, line: LineAddr, kind: EntryKind, write: bool) -> Cycle {
-        let w = self.weights(false);
-        let out = self.l2[core].access(line, kind, write, w);
+        let out = {
+            // Split borrows so the weight closure (evaluated only at
+            // epoch boundaries) can read the estimator while the cache
+            // is borrowed mutably.
+            let Self {
+                l2,
+                crit_l2,
+                scheme,
+                ..
+            } = self;
+            let scheme = *scheme;
+            l2[core].access(line, kind, write, || match scheme {
+                TranslationScheme::CsaltCd | TranslationScheme::TsbCsalt => crit_l2.weights(),
+                _ => Weights::UNIT,
+            })
+        };
         if out.hit {
             return self.cfg.l2.latency;
         }
@@ -768,8 +785,19 @@ impl MemoryHierarchy {
 
     /// An access at the shared L3 (and memory), returning its latency.
     fn l3_access(&mut self, line: LineAddr, kind: EntryKind, write: bool) -> Cycle {
-        let w = self.weights(true);
-        let out = self.l3.access(line, kind, write, w);
+        let out = {
+            let Self {
+                l3,
+                crit_l3,
+                scheme,
+                ..
+            } = self;
+            let scheme = *scheme;
+            l3.access(line, kind, write, || match scheme {
+                TranslationScheme::CsaltCd | TranslationScheme::TsbCsalt => crit_l3.weights(),
+                _ => Weights::UNIT,
+            })
+        };
         if out.hit {
             return self.cfg.l3.latency;
         }

@@ -117,24 +117,28 @@ impl ManagedCache {
         self.accesses
     }
 
-    /// Performs one access. `weights` is only consulted at epoch
-    /// boundaries (pass [`Weights::UNIT`] for CSALT-D / unmanaged).
+    /// Performs one access. `weights` is only evaluated at epoch
+    /// boundaries (pass `|| Weights::UNIT` for CSALT-D / unmanaged), so
+    /// estimator-backed weights cost nothing on ordinary accesses.
     pub fn access(
         &mut self,
         line: LineAddr,
         kind: EntryKind,
         write: bool,
-        weights: Weights,
+        weights: impl FnOnce() -> Weights,
     ) -> AccessOutcome {
         self.accesses += 1;
-        let sets = self.cache.sets();
-        let set = line.line_number() & (sets - 1);
-        let tag = line.line_number() / sets;
 
         // Profilers observe every access, managed or not (the paper's
         // monitors run continuously; unmanaged configurations simply
-        // never consult them).
+        // never consult them) — the set/tag split is only computed when
+        // a profiler is actually listening.
         if matches!(self.management, CacheManagement::Csalt) {
+            let sets = self.cache.sets();
+            // Set counts are powers of two (asserted by `Cache::new`), so
+            // the tag split is a shift, not a division.
+            let set = line.line_number() & (sets - 1);
+            let tag = line.line_number() >> sets.trailing_zeros();
             self.profiler.record(set, tag, kind);
         }
 
@@ -143,6 +147,7 @@ impl ManagedCache {
                 // With recency policies this is DIP (LRU vs BIP insert);
                 // with RRIP storage the same dueling selects SRRIP vs
                 // BRRIP insertion depth — i.e. DRRIP.
+                let set = line.line_number() & (self.cache.sets() - 1);
                 let insert = dip.insertion_for(set);
                 let out = self.cache.access_with_insertion(line, kind, write, insert);
                 if !out.hit {
@@ -154,7 +159,7 @@ impl ManagedCache {
         };
 
         if matches!(self.management, CacheManagement::Csalt) && self.epoch.tick() {
-            self.repartition(weights);
+            self.repartition(weights());
         }
         outcome
     }
@@ -200,7 +205,7 @@ mod tests {
             1,
         );
         for i in 0..1000 {
-            m.access(line(i), EntryKind::Data, false, Weights::UNIT);
+            m.access(line(i), EntryKind::Data, false, || Weights::UNIT);
         }
         assert_eq!(m.data_ways(), None);
         assert_eq!(m.accesses(), 1000);
@@ -232,7 +237,7 @@ mod tests {
         assert_eq!(m.data_ways(), None);
         for i in 0..500u64 {
             // Hot data (reused), streaming TLB.
-            m.access(line(i % 16), EntryKind::Data, false, Weights::UNIT);
+            m.access(line(i % 16), EntryKind::Data, false, || Weights::UNIT);
         }
         let dw = m.data_ways().expect("partitioned after epoch");
         assert!((1..8).contains(&dw));
@@ -251,10 +256,10 @@ mod tests {
         for i in 0..2000u64 {
             if i % 10 == 0 {
                 // Streaming TLB: no reuse → no marginal utility.
-                m.access(line(0x10000 + i), EntryKind::Tlb, false, Weights::UNIT);
+                m.access(line(0x10000 + i), EntryKind::Tlb, false, || Weights::UNIT);
             } else {
                 // Data with deep reuse across 6 ways per set.
-                m.access(line(i % (16 * 6)), EntryKind::Data, false, Weights::UNIT);
+                m.access(line(i % (16 * 6)), EntryKind::Data, false, || Weights::UNIT);
             }
         }
         assert_eq!(m.data_ways(), Some(7), "data deserves the maximum");
@@ -272,9 +277,9 @@ mod tests {
         );
         for i in 0..2000u64 {
             if i % 10 == 0 {
-                m.access(line(0x10000 + i), EntryKind::Data, false, Weights::UNIT);
+                m.access(line(0x10000 + i), EntryKind::Data, false, || Weights::UNIT);
             } else {
-                m.access(line(i % (16 * 6)), EntryKind::Tlb, false, Weights::UNIT);
+                m.access(line(i % (16 * 6)), EntryKind::Tlb, false, || Weights::UNIT);
             }
         }
         // All TLB hits sit at stack depth 5, so every n ≤ 2 satisfies
@@ -298,12 +303,12 @@ mod tests {
                 // depth 5 (6 tags/set). Unweighted, satisfying data
                 // (4 ways) or TLB (6 ways) yields equal utility and the
                 // tie breaks to the data side; weighting TLB flips it.
-                m.access(line(i % (16 * 4)), EntryKind::Data, false, weights);
+                m.access(line(i % (16 * 4)), EntryKind::Data, false, || weights);
                 m.access(
                     line(0x10000 + (i % (16 * 6))),
                     EntryKind::Tlb,
                     false,
-                    weights,
+                    || weights,
                 );
             }
             m.data_ways().expect("partitioned")
@@ -326,7 +331,7 @@ mod tests {
         );
         m.enable_partition_trace();
         for i in 0..350u64 {
-            m.access(line(i % 32), EntryKind::Data, false, Weights::UNIT);
+            m.access(line(i % 32), EntryKind::Data, false, || Weights::UNIT);
         }
         assert_eq!(m.partition_trace().len(), 3);
         for s in m.partition_trace() {
@@ -348,7 +353,7 @@ mod tests {
         // A thrashing pattern (working set slightly exceeding capacity)
         // should still be served without panicking and never partition.
         for i in 0..10_000u64 {
-            m.access(line(i % 600), EntryKind::Data, false, Weights::UNIT);
+            m.access(line(i % 600), EntryKind::Data, false, || Weights::UNIT);
         }
         assert_eq!(m.data_ways(), None);
         assert!(m.cache().stats().total().accesses() == 10_000);

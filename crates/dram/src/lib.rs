@@ -116,6 +116,12 @@ pub struct DramModel {
     row_shift: u32,
     bank_mask: u64,
     bank_shift: u32,
+    /// Precomputed total latency per row outcome (hit / closed miss /
+    /// conflict) — an access only ever takes one of three values, so the
+    /// float timing math runs once at construction.
+    latency_hit: Cycle,
+    latency_closed: Cycle,
+    latency_conflict: Cycle,
 }
 
 impl DramModel {
@@ -139,7 +145,7 @@ impl DramModel {
         let row_shift = timings.row_buffer_bytes.trailing_zeros();
         let bank_shift = row_shift;
         let bank_mask = u64::from(timings.banks) - 1;
-        Self {
+        let mut model = Self {
             banks: vec![BankState::default(); timings.banks as usize],
             stats: DramStats::default(),
             core_per_bus: timings.core_cycles_per_bus_cycle(core_ghz),
@@ -150,7 +156,28 @@ impl DramModel {
             row_shift,
             bank_mask,
             bank_shift,
-        }
+            latency_hit: 0,
+            latency_closed: 0,
+            latency_conflict: 0,
+        };
+        model.latency_hit = model.outcome_latency(RowOutcome::Hit);
+        model.latency_closed = model.outcome_latency(RowOutcome::ClosedMiss);
+        model.latency_conflict = model.outcome_latency(RowOutcome::Conflict);
+        model
+    }
+
+    /// Total latency for one access with the given row outcome, in core
+    /// cycles (the timing formula; evaluated once per outcome at build).
+    fn outcome_latency(&self, outcome: RowOutcome) -> Cycle {
+        let bus_cycles = match outcome {
+            RowOutcome::Hit => f64::from(self.timings.t_cas),
+            RowOutcome::ClosedMiss => f64::from(self.timings.t_rcd + self.timings.t_cas),
+            RowOutcome::Conflict => {
+                f64::from(self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas)
+            }
+        };
+        (bus_cycles * self.core_per_bus + self.burst_cycles()).round() as Cycle
+            + self.controller_overhead
     }
 
     /// The device's timing parameters.
@@ -204,15 +231,11 @@ impl DramModel {
     pub fn access(&mut self, pa: PhysAddr, is_write: bool) -> Cycle {
         let (bank, row) = self.map(pa);
         let outcome = self.row_outcome(bank, row);
-        let bus_cycles = match outcome {
-            RowOutcome::Hit => f64::from(self.timings.t_cas),
-            RowOutcome::ClosedMiss => f64::from(self.timings.t_rcd + self.timings.t_cas),
-            RowOutcome::Conflict => {
-                f64::from(self.timings.t_rp + self.timings.t_rcd + self.timings.t_cas)
-            }
+        let latency = match outcome {
+            RowOutcome::Hit => self.latency_hit,
+            RowOutcome::ClosedMiss => self.latency_closed,
+            RowOutcome::Conflict => self.latency_conflict,
         };
-        let latency = (bus_cycles * self.core_per_bus + self.burst_cycles()).round() as Cycle
-            + self.controller_overhead;
 
         self.stats.accesses += 1;
         self.stats.total_latency += latency;

@@ -115,21 +115,30 @@ impl StackDistanceProfiler {
     /// Panics if `set` is out of range.
     pub fn record(&mut self, set: u64, tag: u64, kind: EntryKind) -> Option<u32> {
         assert!(set < self.sets, "set {set} out of range");
-        if !set.is_multiple_of(self.interval) {
-            return None;
-        }
-        let idx = (set / self.interval) as usize;
+        // Fast path for full profiling (interval 1): no division.
+        let idx = if self.interval == 1 {
+            set as usize
+        } else {
+            if !set.is_multiple_of(self.interval) {
+                return None;
+            }
+            (set / self.interval) as usize
+        };
         let stack = &mut self.shadow[kind.index()][idx];
         let depth = match stack.iter().position(|&t| t == tag) {
             Some(pos) => {
-                let t = stack.remove(pos);
-                stack.insert(0, t);
+                // Move-to-front as one rotation instead of remove+insert.
+                stack[..=pos].rotate_right(1);
                 pos as u32
             }
             None => {
-                stack.insert(0, tag);
-                if stack.len() > self.ways as usize {
-                    stack.pop();
+                if stack.len() >= self.ways as usize {
+                    // Full stack: the rotated-in last element is the LRU
+                    // casualty; overwrite it with the new MRU tag.
+                    stack.rotate_right(1);
+                    stack[0] = tag;
+                } else {
+                    stack.insert(0, tag);
                 }
                 self.ways
             }

@@ -39,7 +39,8 @@ mod walker;
 
 pub use frames::FrameAllocator;
 pub use psc::{PagingStructureCache, PscStart};
-pub use radix::{HugePagePolicy, PteRef, RadixPageTable, WalkPath};
+pub use radix::{HugePagePolicy, PteRef, PteRefs, RadixPageTable, WalkPath};
 pub use walker::{
-    GuestAddressSpace, NativeWalker, NestedWalker, PteRead, WalkDim, WalkOutcome, WalkStats,
+    GuestAddressSpace, NativeWalker, NestedWalker, PteRead, Translation, WalkDim, WalkOutcome,
+    WalkStats,
 };

@@ -9,44 +9,115 @@
 use csalt_types::{Asid, Cycle, PhysAddr, PscConfig, VirtAddr};
 
 /// One fully-associative LRU cache of prefix → table-base mappings.
+///
+/// Keys are packed into a single `u64` (`prefix << 16 | asid`) in a flat
+/// array scanned branchlessly — every slot is visited so the compiler
+/// can vectorize the compare (at most 32 entries, this beats a binary
+/// search and keeps eviction an in-place overwrite). Recency is tracked
+/// with monotonically increasing stamps: a touch rewrites one stamp and
+/// eviction replaces the minimum-stamp entry — exact LRU semantics with
+/// no recency-list movement on hits.
 #[derive(Debug, Clone)]
 struct PrefixCache {
     capacity: usize,
-    /// MRU-first entries of `((asid, prefix), table_base)`.
-    entries: Vec<((Asid, u64), PhysAddr)>,
+    /// Packed keys, parallel to `tables` and `stamps`.
+    keys: Vec<u64>,
+    /// Cached table bases.
+    tables: Vec<PhysAddr>,
+    /// Last-touch stamps; the minimum marks the LRU entry.
+    stamps: Vec<u64>,
+    /// Monotonic touch counter.
+    clock: u64,
     hits: u64,
     misses: u64,
+}
+
+/// Packs an (ASID, prefix) pair into one comparable word. Prefixes hold
+/// at most four 9-bit level indexes (36 bits), leaving the low 16 bits
+/// for the ASID.
+#[inline]
+fn pack_key(asid: Asid, prefix: u64) -> u64 {
+    debug_assert!(prefix < 1u64 << 48, "prefix overflows packed key");
+    (prefix << 16) | u64::from(asid.raw())
 }
 
 impl PrefixCache {
     fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            tables: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
+            clock: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    fn lookup(&mut self, key: (Asid, u64)) -> Option<PhysAddr> {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            let e = self.entries.remove(pos);
-            let pa = e.1;
-            self.entries.insert(0, e);
+    #[inline]
+    fn touch(&mut self, pos: usize) {
+        self.clock += 1;
+        self.stamps[pos] = self.clock;
+    }
+
+    /// Position of `key`, scanning every slot unconditionally (keys are
+    /// unique, so last-match equals only-match).
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut pos = usize::MAX;
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k == key {
+                pos = i;
+            }
+        }
+        (pos != usize::MAX).then_some(pos)
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<PhysAddr> {
+        if let Some(pos) = self.find(key) {
+            self.touch(pos);
             self.hits += 1;
-            Some(pa)
+            Some(self.tables[pos])
         } else {
             self.misses += 1;
             None
         }
     }
 
-    fn insert(&mut self, key: (Asid, u64), table: PhysAddr) {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            self.entries.remove(pos);
+    fn insert(&mut self, key: u64, table: PhysAddr) {
+        if let Some(pos) = self.find(key) {
+            self.tables[pos] = table;
+            self.touch(pos);
+            return;
         }
-        self.entries.insert(0, (key, table));
-        self.entries.truncate(self.capacity);
+        if self.capacity == 0 {
+            return;
+        }
+        if self.keys.len() < self.capacity {
+            self.keys.push(key);
+            self.tables.push(table);
+            self.stamps.push(0);
+            let pos = self.keys.len() - 1;
+            self.touch(pos);
+            return;
+        }
+        // Replace the LRU (minimum-stamp) entry in place.
+        let pos = self
+            .stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.keys[pos] = key;
+        self.tables[pos] = table;
+        self.touch(pos);
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.tables.clear();
+        self.stamps.clear();
     }
 }
 
@@ -119,14 +190,14 @@ impl PagingStructureCache {
     }
 
     /// The prefix key for a level's cache: the 9-bit indices of all
-    /// levels above `table_level`, up to the root.
+    /// levels above `table_level`, up to the root. Concatenated in level
+    /// order those indices are exactly the VA bits from the level's index
+    /// base to the root's, so one shift + mask extracts them all.
     #[inline]
     fn prefix(&self, va: VirtAddr, table_level: u8) -> u64 {
-        let mut key = 0u64;
-        for l in ((table_level + 1)..=self.root_level).rev() {
-            key = (key << 9) | va.pt_index(l);
-        }
-        key
+        let low = 12 + 9 * u32::from(table_level);
+        let width = 9 * u32::from(self.root_level - table_level);
+        (va.raw() >> low) & ((1u64 << width) - 1)
     }
 
     /// Finds the deepest starting point the PSC can provide for `va`,
@@ -134,7 +205,7 @@ impl PagingStructureCache {
     /// sequence per walk as in hardware).
     pub fn lookup(&mut self, asid: Asid, va: VirtAddr, root: PhysAddr) -> PscStart {
         let mut hits = 0;
-        let pde_key = (asid, self.prefix(va, 1));
+        let pde_key = pack_key(asid, self.prefix(va, 1));
         if let Some(t) = self.pde.lookup(pde_key) {
             return PscStart {
                 level: 1,
@@ -142,7 +213,7 @@ impl PagingStructureCache {
                 hits: 1,
             };
         }
-        let pdp_key = (asid, self.prefix(va, 2));
+        let pdp_key = pack_key(asid, self.prefix(va, 2));
         if let Some(t) = self.pdp.lookup(pdp_key) {
             return PscStart {
                 level: 2,
@@ -150,7 +221,7 @@ impl PagingStructureCache {
                 hits: 1,
             };
         }
-        let pml4_key = (asid, self.prefix(va, 3));
+        let pml4_key = pack_key(asid, self.prefix(va, 3));
         if let Some(t) = self.pml4.lookup(pml4_key) {
             hits += 1;
             return PscStart {
@@ -169,7 +240,7 @@ impl PagingStructureCache {
     /// Installs the table base discovered for `table_level` (3, 2 or 1)
     /// during a walk of `va`.
     pub fn fill(&mut self, asid: Asid, va: VirtAddr, table_level: u8, table: PhysAddr) {
-        let key = (asid, self.prefix(va, table_level));
+        let key = pack_key(asid, self.prefix(va, table_level));
         match table_level {
             3 => self.pml4.insert(key, table),
             2 => self.pdp.insert(key, table),
@@ -180,9 +251,9 @@ impl PagingStructureCache {
 
     /// Invalidates everything (e.g. on a simulated TLB shootdown).
     pub fn flush(&mut self) {
-        self.pml4.entries.clear();
-        self.pdp.entries.clear();
-        self.pde.entries.clear();
+        self.pml4.clear();
+        self.pdp.clear();
+        self.pde.clear();
     }
 }
 

@@ -5,18 +5,46 @@
 //! walk yields the *physical addresses of the PTEs it reads* — these are
 //! what the conventional translation scheme feeds through the data caches
 //! (and what pollutes them, §2.2).
+//!
+//! Nodes live in an arena: one `Vec` of flat 512-entry frames linked by
+//! arena index, so a 4-level walk is four array indexes instead of four
+//! hash probes. This is the simulator's hottest structure — every L2 TLB
+//! miss in the conventional scheme, and every large-TLB miss elsewhere,
+//! walks it (several times per access when virtualized).
 
 use crate::frames::FrameAllocator;
 use csalt_types::{PageSize, PhysAddr, PhysFrame, VirtAddr, VirtPage};
-use std::collections::HashMap;
+use std::ops::Deref;
 
-/// A page-table entry as stored in a node.
+/// Entries per radix node (9 index bits per level).
+const NODE_ENTRIES: usize = 512;
+
+/// A page-table entry as stored in a node slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PtEntry {
-    /// Points at the next-level table's frame base.
-    Table(PhysAddr),
+    /// Not yet mapped.
+    Empty,
+    /// Points at the next-level table: its arena index (for the walk)
+    /// and its frame base (for the PTE addresses the caches see).
+    Table { node: u32, pa: PhysAddr },
     /// Terminal mapping (at level 1 for 4 KiB pages, level 2 for 2 MiB).
     Leaf(PhysFrame),
+}
+
+/// One 4 KiB table frame: its physical base and 512 slots.
+#[derive(Debug, Clone)]
+struct NodeFrame {
+    base: PhysAddr,
+    slots: Box<[PtEntry; NODE_ENTRIES]>,
+}
+
+impl NodeFrame {
+    fn new(base: PhysAddr) -> Self {
+        Self {
+            base,
+            slots: Box::new([PtEntry::Empty; NODE_ENTRIES]),
+        }
+    }
 }
 
 /// One PTE reference performed during a walk.
@@ -28,13 +56,81 @@ pub struct PteRef {
     pub level: u8,
 }
 
+/// The ordered PTE reads of one walk: an inline fixed-capacity list
+/// (max 5 levels), so returning a walk allocates nothing.
+///
+/// Dereferences to `[PteRef]`; use it like a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct PteRefs {
+    len: u8,
+    items: [PteRef; 5],
+}
+
+impl PteRefs {
+    const EMPTY_REF: PteRef = PteRef {
+        addr: PhysAddr::new(0),
+        level: 0,
+    };
+
+    /// An empty list.
+    pub const fn new() -> Self {
+        Self {
+            len: 0,
+            items: [Self::EMPTY_REF; 5],
+        }
+    }
+
+    /// Appends a reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics beyond 5 entries (deeper than any supported table).
+    #[inline]
+    pub fn push(&mut self, r: PteRef) {
+        self.items[self.len as usize] = r;
+        self.len += 1;
+    }
+}
+
+impl Default for PteRefs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for PteRefs {
+    type Target = [PteRef];
+
+    #[inline]
+    fn deref(&self) -> &[PteRef] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl PartialEq for PteRefs {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for PteRefs {}
+
+impl<'a> IntoIterator for &'a PteRefs {
+    type Item = &'a PteRef;
+    type IntoIter = std::slice::Iter<'a, PteRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// The outcome of walking (and, if needed, demand-mapping) an address.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkPath {
     /// The terminal frame translating the address.
     pub frame: PhysFrame,
-    /// The PTE reads performed, root first (1–4 entries).
-    pub refs: Vec<PteRef>,
+    /// The PTE reads performed, root first (1–5 entries).
+    pub refs: PteRefs,
 }
 
 /// Chooses terminal page sizes for demand mapping.
@@ -72,11 +168,10 @@ impl HugePagePolicy {
 /// The table's nodes and leaf frames live in the address space served by
 /// the [`FrameAllocator`] passed to [`RadixPageTable::walk_or_map`] — a
 /// guest table allocates guest-physical frames, the host table
-/// host-physical frames.
+/// host-physical frames. Node 0 of the arena is the root.
 #[derive(Debug, Clone)]
 pub struct RadixPageTable {
-    root: PhysAddr,
-    nodes: HashMap<u64, HashMap<u16, PtEntry>>,
+    nodes: Vec<NodeFrame>,
     policy: HugePagePolicy,
     levels: u8,
     mapped_pages: u64,
@@ -100,11 +195,8 @@ impl RadixPageTable {
     pub fn with_levels(alloc: &mut FrameAllocator, policy: HugePagePolicy, levels: u8) -> Self {
         assert!(levels == 4 || levels == 5, "only 4- or 5-level paging");
         let root = alloc.alloc(PageSize::Size4K).base();
-        let mut nodes = HashMap::new();
-        nodes.insert(root.raw(), HashMap::new());
         Self {
-            root,
-            nodes,
+            nodes: vec![NodeFrame::new(root)],
             policy,
             levels,
             mapped_pages: 0,
@@ -118,7 +210,7 @@ impl RadixPageTable {
 
     /// The root node's physical address (the CR3 analogue).
     pub fn root(&self) -> PhysAddr {
-        self.root
+        self.nodes[0].base
     }
 
     /// Number of terminal pages mapped so far.
@@ -138,73 +230,65 @@ impl RadixPageTable {
     pub fn walk_or_map(&mut self, va: VirtAddr, alloc: &mut FrameAllocator) -> WalkPath {
         let huge = self.policy.is_huge(va);
         let leaf_level = if huge { 2 } else { 1 };
-        let mut table = self.root;
-        let mut refs = Vec::with_capacity(self.levels as usize);
+        let mut node = 0usize;
+        let mut refs = PteRefs::new();
         for level in (1..=self.levels).rev() {
             let index = va.pt_index(level);
             refs.push(PteRef {
-                addr: Self::pte_addr(table, index),
+                addr: Self::pte_addr(self.nodes[node].base, index),
                 level,
             });
-            let node = self
-                .nodes
-                .get_mut(&table.raw())
-                .expect("walked tables always exist");
+            let slot = index as usize;
             if level == leaf_level {
-                let mut newly_mapped = false;
-                let entry = node.entry(index as u16).or_insert_with(|| {
-                    newly_mapped = true;
-                    let size = if huge {
-                        PageSize::Size2M
-                    } else {
-                        PageSize::Size4K
-                    };
-                    PtEntry::Leaf(alloc.alloc(size))
-                });
-                let PtEntry::Leaf(frame) = *entry else {
-                    unreachable!("leaf level holds only leaves");
+                let frame = match self.nodes[node].slots[slot] {
+                    PtEntry::Leaf(frame) => frame,
+                    PtEntry::Empty => {
+                        let size = if huge {
+                            PageSize::Size2M
+                        } else {
+                            PageSize::Size4K
+                        };
+                        let frame = alloc.alloc(size);
+                        self.nodes[node].slots[slot] = PtEntry::Leaf(frame);
+                        self.mapped_pages += 1;
+                        frame
+                    }
+                    PtEntry::Table { .. } => unreachable!("leaf level holds only leaves"),
                 };
-                if newly_mapped {
-                    self.mapped_pages += 1;
-                }
                 return WalkPath { frame, refs };
             }
-            let next = match node.get(&(index as u16)) {
-                Some(PtEntry::Table(pa)) => *pa,
-                Some(PtEntry::Leaf(_)) => unreachable!("leaf above leaf level"),
-                None => {
+            node = match self.nodes[node].slots[slot] {
+                PtEntry::Table { node, .. } => node as usize,
+                PtEntry::Empty => {
                     let pa = alloc.alloc(PageSize::Size4K).base();
-                    self.nodes
-                        .get_mut(&table.raw())
-                        .expect("exists")
-                        .insert(index as u16, PtEntry::Table(pa));
-                    self.nodes.insert(pa.raw(), HashMap::new());
-                    pa
+                    let next = self.nodes.len();
+                    self.nodes[node].slots[slot] = PtEntry::Table {
+                        node: u32::try_from(next).expect("arena outgrew u32 indexes"),
+                        pa,
+                    };
+                    self.nodes.push(NodeFrame::new(pa));
+                    next
                 }
+                PtEntry::Leaf(_) => unreachable!("leaf above leaf level"),
             };
-            table = next;
         }
         unreachable!("loop always returns at the leaf level")
     }
 
     /// Walks `va` without mapping; `None` if the address is unmapped.
     pub fn walk(&self, va: VirtAddr) -> Option<WalkPath> {
-        let mut table = self.root;
-        let mut refs = Vec::with_capacity(self.levels as usize);
+        let mut node = 0usize;
+        let mut refs = PteRefs::new();
         for level in (1..=self.levels).rev() {
             let index = va.pt_index(level);
             refs.push(PteRef {
-                addr: Self::pte_addr(table, index),
+                addr: Self::pte_addr(self.nodes[node].base, index),
                 level,
             });
-            match self.nodes.get(&table.raw())?.get(&(index as u16))? {
-                PtEntry::Leaf(frame) => {
-                    return Some(WalkPath {
-                        frame: *frame,
-                        refs,
-                    })
-                }
-                PtEntry::Table(pa) => table = *pa,
+            match self.nodes[node].slots[index as usize] {
+                PtEntry::Empty => return None,
+                PtEntry::Leaf(frame) => return Some(WalkPath { frame, refs }),
+                PtEntry::Table { node: next, .. } => node = next as usize,
             }
         }
         None
@@ -347,5 +431,22 @@ mod tests {
             let offset = r.addr.raw() & 0xfff;
             assert!(offset < 4096 && offset % 8 == 0);
         }
+    }
+
+    #[test]
+    fn pte_refs_compare_by_contents() {
+        let mut a = PteRefs::new();
+        let mut b = PteRefs::new();
+        assert_eq!(a, b);
+        let r = PteRef {
+            addr: PhysAddr::new(0x1000),
+            level: 4,
+        };
+        a.push(r);
+        assert_ne!(a, b);
+        b.push(r);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], r);
     }
 }

@@ -75,6 +75,18 @@ pub struct WalkOutcome {
     pub accesses: Vec<PteRead>,
 }
 
+/// The translation a walk produced, without its access list — the
+/// return value of the `walk_into` variants, which append their PTE
+/// reads to a caller-owned scratch buffer instead of allocating one
+/// per walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The terminal virtual page the translation covers.
+    pub page: VirtPage,
+    /// The frame backing that page in machine-physical memory.
+    pub frame: PhysFrame,
+}
+
 /// A native (non-virtualized) address space: one page table over machine
 /// memory, walked in one dimension.
 #[derive(Debug)]
@@ -128,26 +140,44 @@ impl NativeWalker {
 
     /// Walks `va`, demand-mapping as needed. PSC hits skip upper-level
     /// reads.
+    ///
+    /// Allocates the access list; the hot path uses
+    /// [`NativeWalker::walk_into`] with a reused scratch buffer instead.
     pub fn walk(&mut self, va: VirtAddr, alloc: &mut FrameAllocator) -> WalkOutcome {
+        let mut accesses = Vec::with_capacity(8);
+        let t = self.walk_into(va, alloc, &mut accesses);
+        WalkOutcome {
+            page: t.page,
+            frame: t.frame,
+            accesses,
+        }
+    }
+
+    /// Like [`NativeWalker::walk`], but appends the PTE reads to `out`
+    /// (not cleared) instead of allocating a fresh list.
+    pub fn walk_into(
+        &mut self,
+        va: VirtAddr,
+        alloc: &mut FrameAllocator,
+        out: &mut Vec<PteRead>,
+    ) -> Translation {
         let path = self.table.walk_or_map(va, alloc);
         let start = self.psc.lookup(self.asid, va, self.table.root());
-        let accesses: Vec<PteRead> = path
-            .refs
-            .iter()
-            .filter(|r| r.level <= start.level)
-            .map(|r| PteRead {
+        let before = out.len();
+        for r in path.refs.iter().filter(|r| r.level <= start.level) {
+            out.push(PteRead {
                 addr: r.addr,
                 dim: WalkDim::Host,
-            })
-            .collect();
+            });
+        }
+        let read = out.len() - before;
         self.fill_psc(va, &path);
         self.stats.walks += 1;
-        self.stats.memory_accesses += accesses.len() as u64;
-        self.stats.psc_skipped += (path.refs.len() - accesses.len()) as u64;
-        WalkOutcome {
+        self.stats.memory_accesses += read as u64;
+        self.stats.psc_skipped += (path.refs.len() - read) as u64;
+        Translation {
             page: self.table.terminal_page(va),
             frame: path.frame,
-            accesses,
         }
     }
 
@@ -310,6 +340,9 @@ impl NestedWalker {
     /// Performs the full 2D walk of Figure 2b for `gva`, demand-mapping
     /// both dimensions. Returns the effective translation and the
     /// ordered machine-physical PTE reads (≤ 24).
+    ///
+    /// Allocates the access list; the hot path uses
+    /// [`NestedWalker::walk_into`] with a reused scratch buffer instead.
     pub fn walk(
         &mut self,
         space: &mut GuestAddressSpace,
@@ -317,6 +350,24 @@ impl NestedWalker {
         host_alloc: &mut FrameAllocator,
     ) -> WalkOutcome {
         let mut accesses = Vec::with_capacity(24);
+        let t = self.walk_into(space, gva, host_alloc, &mut accesses);
+        WalkOutcome {
+            page: t.page,
+            frame: t.frame,
+            accesses,
+        }
+    }
+
+    /// Like [`NestedWalker::walk`], but appends the PTE reads to
+    /// `accesses` (not cleared) instead of allocating a fresh list.
+    pub fn walk_into(
+        &mut self,
+        space: &mut GuestAddressSpace,
+        gva: VirtAddr,
+        host_alloc: &mut FrameAllocator,
+        accesses: &mut Vec<PteRead>,
+    ) -> Translation {
+        let before = accesses.len();
 
         // Guest-dimension walk (structure first, then charge accesses
         // for the levels the guest PSC could not skip).
@@ -340,7 +391,7 @@ impl NestedWalker {
             }
             // Locate the guest PTE in machine memory (embedded host
             // walk), then read it.
-            let pte_host = self.host_translate(space, r.addr, host_alloc, &mut accesses);
+            let pte_host = self.host_translate(space, r.addr, host_alloc, accesses);
             let pte_hpa = pte_host.frame.translate(VirtAddr::new(r.addr.raw()));
             accesses.push(PteRead {
                 addr: pte_hpa,
@@ -361,7 +412,7 @@ impl NestedWalker {
         // Final host walk: translate the terminal guest-physical address.
         let guest_page = space.guest.terminal_page(gva);
         let gpa_of_page = guest_path.frame.translate(guest_page.base());
-        let final_host = self.host_translate(space, gpa_of_page, host_alloc, &mut accesses);
+        let final_host = self.host_translate(space, gpa_of_page, host_alloc, accesses);
 
         // Effective translation: min(guest, host) page size.
         let eff_size = guest_page.size().min(final_host.frame.size());
@@ -373,11 +424,10 @@ impl NestedWalker {
         let frame = hpa_eff_base.frame(eff_size);
 
         self.stats.walks += 1;
-        self.stats.memory_accesses += accesses.len() as u64;
-        WalkOutcome {
+        self.stats.memory_accesses += (accesses.len() - before) as u64;
+        Translation {
             page: eff_page,
             frame,
-            accesses,
         }
     }
 }

@@ -23,7 +23,7 @@
 use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
 use csalt_ptw::HugePagePolicy;
 use csalt_types::{geomean, ContextId, CoreId, Cycle, MemAccess, SystemConfig, TranslationScheme};
-use csalt_workloads::{TraceGenerator, WorkloadSpec};
+use csalt_workloads::{AnyGenerator, TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 #[cfg(feature = "telemetry")]
@@ -275,7 +275,7 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
     // One hierarchy context (address space) per VM; one generator per
     // (VM, core) — the VM's per-core thread.
     let vm_ctx: Vec<ContextId> = (0..vms).map(|_| hier.add_context()).collect();
-    let mut threads: Vec<Vec<Box<dyn TraceGenerator>>> = (0..vms)
+    let mut threads: Vec<Vec<AnyGenerator>> = (0..vms)
         .map(|vm| {
             (0..cores)
                 .map(|core| {
@@ -284,7 +284,7 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
                         .seed
                         .wrapping_add(u64::from(vm) * 0x9e37_79b9)
                         .wrapping_add(core as u64 * 0x85eb_ca6b);
-                    bench.build(seed, cfg.scale)
+                    bench.build_generator(seed, cfg.scale)
                 })
                 .collect()
         })

@@ -33,4 +33,4 @@ mod tsb;
 
 pub use pom::{PomLookup, PomTlb};
 pub use sram::{SramTlb, TlbKey};
-pub use tsb::{Tsb, TsbLookup};
+pub use tsb::{Tsb, TsbAccesses, TsbLookup};

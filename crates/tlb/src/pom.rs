@@ -15,16 +15,10 @@
 //! set) and exposes each operation's home [`LineAddr`]; the caller routes
 //! that address through the cache hierarchy and DRAM timing model.
 
-use crate::sram::TlbKey;
+use crate::sram::{pack, TlbKey, EMPTY};
 use csalt_types::{
     Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, PomTlbConfig, VirtPage,
 };
-
-#[derive(Debug, Clone, Copy)]
-struct PomEntry {
-    key: TlbKey,
-    frame: PhysFrame,
-}
 
 /// Result of a POM-TLB lookup: the translation (if resident) and the
 /// memory line the lookup touched.
@@ -37,14 +31,21 @@ pub struct PomLookup {
 }
 
 /// The memory-resident large TLB array.
+///
+/// Storage is struct-of-arrays with packed `u64` keys (shared with the
+/// SRAM TLBs), MRU-first within each set: the way scan compares one word
+/// per way and recency updates are short rotations — no per-insert
+/// allocation. Valid entries always form a prefix of the set.
 #[derive(Debug, Clone)]
 pub struct PomTlb {
     cfg: PomTlbConfig,
     sets: u64,
     ways: u32,
-    /// `entries[set * ways + way]`; per-set MRU-first order is maintained
-    /// by keeping entries sorted (small `ways`, so rotation is cheap).
-    entries: Vec<Option<PomEntry>>,
+    /// Packed key per slot (`keys[set * ways + way]`); [`EMPTY`] marks an
+    /// invalid way.
+    keys: Vec<u64>,
+    /// Frame per slot, parallel to `keys` (garbage where empty).
+    frames: Vec<PhysFrame>,
     stats: HitMissStats,
 }
 
@@ -57,10 +58,12 @@ impl PomTlb {
     pub fn new(cfg: PomTlbConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "POM-TLB sets must be 2^k");
+        let slots = (sets * u64::from(cfg.ways)) as usize;
         Self {
             sets,
             ways: cfg.ways,
-            entries: vec![None; (sets * u64::from(cfg.ways)) as usize],
+            keys: vec![EMPTY; slots],
+            frames: vec![PhysFrame::from_pfn(0, PageSize::Size4K); slots],
             cfg,
             stats: HitMissStats::new(),
         }
@@ -125,18 +128,21 @@ impl PomTlb {
         let set = self.set_of(&key);
         let line = self.line_of_set(set);
         let base = (set * u64::from(self.ways)) as usize;
-        for way in 0..self.ways as usize {
-            if let Some(e) = self.entries[base + way] {
-                if e.key == key {
-                    // Move to MRU (front) by rotating the prefix.
-                    self.entries[base..=base + way].rotate_right(1);
-                    self.stats.record_hit();
-                    return PomLookup {
-                        frame: Some(e.frame),
-                        line,
-                    };
-                }
-            }
+        let ways = self.ways as usize;
+        let packed = pack(&key);
+        if let Some(way) = self.keys[base..base + ways]
+            .iter()
+            .position(|&k| k == packed)
+        {
+            let frame = self.frames[base + way];
+            // Move to MRU (front) by rotating the prefix.
+            self.keys[base..=base + way].rotate_right(1);
+            self.frames[base..=base + way].rotate_right(1);
+            self.stats.record_hit();
+            return PomLookup {
+                frame: Some(frame),
+                line,
+            };
         }
         self.stats.record_miss();
         PomLookup { frame: None, line }
@@ -149,25 +155,29 @@ impl PomTlb {
         let key = TlbKey { page, asid };
         let set = self.set_of(&key);
         let line = self.line_of_set(set);
-        // Remove a stale copy if present.
         let base = (set * u64::from(self.ways)) as usize;
-        let mut kept: Vec<PomEntry> = self.entries[base..base + self.ways as usize]
+        let ways = self.ways as usize;
+        let packed = pack(&key);
+        // Rotate a stale copy (if present) — else the whole set, pushing
+        // the LRU (or an empty tail slot) to the front — then overwrite
+        // the front with the new MRU entry. Valid entries stay a prefix.
+        let upto = match self.keys[base..base + ways]
             .iter()
-            .flatten()
-            .filter(|e| e.key != key)
-            .copied()
-            .collect();
-        kept.insert(0, PomEntry { key, frame });
-        kept.truncate(self.ways as usize);
-        for w in 0..self.ways as usize {
-            self.entries[base + w] = kept.get(w).copied();
-        }
+            .position(|&k| k == packed)
+        {
+            Some(way) => way,
+            None => ways - 1,
+        };
+        self.keys[base..=base + upto].rotate_right(1);
+        self.frames[base..=base + upto].rotate_right(1);
+        self.keys[base] = packed;
+        self.frames[base] = frame;
         line
     }
 
     /// Number of valid entries currently held (tests / reporting).
     pub fn valid_entries(&self) -> u64 {
-        self.entries.iter().filter(|e| e.is_some()).count() as u64
+        self.keys.iter().filter(|&&k| k != EMPTY).count() as u64
     }
 
     /// Fraction of POM-TLB slots holding a valid translation, in

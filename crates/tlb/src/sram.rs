@@ -16,10 +16,23 @@ pub struct TlbKey {
     pub asid: Asid,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct SramEntry {
-    key: TlbKey,
-    frame: PhysFrame,
+/// Sentinel for an empty way (no real packed key reaches all-ones: the
+/// VPN would have to exceed the 48-bit address space).
+pub(crate) const EMPTY: u64 = u64::MAX;
+
+/// Packs a [`TlbKey`] into one comparable word — VPN above, then a 2-bit
+/// page-size code, then the 16-bit ASID — so the per-set way scan
+/// compares one `u64` per way instead of a multi-word struct.
+#[inline]
+pub(crate) fn pack(key: &TlbKey) -> u64 {
+    let size_code = match key.page.size() {
+        PageSize::Size4K => 0u64,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    };
+    let vpn = key.page.vpn();
+    debug_assert!(vpn < 1u64 << 46, "vpn overflows packed TLB key");
+    (vpn << 18) | (size_code << 16) | u64::from(key.asid.raw())
 }
 
 /// A set-associative, ASID-tagged SRAM TLB.
@@ -27,12 +40,17 @@ struct SramEntry {
 /// Used for both L1 TLBs (one instance per page size) and the unified L2
 /// TLB (entries of both sizes coexist; the set index mixes the page size
 /// so 4 KiB and 2 MiB entries of the same region do not collide).
+/// Storage is struct-of-arrays: packed keys in one flat `u64` array
+/// (scanned on the hot path) with frames alongside.
 #[derive(Debug, Clone)]
 pub struct SramTlb {
     sets: u32,
     ways: u32,
     latency: Cycle,
-    entries: Vec<Option<SramEntry>>,
+    /// Packed keys per slot; [`EMPTY`] marks an invalid way.
+    keys: Vec<u64>,
+    /// Frame per slot, parallel to `keys` (garbage where empty).
+    frames: Vec<PhysFrame>,
     repl: Vec<SetReplacement>,
     stats: HitMissStats,
 }
@@ -64,11 +82,13 @@ impl SramTlb {
                 "sram-tlb: {sets} sets is not a power of two"
             )));
         }
+        let slots = (sets * geom.ways) as usize;
         Ok(Self {
             sets,
             ways: geom.ways,
             latency: geom.latency,
-            entries: vec![None; (sets * geom.ways) as usize],
+            keys: vec![EMPTY; slots],
+            frames: vec![PhysFrame::from_pfn(0, PageSize::Size4K); slots],
             repl: (0..sets)
                 .map(|_| SetReplacement::new(ReplacementKind::TrueLru, geom.ways))
                 .collect(),
@@ -116,15 +136,14 @@ impl SramTlb {
     pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> Option<PhysFrame> {
         let key = TlbKey { page, asid };
         let set = self.set_of(&key);
-        for way in 0..self.ways {
-            if let Some(e) = &self.entries[self.slot(set, way)] {
-                if e.key == key {
-                    let frame = e.frame;
-                    self.repl[set as usize].touch(way);
-                    self.stats.record_hit();
-                    return Some(frame);
-                }
-            }
+        let packed = pack(&key);
+        let base = self.slot(set, 0);
+        let set_keys = &self.keys[base..base + self.ways as usize];
+        if let Some(way) = set_keys.iter().position(|&k| k == packed) {
+            let frame = self.frames[base + way];
+            self.repl[set as usize].touch(way as u32);
+            self.stats.record_hit();
+            return Some(frame);
         }
         self.stats.record_miss();
         None
@@ -134,11 +153,9 @@ impl SramTlb {
     pub fn probe(&self, page: VirtPage, asid: Asid) -> bool {
         let key = TlbKey { page, asid };
         let set = self.set_of(&key);
-        (0..self.ways).any(|w| {
-            self.entries[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|e| e.key == key)
-        })
+        let packed = pack(&key);
+        let base = self.slot(set, 0);
+        self.keys[base..base + self.ways as usize].contains(&packed)
     }
 
     /// Installs a translation (no-op refresh if already present),
@@ -146,34 +163,35 @@ impl SramTlb {
     pub fn insert(&mut self, page: VirtPage, asid: Asid, frame: PhysFrame) {
         let key = TlbKey { page, asid };
         let set = self.set_of(&key);
-        // Refresh in place if present.
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.entries[slot].as_ref().is_some_and(|e| e.key == key) {
-                self.entries[slot] = Some(SramEntry { key, frame });
-                self.repl[set as usize].touch(way);
-                return;
-            }
-        }
-        let way = match (0..self.ways).find(|&w| self.entries[self.slot(set, w)].is_none()) {
-            Some(w) => w,
-            None => self.repl[set as usize].victim(csalt_cache::way_range_mask(0, self.ways)),
+        let packed = pack(&key);
+        let base = self.slot(set, 0);
+        let set_keys = &self.keys[base..base + self.ways as usize];
+        // Refresh in place if present; else fill the first free way; else
+        // evict the set's LRU victim.
+        let way = match set_keys.iter().position(|&k| k == packed) {
+            Some(w) => w as u32,
+            None => match set_keys.iter().position(|&k| k == EMPTY) {
+                Some(w) => w as u32,
+                None => self.repl[set as usize].victim(csalt_cache::way_range_mask(0, self.ways)),
+            },
         };
-        let slot = self.slot(set, way);
-        self.entries[slot] = Some(SramEntry { key, frame });
+        let slot = base + way as usize;
+        self.keys[slot] = packed;
+        self.frames[slot] = frame;
         self.repl[set as usize].touch(way);
     }
 
     /// Invalidates every entry (a full TLB flush).
     pub fn flush(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = None);
+        self.keys.fill(EMPTY);
     }
 
     /// Invalidates all entries belonging to `asid`.
     pub fn flush_asid(&mut self, asid: Asid) {
-        for e in &mut self.entries {
-            if e.as_ref().is_some_and(|x| x.key.asid == asid) {
-                *e = None;
+        let tag = u64::from(asid.raw());
+        for k in &mut self.keys {
+            if *k != EMPTY && *k & 0xffff == tag {
+                *k = EMPTY;
             }
         }
     }
@@ -181,7 +199,7 @@ impl SramTlb {
     /// Number of currently valid entries (for tests and occupancy
     /// reporting).
     pub fn valid_entries(&self) -> u32 {
-        self.entries.iter().filter(|e| e.is_some()).count() as u32
+        self.keys.iter().filter(|&&k| k != EMPTY).count() as u32
     }
 
     /// Fraction of entry slots currently holding a valid translation,

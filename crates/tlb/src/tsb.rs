@@ -15,26 +15,93 @@
 //! Being direct-mapped, conflicting pages overwrite each other, so the
 //! TSB also suffers more misses (→ page walks) than the set-associative
 //! POM-TLB at equal capacity.
+//!
+//! Per-ASID state is flat: a dense `asid → table` index resolved once
+//! per operation, with each table a boxed slot array — no hashing on
+//! the access path (ASIDs are small integers; the old map-based layout
+//! hashed the ASID twice per access).
 
 use csalt_types::{Asid, HitMissStats, LineAddr, PageSize, PhysAddr, PhysFrame, VirtPage};
-use std::collections::HashMap;
+use std::ops::Deref;
+
+/// Sentinel in [`Tsb::asid_index`] for an ASID with no table yet.
+const NO_TABLE: u32 = u32::MAX;
+
+/// The dependent memory lines of one software lookup: an inline list
+/// (1 native, 3 virtualized), so a lookup allocates nothing.
+///
+/// Dereferences to `[LineAddr]`; use it like a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct TsbAccesses {
+    len: u8,
+    items: [LineAddr; 3],
+}
+
+impl TsbAccesses {
+    fn one(line: LineAddr) -> Self {
+        Self {
+            len: 1,
+            items: [line; 3],
+        }
+    }
+
+    fn three(a: LineAddr, b: LineAddr, c: LineAddr) -> Self {
+        Self {
+            len: 3,
+            items: [a, b, c],
+        }
+    }
+}
+
+impl Deref for TsbAccesses {
+    type Target = [LineAddr];
+
+    #[inline]
+    fn deref(&self) -> &[LineAddr] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl PartialEq for TsbAccesses {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for TsbAccesses {}
+
+impl<'a> IntoIterator for &'a TsbAccesses {
+    type Item = &'a LineAddr;
+    type IntoIter = std::slice::Iter<'a, LineAddr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// Result of a TSB lookup: the translation (if the slot matches) and the
 /// dependent memory accesses the software walk performed, in order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TsbLookup {
     /// The translation, when the indexed slot holds this page.
     pub frame: Option<PhysFrame>,
     /// Memory lines touched by the software lookup (1 native,
     /// 3 virtualized), to be charged through the cache hierarchy as
     /// translation traffic.
-    pub accesses: Vec<LineAddr>,
+    pub accesses: TsbAccesses,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct TsbSlot {
     page: VirtPage,
     frame: PhysFrame,
+}
+
+/// One ASID's direct-mapped table. Its position in [`Tsb::tables`] is
+/// its first-touch order, which fixes its aperture offset.
+#[derive(Debug, Clone)]
+struct AsidTable {
+    slots: Box<[Option<TsbSlot>]>,
 }
 
 /// The software translation-buffer model: one direct-mapped table per
@@ -48,8 +115,10 @@ pub struct Tsb {
     /// Aperture base; table *i* starts at `base + i * table_bytes`.
     base: u64,
     virtualized: bool,
-    tables: HashMap<Asid, Vec<Option<TsbSlot>>>,
-    asid_slots: HashMap<Asid, u64>,
+    /// Dense `asid.raw() → tables` index ([`NO_TABLE`] = unseen):
+    /// resolved exactly once per lookup/insert.
+    asid_index: Vec<u32>,
+    tables: Vec<AsidTable>,
     stats: HitMissStats,
 }
 
@@ -73,8 +142,8 @@ impl Tsb {
             entry_bytes: 16,
             base,
             virtualized,
-            tables: HashMap::new(),
-            asid_slots: HashMap::new(),
+            asid_index: Vec::new(),
+            tables: Vec::new(),
             stats: HitMissStats::new(),
         }
     }
@@ -94,9 +163,22 @@ impl Tsb {
         self.entries_per_table * self.entry_bytes
     }
 
-    fn table_index(&mut self, asid: Asid) -> u64 {
-        let next = self.asid_slots.len() as u64;
-        *self.asid_slots.entry(asid).or_insert(next)
+    /// Resolves `asid` to its table, materializing it on first touch
+    /// (first-touch order fixes the aperture offset). The single
+    /// per-ASID resolution of every operation.
+    fn table_id(&mut self, asid: Asid) -> usize {
+        let a = asid.raw() as usize;
+        if a >= self.asid_index.len() {
+            self.asid_index.resize(a + 1, NO_TABLE);
+        }
+        if self.asid_index[a] == NO_TABLE {
+            self.asid_index[a] =
+                u32::try_from(self.tables.len()).expect("more tables than 16-bit ASIDs");
+            self.tables.push(AsidTable {
+                slots: vec![None; self.entries_per_table as usize].into_boxed_slice(),
+            });
+        }
+        self.asid_index[a] as usize
     }
 
     #[inline]
@@ -109,9 +191,8 @@ impl Tsb {
         (page.vpn() ^ salt) & (self.entries_per_table - 1)
     }
 
-    /// The aperture address of (`asid`, `page`)'s slot.
-    fn entry_addr(&mut self, page: VirtPage, asid: Asid) -> PhysAddr {
-        let table = self.table_index(asid);
+    /// The aperture address of `page`'s slot in table `table`.
+    fn entry_addr(&self, page: VirtPage, table: u64) -> PhysAddr {
         PhysAddr::new(
             self.base + table * self.table_bytes() + self.slot_of(page) * self.entry_bytes,
         )
@@ -122,14 +203,13 @@ impl Tsb {
     /// the nested locator for the entry's guest-physical page, then the
     /// entry (cf. the multi-step TSB translation flow in virtualized
     /// SPARC the paper references).
-    fn walk_lines(&mut self, page: VirtPage, asid: Asid) -> Vec<LineAddr> {
-        let entry = self.entry_addr(page, asid);
+    fn walk_lines(&self, page: VirtPage, table: u64) -> TsbAccesses {
+        let entry = self.entry_addr(page, table);
         if !self.virtualized {
-            return vec![entry.line()];
+            return TsbAccesses::one(entry.line());
         }
-        let table = self.table_index(asid);
         // Descriptor region sits above all tables; one line per ASID.
-        let descriptors = self.base + self.asid_slots.len().max(64) as u64 * self.table_bytes();
+        let descriptors = self.base + (self.tables.len() as u64).max(64) * self.table_bytes();
         let descriptor = PhysAddr::new(descriptors + table * csalt_types::LINE_BYTES);
         // Nested locator: hashes the entry's page within a per-ASID
         // region, modelling the hypervisor-side lookup.
@@ -139,19 +219,16 @@ impl Tsb {
                 + table * (256 << 10)
                 + ((self.slot_of(page) >> 2) * csalt_types::LINE_BYTES) % (256 << 10),
         );
-        vec![descriptor.line(), locator.line(), entry.line()]
+        TsbAccesses::three(descriptor.line(), locator.line(), entry.line())
     }
 
     /// Performs a software TSB lookup.
     pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> TsbLookup {
-        let accesses = self.walk_lines(page, asid);
+        let table = self.table_id(asid);
+        let accesses = self.walk_lines(page, table as u64);
         let slot = self.slot_of(page) as usize;
-        let entries = self.entries_per_table as usize;
-        let table = self
-            .tables
-            .entry(asid)
-            .or_insert_with(|| vec![None; entries]);
-        let frame = table[slot].and_then(|s| (s.page == page).then_some(s.frame));
+        let frame =
+            self.tables[table].slots[slot].and_then(|s| (s.page == page).then_some(s.frame));
         self.stats.record(frame.is_some());
         TsbLookup { frame, accesses }
     }
@@ -159,14 +236,10 @@ impl Tsb {
     /// Installs a translation (software reload after a page walk),
     /// returning the written line.
     pub fn insert(&mut self, page: VirtPage, asid: Asid, frame: PhysFrame) -> LineAddr {
-        let line = self.entry_addr(page, asid).line();
+        let table = self.table_id(asid);
+        let line = self.entry_addr(page, table as u64).line();
         let slot = self.slot_of(page) as usize;
-        let entries = self.entries_per_table as usize;
-        let table = self
-            .tables
-            .entry(asid)
-            .or_insert_with(|| vec![None; entries]);
-        table[slot] = Some(TsbSlot { page, frame });
+        self.tables[table].slots[slot] = Some(TsbSlot { page, frame });
         line
     }
 
@@ -220,7 +293,7 @@ mod tests {
         assert_eq!(r.accesses.len(), 3);
         assert_eq!(t.accesses_per_lookup(), 3);
         // All three distinct lines (dependent, not coalescable).
-        let mut lines = r.accesses.clone();
+        let mut lines = r.accesses.to_vec();
         lines.dedup();
         assert_eq!(lines.len(), 3);
     }
@@ -260,10 +333,21 @@ mod tests {
     fn lookup_lines_stay_in_aperture_region() {
         let mut t = Tsb::new(1024, BASE, true);
         for vpn in 0..100 {
-            for l in t.lookup(page(vpn), Asid::new(3)).accesses {
+            for &l in &t.lookup(page(vpn), Asid::new(3)).accesses {
                 assert!(l.base().raw() >= BASE);
             }
         }
+    }
+
+    #[test]
+    fn accesses_compare_by_contents() {
+        let mut t = Tsb::new(1024, BASE, true);
+        let a = t.lookup(page(5), Asid::new(1)).accesses;
+        let b = t.lookup(page(5), Asid::new(1)).accesses;
+        assert_eq!(a, b);
+        // A page in a different slot group lands on different lines.
+        let c = t.lookup(page(512), Asid::new(1)).accesses;
+        assert_ne!(a, c);
     }
 
     #[test]

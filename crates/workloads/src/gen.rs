@@ -128,7 +128,19 @@ impl BenchKind {
         }
     }
 
-    /// Instantiates the generator.
+    /// Instantiates the generator behind a trait object. Convenient for
+    /// heterogeneous collections; the simulator's per-access loop uses
+    /// [`BenchKind::build_generator`] instead to avoid the virtual call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn build(&self, seed: u64, scale: f64) -> Box<dyn TraceGenerator> {
+        Box::new(self.build_generator(seed, scale))
+    }
+
+    /// Instantiates the generator as the monomorphized [`AnyGenerator`]
+    /// dispatcher.
     ///
     /// * `seed` — RNG seed; distinct VM instances of the same benchmark
     ///   use distinct seeds.
@@ -139,15 +151,80 @@ impl BenchKind {
     /// # Panics
     ///
     /// Panics if `scale` is not positive.
-    pub fn build(&self, seed: u64, scale: f64) -> Box<dyn TraceGenerator> {
+    pub fn build_generator(&self, seed: u64, scale: f64) -> AnyGenerator {
         assert!(scale > 0.0, "scale must be positive");
         match self {
-            BenchKind::Canneal => Box::new(Canneal::new(seed, scale)),
-            BenchKind::ConnectedComponent => Box::new(ConnectedComponent::new(seed, scale)),
-            BenchKind::Graph500 => Box::new(Graph500::new(seed, scale)),
-            BenchKind::Gups => Box::new(Gups::new(seed, scale)),
-            BenchKind::PageRank => Box::new(PageRank::new(seed, scale)),
-            BenchKind::StreamCluster => Box::new(StreamCluster::new(seed, scale)),
+            BenchKind::Canneal => AnyGenerator::Canneal(Canneal::new(seed, scale)),
+            BenchKind::ConnectedComponent => {
+                AnyGenerator::ConnectedComponent(ConnectedComponent::new(seed, scale))
+            }
+            BenchKind::Graph500 => AnyGenerator::Graph500(Graph500::new(seed, scale)),
+            BenchKind::Gups => AnyGenerator::Gups(Gups::new(seed, scale)),
+            BenchKind::PageRank => AnyGenerator::PageRank(PageRank::new(seed, scale)),
+            BenchKind::StreamCluster => {
+                AnyGenerator::StreamCluster(StreamCluster::new(seed, scale))
+            }
+        }
+    }
+}
+
+/// Enum dispatcher over the six benchmark generators.
+///
+/// The simulator calls `next_access` once per simulated access; behind
+/// `Box<dyn TraceGenerator>` that is an indirect call the compiler can
+/// neither inline nor hoist. The enum's match dispatches to the
+/// monomorphized generator bodies instead (the same pattern the sim
+/// engine uses for its phase hooks), at the cost of each value being as
+/// large as the largest variant — irrelevant for a handful of
+/// per-(VM, core) generators.
+#[derive(Debug)]
+pub enum AnyGenerator {
+    /// PARSEC canneal.
+    Canneal(Canneal),
+    /// GraphChi connected component.
+    ConnectedComponent(ConnectedComponent),
+    /// graph500 BFS.
+    Graph500(Graph500),
+    /// HPCC GUPS/RandomAccess.
+    Gups(Gups),
+    /// PageRank.
+    PageRank(PageRank),
+    /// PARSEC streamcluster.
+    StreamCluster(StreamCluster),
+}
+
+impl TraceGenerator for AnyGenerator {
+    #[inline]
+    fn next_access(&mut self) -> MemAccess {
+        match self {
+            AnyGenerator::Canneal(g) => g.next_access(),
+            AnyGenerator::ConnectedComponent(g) => g.next_access(),
+            AnyGenerator::Graph500(g) => g.next_access(),
+            AnyGenerator::Gups(g) => g.next_access(),
+            AnyGenerator::PageRank(g) => g.next_access(),
+            AnyGenerator::StreamCluster(g) => g.next_access(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyGenerator::Canneal(g) => g.name(),
+            AnyGenerator::ConnectedComponent(g) => g.name(),
+            AnyGenerator::Graph500(g) => g.name(),
+            AnyGenerator::Gups(g) => g.name(),
+            AnyGenerator::PageRank(g) => g.name(),
+            AnyGenerator::StreamCluster(g) => g.name(),
+        }
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        match self {
+            AnyGenerator::Canneal(g) => g.footprint_bytes(),
+            AnyGenerator::ConnectedComponent(g) => g.footprint_bytes(),
+            AnyGenerator::Graph500(g) => g.footprint_bytes(),
+            AnyGenerator::Gups(g) => g.footprint_bytes(),
+            AnyGenerator::PageRank(g) => g.footprint_bytes(),
+            AnyGenerator::StreamCluster(g) => g.footprint_bytes(),
         }
     }
 }

@@ -38,6 +38,8 @@ mod trace_file;
 mod zipf;
 
 pub use benches::{Canneal, ConnectedComponent, Graph500, Gups, PageRank, StreamCluster};
-pub use gen::{paper_workloads, table3_pairs, BenchKind, Region, TraceGenerator, WorkloadSpec};
+pub use gen::{
+    paper_workloads, table3_pairs, AnyGenerator, BenchKind, Region, TraceGenerator, WorkloadSpec,
+};
 pub use trace_file::TraceFile;
 pub use zipf::Zipf;

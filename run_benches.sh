@@ -1,8 +1,10 @@
 #!/bin/bash
 # Regenerates every table and figure. Output accumulates in bench_output.txt.
+# Exits nonzero if any bench fails; stderr is captured, not discarded.
 set -u
 cd /root/repo
 : > bench_output.txt
+status=0
 BENCHES="tab02_config fig01_tlb_mpki_ratio tab01_walk_cycles fig03_cache_occupancy \
 fig07_performance fig08_walks_eliminated fig09_partition_trace fig10_l2_mpki \
 fig11_l3_mpki fig12_native fig13_prior_work fig14_contexts fig15_epoch \
@@ -10,8 +12,23 @@ fig16_cs_interval ext_5level ext_tsb_csalt ext_huge_pages ext_drrip ablation_rep
 ablation_static"
 for b in $BENCHES; do
     echo "=== bench: $b ($(date +%H:%M:%S)) ===" | tee -a bench_output.txt
-    cargo bench -p csalt-bench --bench "$b" 2>/dev/null | tee -a bench_output.txt
+    cargo bench -p csalt-bench --bench "$b" 2>&1 | tee -a bench_output.txt
+    rc=${PIPESTATUS[0]}
+    if [ "$rc" -ne 0 ]; then
+        echo "FAILED: $b (exit $rc)" | tee -a bench_output.txt
+        status=1
+    fi
 done
 echo "=== micro_components (criterion) ===" | tee -a bench_output.txt
-cargo bench -p csalt-bench --bench micro_components 2>/dev/null | tee -a bench_output.txt
-echo "ALL BENCHES DONE $(date +%H:%M:%S)" | tee -a bench_output.txt
+cargo bench -p csalt-bench --bench micro_components 2>&1 | tee -a bench_output.txt
+rc=${PIPESTATUS[0]}
+if [ "$rc" -ne 0 ]; then
+    echo "FAILED: micro_components (exit $rc)" | tee -a bench_output.txt
+    status=1
+fi
+if [ "$status" -ne 0 ]; then
+    echo "SOME BENCHES FAILED $(date +%H:%M:%S)" | tee -a bench_output.txt
+else
+    echo "ALL BENCHES DONE $(date +%H:%M:%S)" | tee -a bench_output.txt
+fi
+exit "$status"

@@ -1,0 +1,139 @@
+//! Determinism snapshot: pins the exact counter values of a small
+//! fixed-seed run for every [`TranslationScheme`].
+//!
+//! The hot-path engine (arena page tables, flattened TSB, enum-dispatched
+//! generators) is free to get faster, but it is NOT free to change
+//! results: every figure in the reproduction depends on these counters
+//! being a pure function of (config, seed). Any change that alters them —
+//! a reordered allocation, a different hash iteration order leaking into
+//! frame placement, an off-by-one in a scratch buffer — fails this test
+//! loudly instead of silently skewing every experiment table.
+//!
+//! If a change is *intended* to alter results (a model change, not an
+//! optimization), regenerate the table below with
+//! `cargo test --test determinism -- --nocapture print_fingerprints`
+//! and say so in the commit message.
+
+use csalt::sim::{run, SimConfig, SimResult};
+use csalt::types::TranslationScheme;
+use csalt::workloads::{BenchKind, WorkloadSpec};
+
+/// The schemes under pinning, with stable labels for the table.
+fn schemes() -> Vec<TranslationScheme> {
+    vec![
+        TranslationScheme::Conventional,
+        TranslationScheme::PomTlb,
+        TranslationScheme::CsaltD,
+        TranslationScheme::CsaltCd,
+        TranslationScheme::Dip,
+        TranslationScheme::Tsb,
+        TranslationScheme::StaticPartition { data_ways: 12 },
+        TranslationScheme::TsbCsalt,
+        TranslationScheme::Drrip,
+    ]
+}
+
+/// A small but non-trivial fixed-seed configuration: two cores, two
+/// contexts per core, context switches and repartitioning epochs all
+/// exercised, small enough to run in the debug test suite.
+fn config(scheme: TranslationScheme) -> SimConfig {
+    let mut cfg = SimConfig::new(
+        WorkloadSpec::pair("g500_gups", BenchKind::Graph500, BenchKind::Gups),
+        scheme,
+    );
+    cfg.system.cores = 2;
+    cfg.system.cs_interval_cycles = 40_000;
+    cfg.system.epoch_accesses = 10_000;
+    cfg.accesses_per_core = 12_000;
+    cfg.warmup_accesses_per_core = 6_000;
+    cfg.scale = 0.05;
+    cfg
+}
+
+/// The counter fingerprint one run pins: enough to catch any behavioural
+/// divergence (cycle charges, walk counts, TLB traffic, per-core timing).
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    translation_cycles: u64,
+    data_cycles: u64,
+    page_walks: u64,
+    page_walk_cycles: u64,
+    l2_tlb_hits: u64,
+    l2_tlb_misses: u64,
+    total_core_cycles: u64,
+    context_switches: u64,
+}
+
+fn fingerprint(r: &SimResult) -> Fingerprint {
+    Fingerprint {
+        translation_cycles: r.snapshot.translation_cycles,
+        data_cycles: r.snapshot.data_cycles,
+        page_walks: r.snapshot.page_walks,
+        page_walk_cycles: r.snapshot.page_walk_cycles,
+        l2_tlb_hits: r.snapshot.l2_tlb.hits,
+        l2_tlb_misses: r.snapshot.l2_tlb.misses,
+        total_core_cycles: r.core_cycles.iter().sum(),
+        context_switches: r.context_switches,
+    }
+}
+
+/// Pinned values. Regenerate with `print_fingerprints` (see module docs).
+fn expected(scheme: TranslationScheme) -> Fingerprint {
+    let v: [u64; 8] = match scheme {
+        TranslationScheme::Conventional => [965950, 2436468, 6312, 816384, 2486, 6312, 1697140, 40],
+        TranslationScheme::PomTlb => [1358104, 2459871, 2560, 593133, 2488, 6407, 2113527, 49],
+        TranslationScheme::CsaltD => [1367737, 2468844, 2553, 598995, 2494, 6390, 2127451, 50],
+        TranslationScheme::CsaltCd => [1366702, 2481240, 2554, 597204, 2498, 6406, 2127669, 49],
+        TranslationScheme::Dip => [1355753, 2462676, 2561, 594141, 2490, 6406, 2111944, 49],
+        TranslationScheme::Tsb => [1986534, 2409600, 2686, 605451, 2673, 5916, 2758006, 64],
+        TranslationScheme::StaticPartition { .. } => {
+            [1626660, 2429733, 2543, 660822, 2519, 6277, 2385950, 55]
+        }
+        TranslationScheme::TsbCsalt => [1937333, 2433063, 2680, 601713, 2667, 5893, 2712975, 63],
+        TranslationScheme::Drrip => [1347060, 2466444, 2560, 592230, 2486, 6406, 2104200, 49],
+    };
+    Fingerprint {
+        translation_cycles: v[0],
+        data_cycles: v[1],
+        page_walks: v[2],
+        page_walk_cycles: v[3],
+        l2_tlb_hits: v[4],
+        l2_tlb_misses: v[5],
+        total_core_cycles: v[6],
+        context_switches: v[7],
+    }
+}
+
+/// Prints the current fingerprint table in the exact form `expected`
+/// wants, for regeneration after an intended model change.
+#[test]
+#[ignore = "regeneration helper, run with --ignored --nocapture"]
+fn print_fingerprints() {
+    for scheme in schemes() {
+        let r = run(&config(scheme));
+        let f = fingerprint(&r);
+        println!(
+            "TranslationScheme::{scheme:?} => [{}, {}, {}, {}, {}, {}, {}, {}],",
+            f.translation_cycles,
+            f.data_cycles,
+            f.page_walks,
+            f.page_walk_cycles,
+            f.l2_tlb_hits,
+            f.l2_tlb_misses,
+            f.total_core_cycles,
+            f.context_switches,
+        );
+    }
+}
+
+#[test]
+fn every_scheme_matches_its_pinned_fingerprint() {
+    for scheme in schemes() {
+        let r = run(&config(scheme));
+        assert_eq!(
+            fingerprint(&r),
+            expected(scheme),
+            "scheme {scheme:?} diverged from its pinned counters"
+        );
+    }
+}
