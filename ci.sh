@@ -13,14 +13,18 @@
 #   5. telemetry stream round-trip: an instrumented run's JSONL must
 #      pass `csalt-report --telemetry --check` (no parse errors, no
 #      stage-sum violations)
-#   6. telemetry overhead smoke: NullRecorder within the <2% budget
+#   6. sweep cache gate: a smoke figure suite runs cold into a fresh
+#      cache, then warm from it — the warm pass must simulate nothing
+#      and reproduce byte-identical results, and cross-figure duplicate
+#      configs must be simulated exactly once
+#   7. telemetry overhead smoke: NullRecorder within the <2% budget
 #      (skipped with --quick; needs a release build)
-#   7. engine throughput smoke: steady-state accesses/sec per scheme must
+#   8. engine throughput smoke: steady-state accesses/sec per scheme must
 #      stay within 20% of the floor recorded in BENCH_throughput.json
 #      (skipped with --quick; needs a release build)
-#   8. clippy with the workspace lint table, warnings denied
-#   9. rustfmt check
-#  10. the csalt-audit static sweep over every preset x scheme
+#   9. clippy with the workspace lint table, warnings denied
+#  10. rustfmt check
+#  11. the csalt-audit static sweep over every preset x scheme
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -50,6 +54,9 @@ trap 'rm -f "$tmp_stream"' EXIT
 CSALT_WARMUP=2000 CSALT_SCALE=0.05 cargo run -q -p csalt-sim --bin csalt-experiments -- \
     run gups csalt-cd --telemetry "$tmp_stream" --telemetry-sample 200 --accesses 8000
 cargo run -q -p csalt-sim --bin csalt-report -- --telemetry "$tmp_stream" --check > /dev/null
+
+step "sweep cache gate (warm re-run simulates nothing, results byte-identical)"
+cargo run -q -p csalt-sim --bin csalt-experiments -- cache-gate
 
 if [[ $quick -eq 0 ]]; then
     step "telemetry overhead smoke (NullRecorder < 2%)"

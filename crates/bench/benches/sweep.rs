@@ -1,0 +1,176 @@
+//! Sweep-engine timing: cold vs. warm wall-clock for a deduplicated
+//! figure-style suite, recorded in `BENCH_sweep.json` at the repo root.
+//!
+//! Where `throughput.rs` tracks how fast one simulation runs, this
+//! bench tracks how fast the *suite* layer turns the evaluation crank:
+//! a cold pass (fresh cache directory) must simulate each unique config
+//! exactly once with cross-figure duplicates folded, and a warm pass
+//! over the same cache must simulate **nothing** and reproduce
+//! byte-identical results. Both invariants are asserted here (the CI
+//! cache gate asserts them again at merge time via
+//! `csalt-experiments cache-gate`); the timings and hit/dedup counts
+//! are what gets recorded.
+//!
+//! Modes:
+//!
+//! * default (`cargo bench -p csalt-bench --bench sweep`) —
+//!   full-length suite; **rewrites** `BENCH_sweep.json`.
+//! * `CSALT_SMOKE=1` — shorter suite, asserts the same invariants,
+//!   never writes the file.
+
+use csalt_sim::sweep::{engine_fingerprint, git_rev};
+use csalt_sim::{SimConfig, SimResult, Sweep, SweepOptions, SweepStats};
+use csalt_types::TranslationScheme;
+use csalt_workloads::{BenchKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The recorded sweep trajectory: `BENCH_sweep.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepRecord {
+    /// `git rev-parse --short HEAD` at measurement time (shared
+    /// fingerprint helper).
+    git_rev: String,
+    /// Full engine fingerprint the cache was scoped to.
+    engine_fingerprint: String,
+    /// Configs submitted across the simulated "figures".
+    configs_submitted: usize,
+    /// Distinct configs among them.
+    configs_unique: usize,
+    /// Per-core accesses (measured phase) of each config.
+    accesses_per_core: u64,
+    /// Cold pass: fresh cache directory, every unique config simulated.
+    cold_secs: f64,
+    /// Warm pass: same cache, zero simulations.
+    warm_secs: f64,
+    /// Cold-pass sweep counters.
+    cold: SweepStats,
+    /// Warm-pass sweep counters.
+    warm: SweepStats,
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A figure-suite stand-in with genuine cross-figure overlap: the
+/// fig07 grid (4 schemes × workloads) plus fig08/fig13-style
+/// re-submissions of its baselines.
+fn suite(accesses: u64) -> Vec<SimConfig> {
+    let mk = |w: &WorkloadSpec, s: TranslationScheme| {
+        let mut c = SimConfig::new(w.clone(), s);
+        c.system.cores = 2;
+        c.system.cs_interval_cycles = 40_000;
+        c.system.epoch_accesses = 10_000;
+        c.accesses_per_core = accesses;
+        c.warmup_accesses_per_core = accesses / 2;
+        c.scale = 0.1;
+        c
+    };
+    let workloads = [
+        WorkloadSpec::pair("g500_gups", BenchKind::Graph500, BenchKind::Gups),
+        WorkloadSpec::homogeneous("gups", BenchKind::Gups),
+        WorkloadSpec::homogeneous("canneal", BenchKind::Canneal),
+    ];
+    let fig07 = [
+        TranslationScheme::Conventional,
+        TranslationScheme::PomTlb,
+        TranslationScheme::CsaltD,
+        TranslationScheme::CsaltCd,
+    ];
+    let mut configs = Vec::new();
+    for w in &workloads {
+        for s in fig07 {
+            configs.push(mk(w, s));
+        }
+    }
+    // "fig08": conventional + pom-tlb again; "fig13": pom-tlb + csalt-cd.
+    for w in &workloads {
+        for s in [TranslationScheme::Conventional, TranslationScheme::PomTlb] {
+            configs.push(mk(w, s));
+        }
+        for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
+            configs.push(mk(w, s));
+        }
+    }
+    configs
+}
+
+fn json(results: &[SimResult]) -> String {
+    serde_json::to_string(results).expect("results serialize")
+}
+
+fn main() {
+    let smoke = std::env::var_os("CSALT_SMOKE").is_some();
+    let accesses: u64 = if smoke { 6_000 } else { 30_000 };
+    let configs = suite(accesses);
+    let unique = configs
+        .iter()
+        .map(csalt_sim::sweep::config_key)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+
+    let dir = std::env::temp_dir().join(format!("csalt-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let t = Instant::now();
+    let cold_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+    let cold_results = cold_sweep.run_batch(configs.clone());
+    let cold_secs = t.elapsed().as_secs_f64();
+    let cold = cold_sweep.stats();
+    assert_eq!(
+        cold.simulated as usize, unique,
+        "cold pass must simulate each unique config exactly once"
+    );
+    assert_eq!(
+        cold.deduped as usize,
+        configs.len() - unique,
+        "cross-figure duplicates must be folded"
+    );
+
+    let t = Instant::now();
+    let warm_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+    let warm_results = warm_sweep.run_batch(configs.clone());
+    let warm_secs = t.elapsed().as_secs_f64();
+    let warm = warm_sweep.stats();
+    assert_eq!(warm.simulated, 0, "warm pass must not simulate");
+    assert_eq!(
+        json(&cold_results),
+        json(&warm_results),
+        "warm results must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let record = SweepRecord {
+        git_rev: git_rev(),
+        engine_fingerprint: engine_fingerprint(),
+        configs_submitted: configs.len(),
+        configs_unique: unique,
+        accesses_per_core: accesses,
+        cold_secs,
+        warm_secs,
+        cold,
+        warm,
+    };
+    println!(
+        "sweep [{}]: {} configs ({} unique, {} deduped) cold {:.2}s -> warm {:.3}s \
+         ({} cache hits, 0 simulations){}",
+        record.engine_fingerprint,
+        record.configs_submitted,
+        record.configs_unique,
+        record.cold.deduped,
+        record.cold_secs,
+        record.warm_secs,
+        record.warm.cache_hits,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    if !smoke {
+        let path = repo_root().join("BENCH_sweep.json");
+        let mut text = serde_json::to_string_pretty(&record).expect("record serializes");
+        text.push('\n');
+        std::fs::write(&path, text).expect("BENCH_sweep.json written");
+        println!("recorded to {}", path.display());
+    }
+}

@@ -72,16 +72,10 @@ fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
+/// Revision stamped into the record — the sweep engine's shared
+/// fingerprint helper, so every BENCH_*.json agrees on provenance.
 fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(repo_root())
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_owned())
-        .unwrap_or_else(|| "unknown".to_owned())
+    csalt_sim::sweep::git_rev()
 }
 
 /// The fig07-style configuration: `default_config` knobs without the

@@ -4,22 +4,28 @@
 //! ```sh
 //! csalt-experiments list
 //! csalt-experiments fig07 fig08
-//! csalt-experiments all
+//! csalt-experiments all --jobs 4
 //! csalt-experiments run gups csalt-cd --telemetry out.jsonl --telemetry-sample 1000
+//! csalt-experiments cache-gate
 //! ```
 //!
 //! Honors the same environment knobs as the bench harness
-//! (`CSALT_ACCESSES`, `CSALT_WARMUP`, `CSALT_SCALE`).
+//! (`CSALT_ACCESSES`, `CSALT_WARMUP`, `CSALT_SCALE`), plus the sweep
+//! engine's: `--jobs N` / `CSALT_JOBS` bounds worker parallelism,
+//! `--cache-dir <path>` / `CSALT_CACHE_DIR` relocates the persisted
+//! result cache (default `target/csalt-cache/`), and `--no-cache` /
+//! `CSALT_NO_CACHE` disables persistence (in-process dedup remains).
 
 use csalt_sim::experiments as exp;
 #[cfg(feature = "telemetry")]
 use csalt_sim::{run_instrumented, Instrumentation};
+use csalt_sim::{sweep, SimConfig, Sweep, SweepOptions};
 #[cfg(feature = "telemetry")]
 use csalt_telemetry::{NullRecorder, Recorder, StreamRecorder};
-#[cfg(feature = "telemetry")]
 use csalt_types::TranslationScheme;
 #[cfg(feature = "telemetry")]
 use csalt_workloads::paper_workloads;
+use csalt_workloads::{BenchKind, WorkloadSpec};
 #[cfg(feature = "telemetry")]
 use std::path::PathBuf;
 
@@ -244,11 +250,146 @@ fn parse_or_die(text: &str, flag: &str) -> u64 {
     })
 }
 
+/// Removes the sweep-engine flags from `args`, exporting them as the
+/// environment knobs the process-global sweep reads on first touch.
+fn extract_sweep_flags(args: &mut Vec<String>) {
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |args: &mut Vec<String>, flag: &str| {
+            args.remove(i);
+            if i < args.len() {
+                args.remove(i)
+            } else {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match args[i].as_str() {
+            "--jobs" => {
+                let v = take_value(args, "--jobs");
+                if v.parse::<usize>().map(|n| n > 0) != Ok(true) {
+                    eprintln!("--jobs: '{v}' is not a positive integer");
+                    std::process::exit(2);
+                }
+                std::env::set_var("CSALT_JOBS", v);
+            }
+            "--cache-dir" => {
+                let v = take_value(args, "--cache-dir");
+                std::env::set_var("CSALT_CACHE_DIR", v);
+            }
+            "--no-cache" => {
+                args.remove(i);
+                std::env::set_var("CSALT_NO_CACHE", "1");
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// The cache-gate suite: a fig07-style grid plus the cross-figure
+/// duplicate submissions fig13-style harnesses produce, at smoke size.
+/// 12 configs, 8 unique — the gate pins both numbers.
+fn gate_configs() -> Vec<SimConfig> {
+    let mk = |w: &WorkloadSpec, s: TranslationScheme| {
+        let mut c = SimConfig::new(w.clone(), s);
+        c.system.cores = 2;
+        c.system.cs_interval_cycles = 40_000;
+        c.system.epoch_accesses = 10_000;
+        c.accesses_per_core = 4_000;
+        c.warmup_accesses_per_core = 2_000;
+        c.scale = 0.05;
+        c
+    };
+    let pair = WorkloadSpec::pair("g500_gups", BenchKind::Graph500, BenchKind::Gups);
+    let gups = WorkloadSpec::homogeneous("gups", BenchKind::Gups);
+    let mut configs = Vec::new();
+    for w in [&pair, &gups] {
+        for s in exp::FIG7_SCHEMES {
+            configs.push(mk(w, s));
+        }
+    }
+    // A second "figure" re-submitting two of the same baselines.
+    for w in [&pair, &gups] {
+        for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
+            configs.push(mk(w, s));
+        }
+    }
+    configs
+}
+
+/// `csalt-experiments cache-gate`: runs the smoke suite cold into a
+/// fresh cache directory, then warm from it, and fails (exit 1) unless
+/// the cold pass simulated exactly the unique configs, the warm pass
+/// simulated **nothing**, and both passes produced byte-identical
+/// results. This is the CI proof of the sweep engine's contract.
+fn cache_gate() {
+    let dir = std::env::temp_dir().join(format!("csalt-cache-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let configs = gate_configs();
+    let unique = configs
+        .iter()
+        .map(sweep::config_key)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+    let total = configs.len() as u64;
+
+    let json = |results: &[csalt_sim::SimResult]| {
+        serde_json::to_string(results).expect("results serialize")
+    };
+    let fail = |msg: &str| -> ! {
+        eprintln!("cache gate FAILED: {msg}");
+        std::process::exit(1);
+    };
+
+    let t = std::time::Instant::now();
+    let cold_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+    let cold = cold_sweep.run_batch(configs.clone());
+    let cold_secs = t.elapsed().as_secs_f64();
+    let s = cold_sweep.stats();
+    if s.simulated != unique {
+        fail(&format!(
+            "cold pass simulated {} configs, expected {unique} unique",
+            s.simulated
+        ));
+    }
+    if s.deduped != total - unique {
+        fail(&format!(
+            "cold pass deduped {} configs, expected {}",
+            s.deduped,
+            total - unique
+        ));
+    }
+
+    let t = std::time::Instant::now();
+    let warm_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+    let warm = warm_sweep.run_batch(configs);
+    let warm_secs = t.elapsed().as_secs_f64();
+    let s = warm_sweep.stats();
+    if s.simulated != 0 {
+        fail(&format!(
+            "warm pass simulated {} configs, expected 0 (cache_errors: {})",
+            s.simulated, s.cache_errors
+        ));
+    }
+    if json(&cold) != json(&warm) {
+        fail("warm results are not byte-identical to the cold run");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "cache gate OK [{}]: cold {unique} sims ({} deduped of {total}) in {cold_secs:.2}s; \
+         warm 0 sims ({} hits) in {warm_secs:.2}s; results byte-identical",
+        sweep::engine_fingerprint(),
+        total - unique,
+        s.cache_hits,
+    );
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    extract_sweep_flags(&mut args);
     let registry = registry();
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: csalt-experiments <name>... | all | list | run <workload> [scheme] [--telemetry <path>]\n");
+        println!("usage: csalt-experiments <name>... | all | list | cache-gate | run <workload> [scheme] [--telemetry <path>]\n");
         for e in &registry {
             println!("  {:<22} {}", e.name, e.about);
         }
@@ -256,6 +397,15 @@ fn main() {
             "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --progress <N>",
             "run"
         );
+        println!(
+            "  {:<22} prove the result cache: cold run, warm run, 0 re-simulations",
+            "cache-gate"
+        );
+        println!("\nsweep flags (any position): --jobs <N>, --cache-dir <path>, --no-cache");
+        return;
+    }
+    if args[0] == "cache-gate" {
+        cache_gate();
         return;
     }
     if args[0] == "run" {

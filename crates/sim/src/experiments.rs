@@ -80,39 +80,19 @@ fn env_f64(key: &str) -> Option<f64> {
     std::env::var(key).ok()?.parse().ok()
 }
 
-/// Runs configurations in parallel across available CPUs.
+/// Runs configurations in parallel, returning one result per config in
+/// submission order.
+///
+/// Routes through the process-global [`crate::sweep::Sweep`]: cached
+/// results (persisted under `CSALT_CACHE_DIR`, default
+/// `target/csalt-cache/`, keyed by content hash + engine fingerprint)
+/// and configs already simulated earlier in this process are never
+/// re-simulated; the rest are claimed longest-job-first by an atomic
+/// index over `CSALT_JOBS` workers writing into disjoint slots.
+/// Results are bit-identical to sequential execution — see
+/// `crates/sim/tests/sweep.rs` and `tests/determinism.rs`.
 pub fn run_parallel(configs: Vec<SimConfig>) -> Vec<SimResult> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(4)
-        .min(configs.len().max(1));
-    let jobs = std::sync::Mutex::new(configs.into_iter().enumerate().collect::<Vec<_>>());
-    let mut results: Vec<Option<SimResult>> = Vec::new();
-    {
-        let total = jobs.lock().expect("fresh mutex").len();
-        results.resize_with(total, || None);
-    }
-    let results = std::sync::Mutex::new(results);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let job = jobs.lock().expect("job queue").pop();
-                match job {
-                    Some((idx, cfg)) => {
-                        let r = run(&cfg);
-                        results.lock().expect("results")[idx] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("threads joined")
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+    crate::sweep::Sweep::global().run_batch(configs)
 }
 
 /// A generic labelled series row: one workload, one value per column.
@@ -363,35 +343,12 @@ pub struct MainComparison {
     pub results: Vec<Vec<SimResult>>,
 }
 
-/// Runs the 10 workloads × 4 schemes grid once, caching the results on
-/// disk so that Figures 7, 8, 10 and 11 — four views of the same grid —
-/// share a single (expensive) computation. The cache is keyed by the
-/// effective run parameters and lives in `target/csalt-results/`.
+/// Runs the 10 workloads × 4 schemes grid once. Figures 7, 8, 10 and
+/// 11 — four views of the same grid — share a single computation: the
+/// sweep layer under [`run_parallel`] dedups the grid in-process and
+/// persists it content-addressed across invocations (the old ad-hoc
+/// `main_comparison.json` cache is subsumed by `target/csalt-cache/`).
 pub fn main_comparison() -> MainComparison {
-    #[derive(Serialize, Deserialize)]
-    struct CacheFile {
-        key: String,
-        results: Vec<Vec<SimResult>>,
-    }
-
-    let probe = default_config(paper_workloads()[0].clone(), TranslationScheme::PomTlb);
-    let key = format!(
-        "v1-acc{}-warm{}-scale{}",
-        probe.accesses_per_core, probe.warmup_accesses_per_core, probe.scale
-    );
-    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/csalt-results/main_comparison.json");
-    let path = path.as_path();
-    if let Ok(bytes) = std::fs::read(path) {
-        if let Ok(cache) = serde_json::from_slice::<CacheFile>(&bytes) {
-            if cache.key == key {
-                return MainComparison {
-                    results: cache.results,
-                };
-            }
-        }
-    }
-
     let workloads = paper_workloads();
     let mut configs = Vec::new();
     for w in &workloads {
@@ -404,16 +361,6 @@ pub fn main_comparison() -> MainComparison {
         .chunks(FIG7_SCHEMES.len())
         .map(<[SimResult]>::to_vec)
         .collect();
-    let _ = std::fs::create_dir_all(path.parent().expect("has parent")).and_then(|_| {
-        std::fs::write(
-            path,
-            serde_json::to_vec(&CacheFile {
-                key,
-                results: results.clone(),
-            })
-            .expect("results serialize"),
-        )
-    });
     MainComparison { results }
 }
 

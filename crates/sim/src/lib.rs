@@ -30,8 +30,10 @@
 
 pub mod experiments;
 mod simulator;
+pub mod sweep;
 
 pub use simulator::{run, OccupancySample, SimConfig, SimResult};
+pub use sweep::{Sweep, SweepOptions, SweepStats};
 
 #[cfg(feature = "telemetry")]
 pub use simulator::{run_instrumented, Instrumentation};

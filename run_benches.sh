@@ -5,6 +5,13 @@ set -u
 cd /root/repo
 : > bench_output.txt
 status=0
+# One shared result cache for the whole bench session: configurations
+# that recur across figures (the fig07 grid in fig08/10/11/13, the
+# pom-tlb baselines everywhere) are simulated once and reused, and a
+# re-run after an interrupted session resumes where it stopped. The
+# cache is content-addressed and scoped to the engine fingerprint, so
+# it never serves stale results (see EXPERIMENTS.md "The result cache").
+export CSALT_CACHE_DIR="${CSALT_CACHE_DIR:-/root/repo/target/csalt-cache}"
 BENCHES="tab02_config fig01_tlb_mpki_ratio tab01_walk_cycles fig03_cache_occupancy \
 fig07_performance fig08_walks_eliminated fig09_partition_trace fig10_l2_mpki \
 fig11_l3_mpki fig12_native fig13_prior_work fig14_contexts fig15_epoch \
@@ -24,6 +31,13 @@ cargo bench -p csalt-bench --bench micro_components 2>&1 | tee -a bench_output.t
 rc=${PIPESTATUS[0]}
 if [ "$rc" -ne 0 ]; then
     echo "FAILED: micro_components (exit $rc)" | tee -a bench_output.txt
+    status=1
+fi
+echo "=== sweep (cold/warm timing -> BENCH_sweep.json) ===" | tee -a bench_output.txt
+cargo bench -p csalt-bench --bench sweep 2>&1 | tee -a bench_output.txt
+rc=${PIPESTATUS[0]}
+if [ "$rc" -ne 0 ]; then
+    echo "FAILED: sweep (exit $rc)" | tee -a bench_output.txt
     status=1
 fi
 if [ "$status" -ne 0 ]; then

@@ -348,4 +348,66 @@ proptest! {
         prop_assert_eq!(TranslationScheme::parse_label("bogus"), None);
         prop_assert_eq!(TranslationScheme::parse_label("static-x"), None);
     }
+
+    /// The sweep engine's content address of a `SimConfig` is invariant
+    /// under serde round-trips: serializing a config to JSON and
+    /// parsing it back may not change its canonical form or hash, for
+    /// arbitrary field values (including floats, which must round-trip
+    /// exactly through the shortest-form formatter). A persisted cache
+    /// entry therefore always re-addresses to the key it was stored
+    /// under.
+    #[test]
+    fn sweep_config_key_survives_serde_round_trip(
+        accesses in 1_000u64..2_000_000,
+        warmup in 0u64..2_000_000,
+        cores in 1u32..9,
+        contexts in 1u32..5,
+        seed in 0u64..u64::MAX,
+        scheme_idx in 0usize..9,
+        data_ways in 1u32..16,
+        scale_milli in 10u64..3_000,
+        huge_milli in 0u64..1_001,
+        virtualized in any::<bool>(),
+    ) {
+        use csalt::sim::sweep::{canonical_json, config_key};
+        use csalt::sim::SimConfig;
+        use csalt::types::TranslationScheme;
+        use csalt::workloads::{BenchKind, WorkloadSpec};
+
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltD,
+            TranslationScheme::CsaltCd,
+            TranslationScheme::Dip,
+            TranslationScheme::Tsb,
+            TranslationScheme::TsbCsalt,
+            TranslationScheme::Drrip,
+            TranslationScheme::StaticPartition { data_ways },
+        ];
+        let mut cfg = SimConfig::new(
+            WorkloadSpec::pair("g500_gups", BenchKind::Graph500, BenchKind::Gups),
+            schemes[scheme_idx],
+        );
+        cfg.accesses_per_core = accesses;
+        cfg.warmup_accesses_per_core = warmup;
+        cfg.system.cores = cores;
+        cfg.system.contexts_per_core = contexts;
+        cfg.seed = seed;
+        cfg.scale = scale_milli as f64 / 999.0;
+        cfg.huge_fraction = huge_milli as f64 / 1000.0;
+        cfg.virtualized = virtualized;
+
+        let text = serde_json::to_string(&cfg).expect("config serializes");
+        let back: SimConfig = serde_json::from_str(&text).expect("config parses");
+        prop_assert_eq!(&back, &cfg, "serde round-trip is lossless");
+        prop_assert_eq!(canonical_json(&back), canonical_json(&cfg));
+        prop_assert_eq!(config_key(&back), config_key(&cfg));
+
+        // And the address separates configs: flipping the seed moves
+        // the canonical form.
+        let mut other = cfg.clone();
+        other.seed = seed.wrapping_add(1);
+        prop_assert!(canonical_json(&other) != canonical_json(&cfg));
+    }
 }
