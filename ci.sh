@@ -17,14 +17,20 @@
 #      cache, then warm from it — the warm pass must simulate nothing
 #      and reproduce byte-identical results, and cross-figure duplicate
 #      configs must be simulated exactly once
-#   7. telemetry overhead smoke: NullRecorder within the <2% budget
+#   7. pipelined determinism: the determinism snapshot again with
+#      CSALT_PIPELINE=force, so the threaded producer path must hit the
+#      exact pinned counters of the inline engine
+#   8. pipeline-vs-inline equality at release length: the full
+#      (workload x scheme x virtualization) grid, longer runs than the
+#      debug suite (skipped with --quick; needs a release build)
+#   9. telemetry overhead smoke: NullRecorder within the <2% budget
 #      (skipped with --quick; needs a release build)
-#   8. engine throughput smoke: steady-state accesses/sec per scheme must
+#  10. engine throughput smoke: steady-state accesses/sec per scheme must
 #      stay within 20% of the floor recorded in BENCH_throughput.json
 #      (skipped with --quick; needs a release build)
-#   9. clippy with the workspace lint table, warnings denied
-#  10. rustfmt check
-#  11. the csalt-audit static sweep over every preset x scheme
+#  11. clippy with the workspace lint table, warnings denied
+#  12. rustfmt check
+#  13. the csalt-audit static sweep over every preset x scheme
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -58,7 +64,14 @@ cargo run -q -p csalt-sim --bin csalt-report -- --telemetry "$tmp_stream" --chec
 step "sweep cache gate (warm re-run simulates nothing, results byte-identical)"
 cargo run -q -p csalt-sim --bin csalt-experiments -- cache-gate
 
+step "determinism snapshot under CSALT_PIPELINE=force (pinned counters, threaded path)"
+CSALT_PIPELINE=force cargo test -q --test determinism
+
 if [[ $quick -eq 0 ]]; then
+    step "pipeline-vs-inline equality, release length (full workload x scheme grid)"
+    CSALT_EQ_ACCESSES=10000 CSALT_EQ_WARMUP=5000 \
+        cargo test -q --release --test pipeline_equality
+
     step "telemetry overhead smoke (NullRecorder < 2%)"
     CSALT_SMOKE=1 cargo bench -q -p csalt-bench --bench telemetry_overhead
 

@@ -1,8 +1,8 @@
 //! Criterion microbenchmarks for the simulator's hot components: cache
-//! access, stack-distance profiling, TLB lookup, nested page walks and
-//! DRAM timing. These measure the *simulator's* performance (so the
-//! experiment harness's runtime stays predictable), not the modelled
-//! machine's.
+//! access, stack-distance profiling, TLB lookup, nested page walks,
+//! pipeline staging (SPSC ring and generator batch) and DRAM timing.
+//! These measure the *simulator's* performance (so the experiment
+//! harness's runtime stays predictable), not the modelled machine's.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use csalt_cache::Cache;
@@ -132,6 +132,61 @@ fn bench_nested_walk(c: &mut Criterion) {
     });
 }
 
+fn bench_spsc_ring(c: &mut Criterion) {
+    // Per-record cost of the pipeline's lock-free ring: batched pushes
+    // of staged 4-word records drained by batched pops, single-threaded
+    // so the number is the ring's own overhead (encode + atomics), not
+    // scheduler interference.
+    let (mut tx, mut rx) = csalt_pipeline::ring::<csalt_pipeline::StagedAccess>(4096);
+    let asid = Asid::new(1);
+    let batch: Vec<csalt_pipeline::StagedAccess> = (0..64u64)
+        .map(|i| {
+            csalt_pipeline::StagedAccess::stage(
+                csalt_types::MemAccess::read(VirtAddr::new(i << 12), 1),
+                asid,
+            )
+        })
+        .collect();
+    c.bench_function("spsc_ring", |b| {
+        b.iter(|| {
+            let pushed = tx.push_batch(&batch);
+            let mut drained = 0;
+            while drained < pushed {
+                if let Some(rec) = rx.pop() {
+                    black_box(rec);
+                    drained += 1;
+                }
+            }
+            black_box(drained)
+        });
+    });
+}
+
+fn bench_generator_batch(c: &mut Criterion) {
+    // Producer-side staging cost: one generator step plus the
+    // translation-hint packing — what each pipeline producer thread
+    // pays per record before it ever touches a ring.
+    let mut cfg = csalt_sim::SimConfig::new(
+        csalt_workloads::WorkloadSpec::pair(
+            "graph500_gups",
+            csalt_workloads::BenchKind::Graph500,
+            csalt_workloads::BenchKind::Gups,
+        ),
+        csalt_types::TranslationScheme::CsaltCd,
+    );
+    cfg.scale = 0.05;
+    use csalt_workloads::TraceGenerator as _;
+    let mut threads = csalt_sim::build_threads(&cfg);
+    let generator = &mut threads[0][0];
+    let asid = Asid::new(1);
+    c.bench_function("generator_batch", |b| {
+        b.iter(|| {
+            let acc = generator.next_access();
+            black_box(csalt_pipeline::StagedAccess::stage(acc, asid))
+        });
+    });
+}
+
 fn bench_dram_access(c: &mut Criterion) {
     let mut dram = DramModel::new(DramTimings::ddr4_2133(), 4.0);
     let mut i = 0u64;
@@ -152,6 +207,8 @@ criterion_group!(
     bench_radix_walk,
     bench_tsb_lookup,
     bench_nested_walk,
+    bench_spsc_ring,
+    bench_generator_batch,
     bench_dram_access
 );
 criterion_main!(benches);

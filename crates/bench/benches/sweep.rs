@@ -18,7 +18,7 @@
 //! * `CSALT_SMOKE=1` — shorter suite, asserts the same invariants,
 //!   never writes the file.
 
-use csalt_sim::sweep::{engine_fingerprint, git_rev};
+use csalt_sim::sweep::{engine_fingerprint, git_dirty, git_rev};
 use csalt_sim::{SimConfig, SimResult, Sweep, SweepOptions, SweepStats};
 use csalt_types::TranslationScheme;
 use csalt_workloads::{BenchKind, WorkloadSpec};
@@ -32,6 +32,10 @@ struct SweepRecord {
     /// `git rev-parse --short HEAD` at measurement time (shared
     /// fingerprint helper).
     git_rev: String,
+    /// Whether the tree had uncommitted changes at measurement time.
+    /// Record mode refuses to replace a clean record for the same
+    /// revision with dirty numbers (`CSALT_BENCH_FORCE=1` overrides).
+    dirty: bool,
     /// Full engine fingerprint the cache was scoped to.
     engine_fingerprint: String,
     /// Configs submitted across the simulated "figures".
@@ -101,6 +105,37 @@ fn json(results: &[SimResult]) -> String {
     serde_json::to_string(results).expect("results serialize")
 }
 
+/// Same guard as `throughput.rs`: never silently replace a clean-tree
+/// record for the current revision with dirty-tree numbers. Parses the
+/// old file leniently so any schema vintage still protects itself.
+fn refuse_dirty_overwrite(path: &Path, rev: &str, dirty: bool) {
+    if !dirty || std::env::var("CSALT_BENCH_FORCE").is_ok() {
+        return;
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(old) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return;
+    };
+    let field = |name: &str| {
+        old.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    };
+    let old_rev = match field("git_rev") {
+        Some(serde_json::Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let old_dirty = matches!(field("dirty"), Some(serde_json::Value::Bool(true)));
+    if old_rev == Some(rev) && !old_dirty {
+        panic!(
+            "refusing to overwrite {}: it records rev {rev} from a clean tree, and the \
+             tree is now dirty — commit first, or set CSALT_BENCH_FORCE=1 to override",
+            path.display(),
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::var_os("CSALT_SMOKE").is_some();
     let accesses: u64 = if smoke { 6_000 } else { 30_000 };
@@ -144,6 +179,7 @@ fn main() {
 
     let record = SweepRecord {
         git_rev: git_rev(),
+        dirty: git_dirty(),
         engine_fingerprint: engine_fingerprint(),
         configs_submitted: configs.len(),
         configs_unique: unique,
@@ -168,6 +204,7 @@ fn main() {
 
     if !smoke {
         let path = repo_root().join("BENCH_sweep.json");
+        refuse_dirty_overwrite(&path, &record.git_rev, record.dirty);
         let mut text = serde_json::to_string_pretty(&record).expect("record serializes");
         text.push('\n');
         std::fs::write(&path, text).expect("BENCH_sweep.json written");

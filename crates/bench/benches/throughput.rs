@@ -28,7 +28,7 @@
 //! measured phase — both run the identical hot path) divided by the
 //! run's wall time, minimized over rounds to reject scheduler noise.
 
-use csalt_sim::{experiments, run, SimConfig};
+use csalt_sim::{experiments, run_inline, run_pipelined, SimConfig};
 use csalt_types::TranslationScheme;
 use csalt_workloads::{BenchKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -39,11 +39,27 @@ use std::time::Instant;
 /// gate fails (covers machine-to-machine and co-tenant noise).
 const MAX_REGRESSION: f64 = 0.20;
 
+/// Pipeline speedup the record-mode run expects on a host with at
+/// least [`SPEEDUP_MIN_THREADS`] hardware threads (warning, not gate —
+/// CI gates must stay meaningful on small runners).
+const SPEEDUP_TARGET: f64 = 1.25;
+/// Host threads below which the speedup warning is suppressed: with
+/// fewer, producers and the commit stage share cores and the pipelined
+/// mode measures coordination overhead, not overlap.
+const SPEEDUP_MIN_THREADS: usize = 4;
+
 /// The recorded perf trajectory: `BENCH_throughput.json`.
 #[derive(Debug, Serialize, Deserialize)]
 struct ThroughputRecord {
     /// `git rev-parse --short HEAD` at measurement time.
     git_rev: String,
+    /// Whether the tree had uncommitted changes at measurement time.
+    /// Record mode refuses to replace a clean record for the same
+    /// revision with dirty numbers (see `refuse_dirty_overwrite`).
+    dirty: bool,
+    /// `available_parallelism` of the recording host — context for the
+    /// pipeline columns (speedup is only meaningful with ≥4 threads).
+    host_threads: usize,
     /// Workload pairing measured (fig07 x-axis label).
     workload: String,
     /// Simulated cores.
@@ -56,16 +72,25 @@ struct ThroughputRecord {
     schemes: Vec<SchemeThroughput>,
 }
 
-/// One scheme's recorded measurement.
+/// One scheme's recorded measurement: the inline baseline and the
+/// forced-pipeline mode side by side, at both run lengths.
 #[derive(Debug, Serialize, Deserialize)]
 struct SchemeThroughput {
     /// `TranslationScheme::label()`.
     scheme: String,
-    /// Simulated accesses per wall-clock second (full-length run).
+    /// Inline-mode simulated accesses per wall-clock second
+    /// (full-length run).
     accesses_per_sec: f64,
     /// Same metric at the smoke-length run — the floor `CSALT_SMOKE=1`
     /// compares against (short runs are systematically slower).
     smoke_accesses_per_sec: f64,
+    /// Pipelined-mode accesses/sec, full-length run (`CSALT_PIPELINE=
+    /// force` semantics). Informational: the smoke gate only holds the
+    /// inline floors, so small CI hosts cannot fail on overlap they
+    /// physically cannot express.
+    pipeline_accesses_per_sec: f64,
+    /// Pipelined-mode accesses/sec at the smoke length.
+    pipeline_smoke_accesses_per_sec: f64,
 }
 
 fn repo_root() -> PathBuf {
@@ -93,14 +118,20 @@ fn config(scheme: TranslationScheme, accesses: u64, warmup: u64) -> SimConfig {
     cfg
 }
 
-/// Best-of-`rounds` accesses/sec for one scheme.
-fn measure(cfg: &SimConfig, rounds: u32) -> f64 {
+/// Best-of-`rounds` accesses/sec for one scheme, in the inline mode
+/// (`pipelined = false`, the measurement baseline and the smoke-gate
+/// floor) or the forced-pipeline mode.
+fn measure(cfg: &SimConfig, rounds: u32, pipelined: bool) -> f64 {
     let total_accesses =
         (cfg.accesses_per_core + cfg.warmup_accesses_per_core) * u64::from(cfg.system.cores);
     let mut best = 0.0f64;
     for _ in 0..rounds {
         let t = Instant::now();
-        let r = run(cfg);
+        let r = if pipelined {
+            run_pipelined(cfg).0
+        } else {
+            run_inline(cfg)
+        };
         let elapsed = t.elapsed().as_secs_f64();
         assert!(r.instructions > 0, "run produced no work");
         best = best.max(total_accesses as f64 / elapsed);
@@ -115,14 +146,14 @@ const FULL_RUN: (u64, u64, u32) = (60_000, 60_000, 3);
 /// Smoke attempts before a regression verdict sticks (noise bursts).
 const SMOKE_ATTEMPTS: u32 = 3;
 
-/// One smoke-length measurement of every fig07 scheme.
-fn measure_smoke_all() -> Vec<(String, f64)> {
+/// One smoke-length measurement of every fig07 scheme, in one mode.
+fn measure_smoke_all(pipelined: bool) -> Vec<(String, f64)> {
     let (accesses, warmup, rounds) = SMOKE_RUN;
     experiments::FIG7_SCHEMES
         .into_iter()
         .map(|scheme| {
             let cfg = config(scheme, accesses, warmup);
-            (scheme.label(), measure(&cfg, rounds))
+            (scheme.label(), measure(&cfg, rounds, pipelined))
         })
         .collect()
 }
@@ -138,7 +169,7 @@ fn run_smoke_gate(path: &Path) {
     // enough to prove the engine is not slower.
     let mut best: Vec<(String, f64)> = Vec::new();
     for attempt in 1..=SMOKE_ATTEMPTS {
-        for (label, aps) in measure_smoke_all() {
+        for (label, aps) in measure_smoke_all(false) {
             match best.iter_mut().find(|(l, _)| *l == label) {
                 Some((_, b)) => *b = b.max(aps),
                 None => best.push((label, aps)),
@@ -182,6 +213,39 @@ fn run_smoke_gate(path: &Path) {
     );
 }
 
+/// Refuses (exit with a panic) to replace an existing record measured
+/// at the *same* revision with a clean tree by one measured with
+/// uncommitted changes — dirty-tree numbers would masquerade as that
+/// commit's official floor. Parses the old file leniently (any schema
+/// vintage) and honors `CSALT_BENCH_FORCE=1` as the escape hatch.
+fn refuse_dirty_overwrite(path: &Path, rev: &str, dirty: bool) {
+    if !dirty || std::env::var("CSALT_BENCH_FORCE").is_ok() {
+        return;
+    }
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return; // Nothing recorded yet: a dirty first record is fine.
+    };
+    let Ok(old) = serde_json::from_str::<serde_json::Value>(&text) else {
+        return; // A corrupt record protects nothing.
+    };
+    let field = |name: &str| {
+        old.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    };
+    let old_rev = match field("git_rev") {
+        Some(serde_json::Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let old_dirty = matches!(field("dirty"), Some(serde_json::Value::Bool(true)));
+    if old_rev == Some(rev) && !old_dirty {
+        panic!(
+            "refusing to overwrite {}: it records rev {rev} from a clean tree, and the \
+             tree is now dirty — commit first, or set CSALT_BENCH_FORCE=1 to override",
+            path.display(),
+        );
+    }
+}
+
 fn main() {
     let path = repo_root().join("BENCH_throughput.json");
     if std::env::var("CSALT_SMOKE").is_ok() {
@@ -189,32 +253,51 @@ fn main() {
         return;
     }
 
+    let rev = git_rev();
+    let dirty = csalt_sim::sweep::git_dirty();
+    refuse_dirty_overwrite(&path, &rev, dirty);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
     let (accesses, warmup, rounds) = FULL_RUN;
-    let smoke_rates = measure_smoke_all();
+    let smoke_rates = measure_smoke_all(false);
+    let pipeline_smoke_rates = measure_smoke_all(true);
+    let rate_for = |rates: &[(String, f64)], label: &str| {
+        rates
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, aps)| aps)
+            .expect("smoke pass covers every fig07 scheme")
+    };
     let mut schemes = Vec::new();
     for scheme in experiments::FIG7_SCHEMES {
         let cfg = config(scheme, accesses, warmup);
-        let aps = measure(&cfg, rounds);
-        let smoke_aps = smoke_rates
-            .iter()
-            .find(|(l, _)| *l == scheme.label())
-            .map(|&(_, aps)| aps)
-            .expect("smoke pass covers every fig07 scheme");
+        let label = scheme.label();
+        let aps = measure(&cfg, rounds, false);
+        let pipeline_aps = measure(&cfg, rounds, true);
+        let speedup = pipeline_aps / aps;
         println!(
-            "{:>14}: {:>12.0} accesses/sec (smoke-length {:>12.0})",
-            scheme.label(),
-            aps,
-            smoke_aps,
+            "{label:>14}: inline {aps:>12.0} acc/s, pipeline {pipeline_aps:>12.0} acc/s \
+             ({speedup:.2}x)",
         );
+        if host_threads >= SPEEDUP_MIN_THREADS && speedup < SPEEDUP_TARGET {
+            println!(
+                "{label:>14}  WARNING: pipeline speedup {speedup:.2}x is below the \
+                 {SPEEDUP_TARGET}x target on a {host_threads}-thread host",
+            );
+        }
         schemes.push(SchemeThroughput {
-            scheme: scheme.label(),
+            scheme: label.clone(),
             accesses_per_sec: aps,
-            smoke_accesses_per_sec: smoke_aps,
+            smoke_accesses_per_sec: rate_for(&smoke_rates, &label),
+            pipeline_accesses_per_sec: pipeline_aps,
+            pipeline_smoke_accesses_per_sec: rate_for(&pipeline_smoke_rates, &label),
         });
     }
 
     let record = ThroughputRecord {
-        git_rev: git_rev(),
+        git_rev: rev,
+        dirty,
+        host_threads,
         workload: "graph500_gups".to_owned(),
         cores: config(TranslationScheme::Conventional, accesses, warmup)
             .system
@@ -225,5 +308,8 @@ fn main() {
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
     std::fs::write(&path, json + "\n").expect("write BENCH_throughput.json");
-    println!("recorded -> {}", path.display());
+    println!(
+        "recorded -> {} (dirty: {dirty}, host threads: {host_threads})",
+        path.display()
+    );
 }

@@ -23,7 +23,7 @@ use csalt_telemetry::{ServedBy, StageSample, WalkStage};
 use csalt_tlb::{PomTlb, SramTlb, Tsb};
 use csalt_types::{
     Asid, ContextId, CoreId, Cycle, EntryKind, HitMissStats, LineAddr, MemAccess, PhysAddr,
-    PhysFrame, SystemConfig, TranslationScheme, VirtAddr,
+    PhysFrame, SystemConfig, TranslationHint, TranslationScheme, VirtAddr,
 };
 use serde::{Deserialize, Serialize};
 
@@ -363,7 +363,11 @@ impl MemoryHierarchy {
         id
     }
 
-    fn asid_of(&self, ctx: ContextId) -> Asid {
+    /// The ASID assigned to a context (contexts get sequential ASIDs
+    /// starting at 1; ASID 0 is never issued). Public so the pipeline's
+    /// producer stage can precompute packed TLB keys for a context
+    /// without holding a hierarchy reference.
+    pub fn asid_of(&self, ctx: ContextId) -> Asid {
         Asid::new(ctx.raw() as u16 + 1)
     }
 
@@ -373,11 +377,37 @@ impl MemoryHierarchy {
     ///
     /// Panics if `core` or `ctx` is out of range.
     pub fn access(&mut self, core: CoreId, ctx: ContextId, acc: MemAccess) -> AccessCharge {
+        let hint = TranslationHint::compute(acc.vaddr, self.asid_of(ctx));
+        self.access_hinted(core, ctx, acc, &hint)
+    }
+
+    /// [`MemoryHierarchy::access`] with the state-independent
+    /// precomputation (packed TLB keys) already done — the commit-stage
+    /// entry point of the pipelined execution mode, and the single
+    /// implementation `access` delegates to, so both modes charge
+    /// bit-identical cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` or `ctx` is out of range; debug builds also
+    /// panic if `hint` was not computed from this access and context.
+    pub fn access_hinted(
+        &mut self,
+        core: CoreId,
+        ctx: ContextId,
+        acc: MemAccess,
+        hint: &TranslationHint,
+    ) -> AccessCharge {
         assert!(core.index() < self.l1d.len(), "core out of range");
         assert!(ctx.index() < self.contexts.len(), "context out of range");
+        debug_assert_eq!(
+            *hint,
+            TranslationHint::compute(acc.vaddr, self.asid_of(ctx)),
+            "stale translation hint for this access/context"
+        );
         self.accesses += 1;
         let (frame, translation_cycles, l1_hit, l2_hit, walked) =
-            self.translate(core, ctx, acc.vaddr);
+            self.translate(core, ctx, acc.vaddr, hint);
         let pa = frame.translate(acc.vaddr);
         let probe = self
             .trace
@@ -494,12 +524,16 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Resolves `va` to a frame, charging translation cycles.
+    /// Resolves `va` to a frame, charging translation cycles. The SRAM
+    /// TLB levels are probed through `hint`'s prepacked keys — computed
+    /// either inline (`access`) or ahead of time on a pipeline producer
+    /// thread (`access_hinted`); one code path serves both.
     fn translate(
         &mut self,
         core: CoreId,
         ctx: ContextId,
         va: VirtAddr,
+        hint: &TranslationHint,
     ) -> (PhysFrame, Cycle, bool, bool, bool) {
         let asid = self.asid_of(ctx);
         let c = core.index();
@@ -507,13 +541,12 @@ impl MemoryHierarchy {
 
         // L1 TLBs (looked up in parallel with the L1 data cache: a hit
         // adds no visible latency).
-        if let Some(f) = self.l1_tlb_4k[c].lookup(va.page(csalt_types::PageSize::Size4K), asid) {
+        if let Some(f) = self.l1_tlb_4k[c].lookup_prepacked(hint.packed_4k) {
             self.push_stage(WalkStage::L1Tlb, 0, 0, Some(true), None);
             return (f, 0, true, false, false);
         }
         if probe_2m {
-            if let Some(f) = self.l1_tlb_2m[c].lookup(va.page(csalt_types::PageSize::Size2M), asid)
-            {
+            if let Some(f) = self.l1_tlb_2m[c].lookup_prepacked(hint.packed_2m) {
                 self.push_stage(WalkStage::L1Tlb, 0, 0, Some(true), None);
                 return (f, 0, true, false, false);
             }
@@ -522,15 +555,13 @@ impl MemoryHierarchy {
 
         // Unified L2 TLB.
         let mut cycles = self.cfg.l2_tlb.latency;
-        let l2_result = self.l2_tlb[c]
-            .lookup(va.page(csalt_types::PageSize::Size4K), asid)
-            .or_else(|| {
-                if probe_2m {
-                    self.l2_tlb[c].lookup(va.page(csalt_types::PageSize::Size2M), asid)
-                } else {
-                    None
-                }
-            });
+        let l2_result = self.l2_tlb[c].lookup_prepacked(hint.packed_4k).or_else(|| {
+            if probe_2m {
+                self.l2_tlb[c].lookup_prepacked(hint.packed_2m)
+            } else {
+                None
+            }
+        });
         self.push_stage(WalkStage::L2Tlb, 0, cycles, Some(l2_result.is_some()), None);
         if let Some(f) = l2_result {
             self.install_l1(c, va, asid, f);

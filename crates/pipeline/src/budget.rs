@@ -1,0 +1,167 @@
+//! The workspace-wide worker-thread budget.
+//!
+//! Two subsystems spawn compute threads: the sweep scheduler (one
+//! worker per in-flight configuration, `--jobs`) and the pipeline
+//! (producer threads per simulation). Each alone clamps itself to
+//! `available_parallelism`, but composed naively they multiply — a
+//! sweep of 8 workers whose every simulation spawns 8 producers would
+//! put 64 runnable threads on an 8-way host. Both sides instead draw
+//! from this one ledger: reservations are granted up to the host's
+//! parallelism and returned on drop, so `sweep workers + pipeline
+//! producers ≤ available_parallelism` holds at every instant (unless a
+//! caller explicitly forces a minimum, e.g. `CSALT_PIPELINE=force`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A ledger of schedulable worker threads.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    capacity: usize,
+    used: AtomicUsize,
+}
+
+impl ThreadBudget {
+    /// The process-wide budget, capacity = `available_parallelism`.
+    pub fn global() -> &'static ThreadBudget {
+        static GLOBAL: OnceLock<ThreadBudget> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadBudget::with_capacity(host_parallelism()))
+    }
+
+    /// A budget with an explicit capacity (tests; the process uses
+    /// [`ThreadBudget::global`]).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total schedulable threads.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Threads currently reserved.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Reserves up to `want` threads, granting whatever is still free
+    /// (possibly zero). The grant is returned when the reservation
+    /// drops.
+    pub fn reserve(&self, want: usize) -> Reservation<'_> {
+        self.reserve_at_least(want, 0)
+    }
+
+    /// Reserves up to `want` threads but never fewer than `min`, even
+    /// if that oversubscribes the host — the escape hatch behind
+    /// `CSALT_PIPELINE=force` (and the sweep's guarantee of one
+    /// worker). `min` is clamped to `want`.
+    pub fn reserve_at_least(&self, want: usize, min: usize) -> Reservation<'_> {
+        let min = min.min(want);
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            let free = self.capacity.saturating_sub(used);
+            let grant = want.min(free).max(min);
+            if grant == 0 {
+                return Reservation {
+                    budget: self,
+                    granted: 0,
+                };
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + grant,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Reservation {
+                        budget: self,
+                        granted: grant,
+                    }
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+}
+
+/// Host hardware parallelism (1 if the OS cannot say).
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
+/// A granted share of a [`ThreadBudget`]; returns the share on drop.
+#[derive(Debug)]
+pub struct Reservation<'a> {
+    budget: &'a ThreadBudget,
+    granted: usize,
+}
+
+impl Reservation<'_> {
+    /// Threads this reservation holds.
+    #[must_use]
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            self.budget.used.fetch_sub(self.granted, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_capacity_then_zero() {
+        let b = ThreadBudget::with_capacity(4);
+        let r1 = b.reserve(3);
+        assert_eq!(r1.granted(), 3);
+        let r2 = b.reserve(3);
+        assert_eq!(r2.granted(), 1, "only the remainder is free");
+        let r3 = b.reserve(2);
+        assert_eq!(r3.granted(), 0, "budget exhausted");
+        assert_eq!(b.in_use(), 4);
+    }
+
+    #[test]
+    fn drop_returns_the_grant() {
+        let b = ThreadBudget::with_capacity(2);
+        {
+            let r = b.reserve(2);
+            assert_eq!(r.granted(), 2);
+            assert_eq!(b.in_use(), 2);
+        }
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(b.reserve(1).granted(), 1);
+    }
+
+    #[test]
+    fn forced_minimum_oversubscribes() {
+        let b = ThreadBudget::with_capacity(1);
+        let r1 = b.reserve(1);
+        assert_eq!(r1.granted(), 1);
+        let r2 = b.reserve_at_least(4, 1);
+        assert_eq!(r2.granted(), 1, "forced floor wins over exhaustion");
+        assert_eq!(b.in_use(), 2, "oversubscription is accounted");
+    }
+
+    #[test]
+    fn global_budget_matches_host() {
+        assert_eq!(ThreadBudget::global().capacity(), host_parallelism());
+    }
+}

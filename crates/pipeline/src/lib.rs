@@ -1,0 +1,51 @@
+//! Deterministic pipeline-parallel trace production.
+//!
+//! A CSALT simulation interleaves two very different kinds of work per
+//! access: *trace generation* (Zipf/power-law sampling, RNG, hot-window
+//! drift — pure, state-free with respect to the modelled machine) and
+//! *hierarchy commit* (TLB lookups, cache accesses, cycle accounting —
+//! inherently serial, since every access observes the state left by the
+//! previous one). This crate overlaps the two: producer threads run the
+//! per-(VM, core) generators ahead of time, stage each access together
+//! with its pure precomputation (packed TLB keys) into bounded
+//! lock-free SPSC rings, and the simulator's existing loop becomes a
+//! *commit stage* that pops records in the exact order the inline
+//! engine would have generated them.
+//!
+//! # Why the result is bit-identical
+//!
+//! Each `(VM, core)` generator is a pure function of its seed: the
+//! stream of accesses it produces does not depend on the hierarchy, the
+//! schedule, or the other generators. The only scheduling decision that
+//! *does* depend on simulated state — which VM a core runs after a
+//! quantum expiry (cycle counts feed back into switch times) — stays in
+//! the serial commit stage. With one ring per `(core, VM)` pair, the
+//! commit stage pops from exactly the generator the inline engine would
+//! have called `next_access` on, so every access, in order, is
+//! identical, and by induction so is every derived counter. The staged
+//! precomputation (packed `(vpn, size, asid)` keys) is itself a pure
+//! function of the access, shared with the inline path via
+//! [`csalt_types::TranslationHint`].
+//!
+//! # Modules
+//!
+//! * [`spsc`] — the hand-rolled bounded lock-free single-producer
+//!   single-consumer ring (cache-line-padded atomics, batch publish).
+//! * [`staged`] — the fixed-width staged access record.
+//! * [`budget`] — the workspace-wide thread budget shared with the
+//!   sweep scheduler, so pipeline producers and sweep workers never
+//!   oversubscribe the host together.
+//! * [`source`] — producer threads plus the consumer-side façade the
+//!   simulator's commit stage pulls from.
+
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod source;
+pub mod spsc;
+pub mod staged;
+
+pub use budget::{Reservation, ThreadBudget};
+pub use source::{PipelineStats, StagedStreams};
+pub use spsc::{ring, Consumer, Producer, Record};
+pub use staged::StagedAccess;

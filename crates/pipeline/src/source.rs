@@ -1,0 +1,341 @@
+//! Producer threads and the consumer-side façade the commit stage pops
+//! from.
+//!
+//! One ring per `(core, VM)` pair. The commit stage decides which VM a
+//! core is running (that decision depends on simulated cycle counts and
+//! must stay serial) and pops from exactly that ring; producers never
+//! see the schedule, they just keep every ring they own topped up. A
+//! producer owns *whole cores* (`core % producers == index`), so each
+//! generator is driven by exactly one thread and the per-ring SPSC
+//! contract holds by construction.
+
+use crate::budget::host_parallelism;
+use crate::spsc::{ring, Consumer, Producer};
+use crate::staged::StagedAccess;
+use csalt_types::Asid;
+use csalt_workloads::{AnyGenerator, TraceGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Records staged per `push_batch` call. Small enough to keep rings
+/// fresh across all of a producer's slots, large enough to amortize the
+/// publish store.
+const BATCH: usize = 128;
+
+/// Default ring capacity, in records (1 record = 32 bytes), per
+/// `(core, VM)` pair.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Consumer-side stall spins between yields, so a starved commit stage
+/// does not monopolize the core its producer needs (matters on hosts
+/// with fewer hardware threads than pipeline threads).
+const SPINS_PER_YIELD: u32 = 64;
+
+/// Sample ring occupancy every this many pops.
+const OCCUPANCY_SAMPLE_EVERY: u64 = 1024;
+
+/// End-of-run pipeline telemetry: how well production overlapped
+/// commit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStats {
+    /// Producer threads that ran.
+    pub producers: usize,
+    /// Records staged into rings (production runs ahead; usually larger
+    /// than `records_committed`).
+    pub records_staged: u64,
+    /// Records the commit stage actually popped.
+    pub records_committed: u64,
+    /// Producer-side stall waits (every ring a producer owns was full).
+    pub producer_stalls: u64,
+    /// Consumer-side stall spins (commit wanted a record the producer
+    /// had not staged yet).
+    pub consumer_stalls: u64,
+    /// Ring capacity in records, per `(core, VM)` ring.
+    pub ring_capacity: usize,
+    /// Sum of sampled ring occupancies (see `occupancy_samples`).
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples taken.
+    pub occupancy_samples: u64,
+}
+
+impl PipelineStats {
+    /// Mean sampled occupancy of the ring being popped, as a fraction
+    /// of its capacity — the "how far ahead does production run" gauge.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occupancy_samples == 0 || self.ring_capacity == 0 {
+            return 0.0;
+        }
+        self.occupancy_sum as f64 / self.occupancy_samples as f64 / self.ring_capacity as f64
+    }
+}
+
+/// What one producer thread reports when joined.
+struct ProducerReport {
+    staged: u64,
+    stalls: u64,
+}
+
+/// One generator a producer drives, with its write endpoint.
+struct Slot {
+    gen: AnyGenerator,
+    asid: Asid,
+    out: Producer<StagedAccess>,
+}
+
+/// The consumer-side façade over all `(core, VM)` rings, plus the
+/// handles of the producer threads filling them.
+pub struct StagedStreams {
+    /// `rings[core][vm]`.
+    rings: Vec<Vec<Consumer<StagedAccess>>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<ProducerReport>>,
+    producers: usize,
+    ring_capacity: usize,
+    pops: u64,
+    consumer_stalls: u64,
+    occupancy_sum: u64,
+    occupancy_samples: u64,
+    staged_total: u64,
+    producer_stalls_total: u64,
+}
+
+impl StagedStreams {
+    /// Spawns `producers` threads over `threads[vm][core]` generators
+    /// (the simulator's layout) and returns the consumer façade.
+    /// `asids[vm]` is the ASID each VM's accesses are staged under —
+    /// it must match what the hierarchy will assign, or the commit
+    /// stage's debug assertions fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is empty or ragged, `asids` is shorter than
+    /// the VM count, or a producer thread cannot be spawned.
+    #[must_use]
+    pub fn spawn(
+        threads: Vec<Vec<AnyGenerator>>,
+        asids: &[Asid],
+        producers: usize,
+        ring_capacity: usize,
+    ) -> Self {
+        let vms = threads.len();
+        assert!(vms > 0, "at least one VM");
+        let cores = threads[0].len();
+        assert!(cores > 0, "at least one core");
+        assert!(asids.len() >= vms, "one ASID per VM");
+        let producers = producers.clamp(1, cores);
+
+        // Build the ring matrix and transpose the generators into
+        // per-producer work lists: producer `t` owns every slot of the
+        // cores with `core % producers == t`.
+        let mut consumers: Vec<Vec<Consumer<StagedAccess>>> =
+            (0..cores).map(|_| Vec::new()).collect();
+        let mut work: Vec<Vec<Slot>> = (0..producers).map(|_| Vec::new()).collect();
+        // Peel [vm][core] into per-core columns without cloning
+        // generators: iterate VMs outer, push into per-core order.
+        let mut columns: Vec<Vec<(usize, AnyGenerator)>> = (0..cores).map(|_| Vec::new()).collect();
+        for (vm, row) in threads.into_iter().enumerate() {
+            assert_eq!(row.len(), cores, "ragged generator matrix");
+            for (core, gen) in row.into_iter().enumerate() {
+                columns[core].push((vm, gen));
+            }
+        }
+        for (core, column) in columns.into_iter().enumerate() {
+            for (vm, gen) in column {
+                let (tx, rx) = ring::<StagedAccess>(ring_capacity);
+                consumers[core].push(rx);
+                work[core % producers].push(Slot {
+                    gen,
+                    asid: asids[vm],
+                    out: tx,
+                });
+            }
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = work
+            .into_iter()
+            .enumerate()
+            .map(|(t, slots)| {
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("csalt-produce-{t}"))
+                    .spawn(move || produce(slots, &stop))
+                    .expect("spawn pipeline producer thread")
+            })
+            .collect();
+
+        Self {
+            rings: consumers,
+            stop,
+            handles,
+            producers,
+            ring_capacity: ring_capacity.next_power_of_two(),
+            pops: 0,
+            consumer_stalls: 0,
+            occupancy_sum: 0,
+            occupancy_samples: 0,
+            staged_total: 0,
+            producer_stalls_total: 0,
+        }
+    }
+
+    /// Producer threads to request for `cores` simulated cores given a
+    /// thread-budget grant — one per core, clamped to both the grant
+    /// and the host's parallelism.
+    #[must_use]
+    pub fn producers_for(cores: usize, granted: usize) -> usize {
+        cores.min(granted).min(host_parallelism()).max(1)
+    }
+
+    /// Pops the next access of `(core, vm)`, spinning (with periodic
+    /// yields) until the producer has staged it. This is the commit
+    /// stage's only hot-path call.
+    #[inline]
+    pub fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
+        let ring = &mut self.rings[core][vm];
+        let mut spins: u32 = 0;
+        loop {
+            if let Some(rec) = ring.pop() {
+                self.pops += 1;
+                if self.pops.is_multiple_of(OCCUPANCY_SAMPLE_EVERY) {
+                    self.occupancy_sum += ring.occupancy() as u64;
+                    self.occupancy_samples += 1;
+                }
+                return rec;
+            }
+            self.consumer_stalls += 1;
+            spins += 1;
+            if spins.is_multiple_of(SPINS_PER_YIELD) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Stops and joins the producers, returning the run's pipeline
+    /// telemetry. Idempotent: later calls return the same stats.
+    pub fn finish(&mut self) -> PipelineStats {
+        self.stop.store(true, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            let report = handle.join().expect("pipeline producer panicked");
+            self.staged_total += report.staged;
+            self.producer_stalls_total += report.stalls;
+        }
+        PipelineStats {
+            producers: self.producers,
+            records_staged: self.staged_total,
+            records_committed: self.pops,
+            producer_stalls: self.producer_stalls_total,
+            consumer_stalls: self.consumer_stalls,
+            ring_capacity: self.ring_capacity,
+            occupancy_sum: self.occupancy_sum,
+            occupancy_samples: self.occupancy_samples,
+        }
+    }
+}
+
+impl Drop for StagedStreams {
+    /// Never leak spinning producer threads, even if `finish` was not
+    /// called (e.g. a panic unwinding through the commit stage).
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for handle in self.handles.drain(..) {
+            drop(handle.join());
+        }
+    }
+}
+
+/// The producer loop: round-robin over the owned slots, staging up to
+/// [`BATCH`] records into any ring with space; back off when every ring
+/// is full (commit is the bottleneck — the desired steady state).
+fn produce(mut slots: Vec<Slot>, stop: &AtomicBool) -> ProducerReport {
+    let mut scratch: Vec<StagedAccess> = Vec::with_capacity(BATCH);
+    let mut staged: u64 = 0;
+    let mut stalls: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        let mut pushed_any = false;
+        for slot in &mut slots {
+            let space = slot.out.space().min(BATCH);
+            if space == 0 {
+                continue;
+            }
+            scratch.clear();
+            for _ in 0..space {
+                scratch.push(StagedAccess::stage(slot.gen.next_access(), slot.asid));
+            }
+            let pushed = slot.out.push_batch(&scratch);
+            debug_assert_eq!(pushed, space, "sole producer saw space vanish");
+            staged += pushed as u64;
+            pushed_any = true;
+        }
+        if !pushed_any {
+            stalls += 1;
+            std::thread::yield_now();
+        }
+    }
+    ProducerReport { staged, stalls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csalt_workloads::BenchKind;
+
+    fn generators(vms: usize, cores: usize) -> Vec<Vec<AnyGenerator>> {
+        (0..vms)
+            .map(|vm| {
+                (0..cores)
+                    .map(|core| {
+                        BenchKind::Gups.build_generator(0x1000 + (vm * cores + core) as u64, 0.05)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn staged_streams_match_direct_generation() {
+        let (vms, cores) = (2, 2);
+        let asids = [Asid::new(1), Asid::new(2)];
+        let mut streams = StagedStreams::spawn(generators(vms, cores), &asids, 2, 64);
+        // Reference: identical seeds, driven inline.
+        let mut reference = generators(vms, cores);
+        for round in 0..2_000usize {
+            // Pop in a schedule the producers cannot predict.
+            let core = round % cores;
+            let vm = (round / 7) % vms;
+            let got = streams.next(core, vm);
+            let want = reference[vm][core].next_access();
+            assert_eq!(got.acc, want, "round {round}");
+            assert_eq!(
+                got.hint,
+                csalt_types::TranslationHint::compute(want.vaddr, asids[vm])
+            );
+        }
+        let stats = streams.finish();
+        assert_eq!(stats.records_committed, 2_000);
+        assert!(stats.records_staged >= 2_000);
+        assert_eq!(stats.producers, 2);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_safe() {
+        let asids = [Asid::new(1)];
+        let mut streams = StagedStreams::spawn(generators(1, 1), &asids, 1, 16);
+        let _ = streams.next(0, 0);
+        let a = streams.finish();
+        let b = streams.finish();
+        assert_eq!(a.records_committed, b.records_committed);
+        drop(streams);
+    }
+
+    #[test]
+    fn producers_for_clamps() {
+        assert_eq!(StagedStreams::producers_for(8, 0), 1);
+        assert!(StagedStreams::producers_for(8, 8) >= 1);
+        assert!(StagedStreams::producers_for(2, 8) <= 2);
+    }
+}

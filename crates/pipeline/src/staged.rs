@@ -1,0 +1,99 @@
+//! The staged access record: one trace access plus its pure
+//! precomputation, in a fixed four-word wire format.
+
+use crate::spsc::Record;
+use csalt_types::{AccessType, Asid, MemAccess, TranslationHint, VirtAddr};
+
+/// One pre-produced access: the generator's [`MemAccess`] and the
+/// state-independent translation work ([`TranslationHint`]: packed
+/// `(vpn, size, asid)` TLB keys) hoisted onto the producer thread.
+///
+/// Crosses the SPSC ring as four `u64` words: the virtual address, the
+/// instruction gap with the write bit folded into bit 0, and the two
+/// packed keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedAccess {
+    /// The access exactly as the generator produced it.
+    pub acc: MemAccess,
+    /// Prepacked TLB keys for the access under its VM's ASID.
+    pub hint: TranslationHint,
+}
+
+impl StagedAccess {
+    /// Stages one access for `asid`: computes the packed TLB keys the
+    /// commit stage's hierarchy lookups will consume.
+    #[inline]
+    #[must_use]
+    pub fn stage(acc: MemAccess, asid: Asid) -> Self {
+        Self {
+            acc,
+            hint: TranslationHint::compute(acc.vaddr, asid),
+        }
+    }
+}
+
+impl Record for StagedAccess {
+    const WORDS: usize = 4;
+
+    #[inline]
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.acc.vaddr.raw();
+        out[1] = (u64::from(self.acc.gap) << 1) | u64::from(self.acc.ty.is_write());
+        out[2] = self.hint.packed_4k;
+        out[3] = self.hint.packed_2m;
+    }
+
+    #[inline]
+    fn decode(words: &[u64]) -> Self {
+        let ty = if words[1] & 1 == 1 {
+            AccessType::Write
+        } else {
+            AccessType::Read
+        };
+        Self {
+            acc: MemAccess {
+                vaddr: VirtAddr::new(words[0]),
+                ty,
+                gap: (words[1] >> 1) as u32,
+            },
+            hint: TranslationHint {
+                packed_4k: words[2],
+                packed_2m: words[3],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        for (ty, gap) in [(AccessType::Read, 0u32), (AccessType::Write, 4_000_000)] {
+            let acc = MemAccess {
+                vaddr: VirtAddr::new(0x7fff_1234_5678),
+                ty,
+                gap,
+            };
+            let staged = StagedAccess::stage(acc, Asid::new(9));
+            let mut words = [0u64; 4];
+            staged.encode(&mut words);
+            assert_eq!(StagedAccess::decode(&words), staged);
+        }
+    }
+
+    #[test]
+    fn hint_matches_types_computation() {
+        let acc = MemAccess {
+            vaddr: VirtAddr::new(0xdead_b000),
+            ty: AccessType::Read,
+            gap: 3,
+        };
+        let staged = StagedAccess::stage(acc, Asid::new(2));
+        assert_eq!(
+            staged.hint,
+            TranslationHint::compute(acc.vaddr, Asid::new(2))
+        );
+    }
+}

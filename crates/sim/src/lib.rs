@@ -32,8 +32,12 @@ pub mod experiments;
 mod simulator;
 pub mod sweep;
 
-pub use simulator::{run, OccupancySample, SimConfig, SimResult};
+pub use csalt_pipeline::{PipelineStats, ThreadBudget};
+pub use simulator::{
+    build_threads, run, run_inline, run_pipelined, run_with_generators, run_with_stats,
+    OccupancySample, PipelineRequest, SimConfig, SimResult,
+};
 pub use sweep::{Sweep, SweepOptions, SweepStats};
 
 #[cfg(feature = "telemetry")]
-pub use simulator::{run_instrumented, Instrumentation};
+pub use simulator::{run_instrumented, run_instrumented_with_stats, Instrumentation};

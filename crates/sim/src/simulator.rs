@@ -21,8 +21,11 @@
 //! misses overlap through MSHRs; translations do not).
 
 use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
+use csalt_pipeline::{PipelineStats, Reservation, StagedAccess, StagedStreams, ThreadBudget};
 use csalt_ptw::HugePagePolicy;
-use csalt_types::{geomean, ContextId, CoreId, Cycle, MemAccess, SystemConfig, TranslationScheme};
+use csalt_types::{
+    geomean, Asid, ContextId, CoreId, Cycle, MemAccess, SystemConfig, TranslationScheme,
+};
 use csalt_workloads::{AnyGenerator, TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -225,6 +228,199 @@ trait PhaseHooks {
 struct NoHooks;
 impl PhaseHooks for NoHooks {}
 
+/// Where the commit stage gets its next access for a `(core, VM)`
+/// generator stream. The engine is monomorphized over the
+/// implementation, mirroring [`PhaseHooks`]: the inline source compiles
+/// to exactly the pre-pipeline per-access code, so the default path
+/// pays nothing for the pipelined mode's existence.
+trait AccessSource {
+    /// The next access of `(core, vm)`'s stream, with its pure
+    /// precomputation (packed TLB keys) done.
+    fn next(&mut self, core: usize, vm: usize) -> StagedAccess;
+}
+
+/// Single-threaded source: drives the generators at commit time, on the
+/// commit thread (the classic execution mode).
+struct InlineSource {
+    /// Generator matrix, `[vm][core]`.
+    threads: Vec<Vec<AnyGenerator>>,
+    /// ASID per VM (what the hierarchy will assign; see [`vm_asids`]).
+    asids: Vec<Asid>,
+}
+
+impl AccessSource for InlineSource {
+    #[inline]
+    fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
+        StagedAccess::stage(self.threads[vm][core].next_access(), self.asids[vm])
+    }
+}
+
+/// Pipelined source: pops records that producer threads staged ahead of
+/// time (see `csalt-pipeline`). Holds the thread-budget reservation for
+/// its producers for the lifetime of the run.
+struct PipelinedSource {
+    streams: StagedStreams,
+    _reserved: Reservation<'static>,
+}
+
+impl AccessSource for PipelinedSource {
+    #[inline]
+    fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
+        self.streams.next(core, vm)
+    }
+}
+
+/// How the caller asked the engine to execute (the `CSALT_PIPELINE`
+/// env var / `--pipeline` CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineRequest {
+    /// Classic single-threaded execution (the default).
+    Off,
+    /// Pipeline if it plausibly helps: falls back to inline when the
+    /// host has no spare parallelism (budgeted against sweep workers —
+    /// no oversubscription) or the workload replays a recorded trace.
+    Auto,
+    /// Pipeline with at least one producer even on a saturated host
+    /// (CI determinism gates use this so the pipelined commit path is
+    /// genuinely exercised on small machines). Trace-replay workloads
+    /// still fall back: there is no generation work to overlap.
+    Force,
+}
+
+impl PipelineRequest {
+    /// Parses a `CSALT_PIPELINE` value. Unset/empty/`0`/`off`/`false`
+    /// mean [`PipelineRequest::Off`]; `force` forces; anything truthy
+    /// (`1`, `on`, `true`, `auto`) is [`PipelineRequest::Auto`].
+    #[must_use]
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.map(str::to_ascii_lowercase).as_deref() {
+            None | Some("" | "0" | "off" | "false" | "inline") => PipelineRequest::Off,
+            Some("force") => PipelineRequest::Force,
+            Some(_) => PipelineRequest::Auto,
+        }
+    }
+
+    /// The request selected by the `CSALT_PIPELINE` environment
+    /// variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("CSALT_PIPELINE").ok().as_deref())
+    }
+}
+
+/// Builds the per-(VM, core) generator matrix (`[vm][core]`) a run of
+/// `cfg` executes: one hierarchy context per VM, one seeded generator
+/// per (VM, core) — the VM's per-core thread. Public so callers can
+/// substitute recorded-trace generators (`AnyGenerator::Trace`) via
+/// [`run_with_generators`].
+#[must_use]
+pub fn build_threads(cfg: &SimConfig) -> Vec<Vec<AnyGenerator>> {
+    let cores = cfg.system.cores as usize;
+    (0..cfg.system.contexts_per_core)
+        .map(|vm| {
+            (0..cores)
+                .map(|core| {
+                    let bench = cfg.workload.context_bench(vm);
+                    let seed = cfg
+                        .seed
+                        .wrapping_add(u64::from(vm) * 0x9e37_79b9)
+                        .wrapping_add(core as u64 * 0x85eb_ca6b);
+                    bench.build_generator(seed, cfg.scale)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The ASID each VM's accesses translate under. Contexts are registered
+/// with the hierarchy in VM order and ASIDs are assigned sequentially
+/// from 1 (`MemoryHierarchy::asid_of`); `simulate` debug-asserts the
+/// two agree, so staged records always carry the keys the commit
+/// stage's lookups expect.
+fn vm_asids(vms: u32) -> Vec<Asid> {
+    (0..vms).map(|vm| Asid::new(vm as u16 + 1)).collect()
+}
+
+/// Execution plan for one run, decided before any thread is spawned.
+enum ExecPlan {
+    Inline,
+    /// Producer thread count plus the budget reservation backing it.
+    Pipelined(usize, Reservation<'static>),
+}
+
+/// Decides inline vs pipelined for one run. See [`PipelineRequest`] for
+/// the fallback rules; producer threads are reserved from the workspace
+/// [`ThreadBudget`] so a sweep's workers and this run's producers never
+/// add up past the host's parallelism (unless forced).
+fn plan_execution(
+    cfg: &SimConfig,
+    threads: &[Vec<AnyGenerator>],
+    req: PipelineRequest,
+) -> ExecPlan {
+    if req == PipelineRequest::Off {
+        return ExecPlan::Inline;
+    }
+    // Replay workloads stream records out of memory; there is no
+    // generation work worth moving to another thread.
+    if threads.iter().flatten().any(AnyGenerator::is_replay) {
+        return ExecPlan::Inline;
+    }
+    let budget = ThreadBudget::global();
+    let cores = cfg.system.cores as usize;
+    // Leave one hardware thread for the commit stage itself.
+    let want = cores.min(budget.capacity().saturating_sub(1)).max(1);
+    let reserved = match req {
+        PipelineRequest::Auto => {
+            if budget.capacity() < 2 {
+                return ExecPlan::Inline;
+            }
+            let r = budget.reserve(want);
+            if r.granted() == 0 {
+                return ExecPlan::Inline;
+            }
+            r
+        }
+        _ => budget.reserve_at_least(want, 1),
+    };
+    let producers = reserved.granted();
+    ExecPlan::Pipelined(producers, reserved)
+}
+
+/// Shared dispatch behind every public entry point: plans the execution
+/// mode, builds the matching [`AccessSource`], runs the engine, and
+/// returns the pipeline telemetry when the pipelined path ran.
+fn execute<H: PhaseHooks>(
+    cfg: &SimConfig,
+    threads: Vec<Vec<AnyGenerator>>,
+    req: PipelineRequest,
+    hooks: &mut H,
+) -> (SimResult, Option<PipelineStats>) {
+    match plan_execution(cfg, &threads, req) {
+        ExecPlan::Inline => {
+            let mut source = InlineSource {
+                asids: vm_asids(cfg.system.contexts_per_core),
+                threads,
+            };
+            (simulate(cfg, hooks, &mut source), None)
+        }
+        ExecPlan::Pipelined(producers, reserved) => {
+            let asids = vm_asids(cfg.system.contexts_per_core);
+            let mut source = PipelinedSource {
+                streams: StagedStreams::spawn(
+                    threads,
+                    &asids,
+                    producers,
+                    csalt_pipeline::source::DEFAULT_RING_CAPACITY,
+                ),
+                _reserved: reserved,
+            };
+            let result = simulate(cfg, hooks, &mut source);
+            let stats = source.streams.finish();
+            (result, Some(stats))
+        }
+    }
+}
+
 /// Panics with every diagnostic if any is error-severity. Warnings are
 /// swallowed: the run is still meaningful, and the static sweep reports
 /// them separately.
@@ -240,18 +436,93 @@ fn enforce_audit(context: &str, diags: &[csalt_audit::Diagnostic]) {
     }
 }
 
-/// Runs one configuration to completion.
+/// Runs one configuration to completion, in the execution mode selected
+/// by the `CSALT_PIPELINE` environment variable (inline when unset; see
+/// [`PipelineRequest`]). Both modes produce bit-identical results.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (zero cores, bad geometry…).
 pub fn run(cfg: &SimConfig) -> SimResult {
-    simulate(cfg, &mut NoHooks)
+    run_with_stats(cfg).0
+}
+
+/// [`run`] plus the pipeline telemetry of the run (`None` when the
+/// inline path executed).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+pub fn run_with_stats(cfg: &SimConfig) -> (SimResult, Option<PipelineStats>) {
+    execute(
+        cfg,
+        build_threads(cfg),
+        PipelineRequest::from_env(),
+        &mut NoHooks,
+    )
+}
+
+/// Runs one configuration strictly single-threaded, ignoring
+/// `CSALT_PIPELINE` — the reference the pipelined mode is bit-compared
+/// against (and the measurement baseline of the throughput bench).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+pub fn run_inline(cfg: &SimConfig) -> SimResult {
+    execute(cfg, build_threads(cfg), PipelineRequest::Off, &mut NoHooks).0
+}
+
+/// Runs one configuration in the pipelined mode regardless of host
+/// parallelism ([`PipelineRequest::Force`] semantics: at least one
+/// producer thread, even on a saturated budget).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+pub fn run_pipelined(cfg: &SimConfig) -> (SimResult, PipelineStats) {
+    let (result, stats) = execute(
+        cfg,
+        build_threads(cfg),
+        PipelineRequest::Force,
+        &mut NoHooks,
+    );
+    let stats = stats.expect("forced pipeline always runs pipelined for generated workloads");
+    (result, stats)
+}
+
+/// Runs one configuration over caller-supplied generators instead of
+/// the ones `cfg.workload` would build — the entry point for recorded-
+/// trace replay (`AnyGenerator::Trace`). `threads[vm][core]` must match
+/// the config's VM and core counts. Honours `CSALT_PIPELINE`, except
+/// that workloads containing a replay generator always run inline.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the generator matrix does
+/// not match its shape.
+pub fn run_with_generators(cfg: &SimConfig, threads: Vec<Vec<AnyGenerator>>) -> SimResult {
+    assert_eq!(
+        threads.len(),
+        cfg.system.contexts_per_core as usize,
+        "one generator row per VM context"
+    );
+    assert!(
+        threads
+            .iter()
+            .all(|row| row.len() == cfg.system.cores as usize),
+        "one generator per core in every VM row"
+    );
+    execute(cfg, threads, PipelineRequest::from_env(), &mut NoHooks).0
 }
 
 /// The engine shared by [`run`] and the instrumented path, monomorphized
-/// over the hook set.
-fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
+/// over the hook set and the access source (inline vs pipelined).
+fn simulate<H: PhaseHooks, S: AccessSource>(
+    cfg: &SimConfig,
+    hooks: &mut H,
+    source: &mut S,
+) -> SimResult {
     let system = &cfg.system;
     system.validate().expect("system config must be valid");
     let cores = system.cores as usize;
@@ -272,23 +543,14 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
         hier.enable_partition_trace();
     }
 
-    // One hierarchy context (address space) per VM; one generator per
-    // (VM, core) — the VM's per-core thread.
+    // One hierarchy context (address space) per VM; the generators (one
+    // per (VM, core) — the VM's per-core thread) live behind `source`.
     let vm_ctx: Vec<ContextId> = (0..vms).map(|_| hier.add_context()).collect();
-    let mut threads: Vec<Vec<AnyGenerator>> = (0..vms)
-        .map(|vm| {
-            (0..cores)
-                .map(|core| {
-                    let bench = cfg.workload.context_bench(vm);
-                    let seed = cfg
-                        .seed
-                        .wrapping_add(u64::from(vm) * 0x9e37_79b9)
-                        .wrapping_add(core as u64 * 0x85eb_ca6b);
-                    bench.build_generator(seed, cfg.scale)
-                })
-                .collect()
-        })
-        .collect();
+    // The staged records' packed keys assume this ASID assignment.
+    debug_assert!(vm_ctx
+        .iter()
+        .zip(vm_asids(vms))
+        .all(|(ctx, asid)| hier.asid_of(*ctx) == asid));
 
     let quantum = system.cs_interval_cycles;
     let mut cores_state: Vec<CoreState> = (0..cores)
@@ -331,8 +593,7 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
             .filter(|c| c.accesses_done < total_per_core)
             .count();
         while remaining > 0 {
-            for core in 0..cores {
-                let state = &mut cores_state[core];
+            for (core, state) in cores_state.iter_mut().enumerate() {
                 if state.accesses_done >= total_per_core {
                     continue;
                 }
@@ -346,7 +607,8 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
                 }
 
                 let vm = state.current_vm as usize;
-                let acc = threads[vm][core].next_access();
+                let staged = source.next(core, vm);
+                let acc = staged.acc;
                 let traced = hooks
                     .as_deref_mut()
                     .is_some_and(|h| h.wants_trace(total_done));
@@ -358,7 +620,7 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
                     }
                     charge
                 } else {
-                    hier.access(CoreId::new(core as u8), vm_ctx[vm], acc)
+                    hier.access_hinted(CoreId::new(core as u8), vm_ctx[vm], acc, &staged.hint)
                 };
                 if let Some(h) = hooks.as_deref_mut() {
                     h.on_access(&charge);
@@ -370,7 +632,6 @@ fn simulate<H: PhaseHooks>(cfg: &SimConfig, hooks: &mut H) -> SimResult {
                 let compute = (acc.instructions() as f64 * system.base_cpi).ceil() as Cycle;
                 let data_stall = charge.data_cycles.saturating_sub(system.l1d.latency);
                 let overlapped = (data_stall as f64 / system.mlp).round() as Cycle;
-                let state = &mut cores_state[core];
                 state.cycles += compute + charge.translation_cycles + overlapped;
                 state.instructions += acc.instructions();
                 state.accesses_done += 1;
@@ -528,12 +789,27 @@ pub struct Instrumentation<'a> {
 /// Panics if the configuration is invalid (zero cores, bad geometry…).
 #[cfg(feature = "telemetry")]
 pub fn run_instrumented(cfg: &SimConfig, inst: &mut Instrumentation<'_>) -> SimResult {
+    run_instrumented_with_stats(cfg, inst).0
+}
+
+/// [`run_instrumented`] plus the pipeline telemetry of the run (`None`
+/// when the inline path executed) — what `csalt-experiments run` prints
+/// its stats line from.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (zero cores, bad geometry…).
+#[cfg(feature = "telemetry")]
+pub fn run_instrumented_with_stats(
+    cfg: &SimConfig,
+    inst: &mut Instrumentation<'_>,
+) -> (SimResult, Option<PipelineStats>) {
     // A disabled recorder (e.g. `NullRecorder`) drops everything, so
     // skip the hook bookkeeping entirely and take the same monomorphized
     // no-op path as `run` — this is what keeps a telemetry-capable build
     // free when telemetry is not requested.
     if !inst.recorder.is_enabled() && inst.progress_every_epochs == 0 {
-        return simulate(cfg, &mut NoHooks);
+        return run_with_stats(cfg);
     }
     let workload = cfg.workload.name.clone();
     let scheme = cfg.scheme.label();
@@ -565,9 +841,27 @@ pub fn run_instrumented(cfg: &SimConfig, inst: &mut Instrumentation<'_>) -> SimR
         data_hist: Log2Histogram::new(),
         total_hist: Log2Histogram::new(),
     };
-    let result = simulate(cfg, &mut hooks);
+    let (result, pipeline) = execute(
+        cfg,
+        build_threads(cfg),
+        PipelineRequest::from_env(),
+        &mut hooks,
+    );
+    if let Some(p) = &pipeline {
+        // The rings' stall/occupancy gauges land in the stream's final
+        // Instruments record (see csalt-telemetry's `pipeline_metrics`).
+        use csalt_telemetry::pipeline_metrics as m;
+        let rec = &mut *hooks.inst.recorder;
+        rec.counter(m::RECORDS_STAGED, p.records_staged);
+        rec.counter(m::RECORDS_COMMITTED, p.records_committed);
+        rec.counter(m::PRODUCER_STALLS, p.producer_stalls);
+        rec.counter(m::CONSUMER_STALLS, p.consumer_stalls);
+        rec.gauge(m::PRODUCERS, p.producers as f64);
+        rec.gauge(m::RING_CAPACITY, p.ring_capacity as f64);
+        rec.gauge(m::MEAN_RING_OCCUPANCY, p.mean_occupancy());
+    }
     hooks.finish();
-    result
+    (result, pipeline)
 }
 
 /// The live hook set behind [`run_instrumented`].
@@ -864,5 +1158,84 @@ mod tests {
         let json = serde_json::to_string(&r).expect("serialize");
         let back: SimResult = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.instructions, r.instructions);
+    }
+
+    #[test]
+    fn pipelined_run_matches_inline_bit_for_bit() {
+        let mut cfg = quick(TranslationScheme::CsaltCd);
+        cfg.accesses_per_core = 5_000;
+        cfg.warmup_accesses_per_core = 2_000;
+        let inline = run_inline(&cfg);
+        let (pipelined, stats) = run_pipelined(&cfg);
+        assert_eq!(
+            serde_json::to_string(&inline).expect("serialize"),
+            serde_json::to_string(&pipelined).expect("serialize"),
+        );
+        assert!(stats.producers >= 1);
+        assert_eq!(
+            stats.records_committed,
+            (cfg.accesses_per_core + cfg.warmup_accesses_per_core) * u64::from(cfg.system.cores)
+        );
+        assert!(stats.records_staged >= stats.records_committed);
+    }
+
+    #[test]
+    fn pipeline_request_parses_every_spelling() {
+        use PipelineRequest::{Auto, Force, Off};
+        for off in [
+            None,
+            Some(""),
+            Some("0"),
+            Some("off"),
+            Some("false"),
+            Some("inline"),
+        ] {
+            assert_eq!(PipelineRequest::parse(off), Off, "{off:?}");
+        }
+        for auto in [
+            Some("1"),
+            Some("auto"),
+            Some("on"),
+            Some("true"),
+            Some("yes"),
+        ] {
+            assert_eq!(PipelineRequest::parse(auto), Auto, "{auto:?}");
+        }
+        assert_eq!(PipelineRequest::parse(Some("force")), Force);
+        assert_eq!(PipelineRequest::parse(Some("FORCE")), Force);
+    }
+
+    #[test]
+    fn replay_workloads_fall_back_to_inline() {
+        // A generator matrix containing a recorded-trace replay must
+        // plan inline even under Force: replay generators are not
+        // guaranteed Send, and the trace is consumed where it lives.
+        let cfg = quick(TranslationScheme::PomTlb);
+        let threads = build_threads(&cfg);
+        assert!(matches!(
+            plan_execution(&cfg, &threads, PipelineRequest::Force),
+            ExecPlan::Pipelined(..)
+        ));
+
+        let mut record = Vec::new();
+        let mut replay_threads = build_threads(&cfg);
+        for _ in 0..(cfg.accesses_per_core + cfg.warmup_accesses_per_core) {
+            record.push(replay_threads[0][0].next_access());
+        }
+        let replayed: Vec<Vec<AnyGenerator>> = (0..cfg.system.contexts_per_core)
+            .map(|_| {
+                (0..cfg.system.cores)
+                    .map(|_| {
+                        AnyGenerator::Trace(csalt_workloads::TraceFile::from_records(
+                            record.clone(),
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(matches!(
+            plan_execution(&cfg, &replayed, PipelineRequest::Force),
+            ExecPlan::Inline
+        ));
     }
 }

@@ -41,6 +41,7 @@
 //! pin that cached, deduped, and freshly-simulated paths agree.
 
 use crate::simulator::{run, SimConfig, SimResult};
+use csalt_pipeline::ThreadBudget;
 use csalt_telemetry::{HistogramRecord, NullRecorder, Recorder, TelemetryRecord};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -125,6 +126,14 @@ pub fn git_rev() -> String {
         .map(|s| s.trim().to_owned())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Whether the working tree differs from HEAD (`git status --porcelain`
+/// non-empty, untracked files included). The bench recorders embed this
+/// in `BENCH_*.json` and refuse to overwrite a clean-tree record for
+/// the same revision with dirty-tree numbers.
+pub fn git_dirty() -> bool {
+    git_output(&["status", "--porcelain"]).is_some_and(|out| !out.is_empty())
 }
 
 /// Identifies the simulation engine build: workspace version + git
@@ -488,7 +497,17 @@ impl Sweep {
             let slots: Vec<OnceLock<(SimResult, f64)>> =
                 (0..jobs.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
-            let workers = self.worker_count(jobs.len());
+            // Reserve the workers from the shared thread budget for the
+            // batch's duration, so pipelined runs nested inside a worker
+            // see no free capacity and auto-fall back to inline — sweep
+            // workers × pipeline producers never oversubscribes the
+            // host. An explicit `jobs` option is honored even past the
+            // budget (the user asked for it); the derived default yields
+            // to whatever is still free, keeping at least one worker.
+            let want = self.worker_count(jobs.len());
+            let floor = if self.jobs.is_some() { want } else { 1 };
+            let reservation = ThreadBudget::global().reserve_at_least(want, floor);
+            let workers = reservation.granted();
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {

@@ -281,6 +281,29 @@ impl HistogramRecord {
     }
 }
 
+/// Instrument names the pipelined execution mode records (they land in
+/// the stream's final [`InstrumentsRecord`]): per-stage stall counts
+/// and ring-occupancy gauges for the producer/consumer rings, so a
+/// stream shows whether production kept ahead of commit.
+pub mod pipeline_metrics {
+    /// Counter: records producer threads staged into rings.
+    pub const RECORDS_STAGED: &str = "pipeline.records_staged";
+    /// Counter: records the commit stage popped.
+    pub const RECORDS_COMMITTED: &str = "pipeline.records_committed";
+    /// Counter: producer stall waits (every owned ring full — commit
+    /// was the bottleneck, the desired steady state).
+    pub const PRODUCER_STALLS: &str = "pipeline.producer_stalls";
+    /// Counter: consumer stall spins (commit outran production).
+    pub const CONSUMER_STALLS: &str = "pipeline.consumer_stalls";
+    /// Gauge: producer threads the run used.
+    pub const PRODUCERS: &str = "pipeline.producers";
+    /// Gauge: per-(core, VM) ring capacity in records.
+    pub const RING_CAPACITY: &str = "pipeline.ring_capacity";
+    /// Gauge: mean sampled occupancy of the ring being popped, as a
+    /// fraction of capacity.
+    pub const MEAN_RING_OCCUPANCY: &str = "pipeline.mean_ring_occupancy";
+}
+
 /// Stream-wide counter and gauge values accumulated by a recorder's
 /// instrument API, flushed as the last record before shutdown.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]

@@ -18,21 +18,16 @@ pub struct TlbKey {
 
 /// Sentinel for an empty way (no real packed key reaches all-ones: the
 /// VPN would have to exceed the 48-bit address space).
-pub(crate) const EMPTY: u64 = u64::MAX;
+pub(crate) const EMPTY: u64 = csalt_types::PACKED_TLB_EMPTY;
 
-/// Packs a [`TlbKey`] into one comparable word — VPN above, then a 2-bit
-/// page-size code, then the 16-bit ASID — so the per-set way scan
-/// compares one `u64` per way instead of a multi-word struct.
+/// Packs a [`TlbKey`] into one comparable word so the per-set way scan
+/// compares one `u64` per way instead of a multi-word struct. The layout
+/// (VPN above, 2-bit page-size code, 16-bit ASID) is defined once in
+/// [`csalt_types::pack_tlb_key`] so the pipeline's producer stage can
+/// precompute identical keys.
 #[inline]
 pub(crate) fn pack(key: &TlbKey) -> u64 {
-    let size_code = match key.page.size() {
-        PageSize::Size4K => 0u64,
-        PageSize::Size2M => 1,
-        PageSize::Size1G => 2,
-    };
-    let vpn = key.page.vpn();
-    debug_assert!(vpn < 1u64 << 46, "vpn overflows packed TLB key");
-    (vpn << 18) | (size_code << 16) | u64::from(key.asid.raw())
+    csalt_types::pack_tlb_key(key.page.vpn(), key.page.size(), key.asid)
 }
 
 /// A set-associative, ASID-tagged SRAM TLB.
@@ -118,13 +113,21 @@ impl SramTlb {
 
     #[inline]
     fn set_of(&self, key: &TlbKey) -> u32 {
-        // Mix the size tag in so a unified TLB separates 4K/2M streams.
-        let size_salt = match key.page.size() {
+        self.set_of_packed(pack(key))
+    }
+
+    /// Set index from a packed key: the VPN xor a size salt, masked to
+    /// the set count. Mixing the size tag in lets a unified TLB separate
+    /// 4K/2M streams. Derived entirely from the packed word so the
+    /// prepacked lookup path computes the identical index.
+    #[inline]
+    fn set_of_packed(&self, packed: u64) -> u32 {
+        let size_salt = match csalt_types::unpack_tlb_size(packed) {
             PageSize::Size4K => 0u64,
             PageSize::Size2M => 0x9e37_79b9,
             PageSize::Size1G => 0x7f4a_7c15,
         };
-        ((key.page.vpn() ^ size_salt) & (u64::from(self.sets) - 1)) as u32
+        ((csalt_types::unpack_tlb_vpn(packed) ^ size_salt) & (u64::from(self.sets) - 1)) as u32
     }
 
     #[inline]
@@ -134,9 +137,14 @@ impl SramTlb {
 
     /// Looks up a translation, updating recency and statistics.
     pub fn lookup(&mut self, page: VirtPage, asid: Asid) -> Option<PhysFrame> {
-        let key = TlbKey { page, asid };
-        let set = self.set_of(&key);
-        let packed = pack(&key);
+        self.lookup_prepacked(pack(&TlbKey { page, asid }))
+    }
+
+    /// [`SramTlb::lookup`] with the key already packed (the pipeline's
+    /// producer stage precomputes keys; see [`csalt_types::pack_tlb_key`]).
+    /// Identical semantics and statistics — `lookup` delegates here.
+    pub fn lookup_prepacked(&mut self, packed: u64) -> Option<PhysFrame> {
+        let set = self.set_of_packed(packed);
         let base = self.slot(set, 0);
         let set_keys = &self.keys[base..base + self.ways as usize];
         if let Some(way) = set_keys.iter().position(|&k| k == packed) {

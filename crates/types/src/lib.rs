@@ -31,6 +31,7 @@
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod hint;
 pub mod ids;
 pub mod invariants;
 pub mod request;
@@ -42,6 +43,7 @@ pub use config::{
     TlbGeometry, TranslationScheme,
 };
 pub use error::ConfigError;
+pub use hint::{pack_tlb_key, unpack_tlb_size, unpack_tlb_vpn, TranslationHint, PACKED_TLB_EMPTY};
 pub use ids::{Asid, ContextId, CoreId, Cycle};
 pub use invariants::{Severity, Violation};
 pub use request::{AccessType, EntryKind, MemAccess};

@@ -2,6 +2,7 @@
 //! workload pairings (Table 3 and the Figure 7 x-axis).
 
 use crate::benches::{Canneal, ConnectedComponent, Graph500, Gups, PageRank, StreamCluster};
+use crate::trace_file::TraceFile;
 use csalt_types::MemAccess;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -191,6 +192,20 @@ pub enum AnyGenerator {
     PageRank(PageRank),
     /// PARSEC streamcluster.
     StreamCluster(StreamCluster),
+    /// A recorded trace replayed from a file (Pin-style replay).
+    Trace(TraceFile),
+}
+
+impl AnyGenerator {
+    /// Whether this generator replays a recorded trace rather than
+    /// synthesizing one. Replay streams are read from memory with no
+    /// sampling work to overlap, so the pipelined execution mode falls
+    /// back to inline for workloads containing one (see
+    /// `csalt-sim::run_with_generators`).
+    #[must_use]
+    pub fn is_replay(&self) -> bool {
+        matches!(self, AnyGenerator::Trace(_))
+    }
 }
 
 impl TraceGenerator for AnyGenerator {
@@ -203,6 +218,7 @@ impl TraceGenerator for AnyGenerator {
             AnyGenerator::Gups(g) => g.next_access(),
             AnyGenerator::PageRank(g) => g.next_access(),
             AnyGenerator::StreamCluster(g) => g.next_access(),
+            AnyGenerator::Trace(g) => g.next_access(),
         }
     }
 
@@ -214,6 +230,7 @@ impl TraceGenerator for AnyGenerator {
             AnyGenerator::Gups(g) => g.name(),
             AnyGenerator::PageRank(g) => g.name(),
             AnyGenerator::StreamCluster(g) => g.name(),
+            AnyGenerator::Trace(g) => g.name(),
         }
     }
 
@@ -225,6 +242,7 @@ impl TraceGenerator for AnyGenerator {
             AnyGenerator::Gups(g) => g.footprint_bytes(),
             AnyGenerator::PageRank(g) => g.footprint_bytes(),
             AnyGenerator::StreamCluster(g) => g.footprint_bytes(),
+            AnyGenerator::Trace(g) => g.footprint_bytes(),
         }
     }
 }

@@ -116,6 +116,30 @@ impl TraceFile {
         })
     }
 
+    /// Builds a replay generator from in-memory records — accesses
+    /// captured by a harness or test rather than loaded from disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty: the replay loop needs at least one
+    /// record (a valid trace file can never be empty either).
+    pub fn from_records(records: Vec<MemAccess>) -> Self {
+        assert!(!records.is_empty(), "replay needs at least one record");
+        let mut max_addr = 0u64;
+        let records: Vec<(u64, u32, bool)> = records
+            .into_iter()
+            .map(|a| {
+                max_addr = max_addr.max(a.vaddr.raw());
+                (a.vaddr.raw(), a.gap, a.ty.is_write())
+            })
+            .collect();
+        Self {
+            records,
+            pos: 0,
+            footprint: max_addr + 1,
+        }
+    }
+
     /// Number of recorded accesses.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -12,6 +12,16 @@ status=0
 # cache is content-addressed and scoped to the engine fingerprint, so
 # it never serves stale results (see EXPERIMENTS.md "The result cache").
 export CSALT_CACHE_DIR="${CSALT_CACHE_DIR:-/root/repo/target/csalt-cache}"
+# BENCH_*.json records stamp the git revision plus a dirty flag, and the
+# recorders refuse to overwrite a clean-tree record for the same
+# revision with dirty numbers (CSALT_BENCH_FORCE=1 overrides). Surface
+# the tree state up front so a refusal later in the session is no
+# surprise.
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    echo "git tree: DIRTY at $(git rev-parse --short HEAD 2>/dev/null || echo unknown) — BENCH records will be flagged dirty" | tee -a bench_output.txt
+else
+    echo "git tree: clean at $(git rev-parse --short HEAD 2>/dev/null || echo unknown)" | tee -a bench_output.txt
+fi
 BENCHES="tab02_config fig01_tlb_mpki_ratio tab01_walk_cycles fig03_cache_occupancy \
 fig07_performance fig08_walks_eliminated fig09_partition_trace fig10_l2_mpki \
 fig11_l3_mpki fig12_native fig13_prior_work fig14_contexts fig15_epoch \
@@ -38,6 +48,13 @@ cargo bench -p csalt-bench --bench sweep 2>&1 | tee -a bench_output.txt
 rc=${PIPESTATUS[0]}
 if [ "$rc" -ne 0 ]; then
     echo "FAILED: sweep (exit $rc)" | tee -a bench_output.txt
+    status=1
+fi
+echo "=== throughput (inline + pipeline -> BENCH_throughput.json) ===" | tee -a bench_output.txt
+cargo bench -p csalt-bench --bench throughput 2>&1 | tee -a bench_output.txt
+rc=${PIPESTATUS[0]}
+if [ "$rc" -ne 0 ]; then
+    echo "FAILED: throughput (exit $rc)" | tee -a bench_output.txt
     status=1
 fi
 if [ "$status" -ne 0 ]; then

@@ -1,0 +1,79 @@
+//! Pipeline-vs-inline bit-equality: the pipelined execution mode's
+//! entire reason to exist is that it changes *when* records are
+//! produced, never *what* is simulated. This suite runs every paper
+//! workload under every Figure 7 scheme, virtualized and native, once
+//! through the strictly single-threaded inline engine and once through
+//! the forced pipelined engine (producer threads over SPSC rings,
+//! serial commit stage), and requires the full [`SimResult`] — every
+//! counter, every per-core cycle, the whole hierarchy snapshot — to be
+//! byte-identical under JSON serialization.
+//!
+//! Sizes are smoke-length so the debug suite stays fast; the release CI
+//! gate re-runs this with `CSALT_EQ_ACCESSES` / `CSALT_EQ_WARMUP`
+//! raised to cover more context switches and repartitioning epochs.
+
+use csalt::sim::experiments::FIG7_SCHEMES;
+use csalt::sim::{run_inline, run_pipelined, SimConfig};
+use csalt::workloads::paper_workloads;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The smoke-length grid config: two cores and two contexts per core so
+/// ring selection, context switches, and epoch repartitioning are all
+/// exercised, with a scaled-down quantum so switches actually happen
+/// within the short run.
+fn config(
+    workload: &csalt::workloads::WorkloadSpec,
+    scheme: csalt::types::TranslationScheme,
+    virtualized: bool,
+) -> SimConfig {
+    let mut cfg = SimConfig::new(workload.clone(), scheme);
+    cfg.virtualized = virtualized;
+    cfg.system.cores = 2;
+    cfg.system.cs_interval_cycles = 40_000;
+    cfg.system.epoch_accesses = 2_000;
+    cfg.accesses_per_core = env_u64("CSALT_EQ_ACCESSES", 2_500);
+    cfg.warmup_accesses_per_core = env_u64("CSALT_EQ_WARMUP", 1_000);
+    cfg.scale = 0.05;
+    cfg
+}
+
+#[test]
+fn pipelined_results_are_bit_identical_to_inline() {
+    let mut compared = 0u32;
+    for workload in paper_workloads() {
+        for scheme in FIG7_SCHEMES {
+            for virtualized in [false, true] {
+                let cfg = config(&workload, scheme, virtualized);
+                let inline = run_inline(&cfg);
+                let (pipelined, stats) = run_pipelined(&cfg);
+                let expected = (cfg.accesses_per_core + cfg.warmup_accesses_per_core)
+                    * u64::from(cfg.system.cores);
+                assert_eq!(
+                    stats.records_committed, expected,
+                    "{} / {scheme:?} / virtualized={virtualized}: \
+                     commit stage consumed a wrong record count",
+                    workload.name,
+                );
+                assert_eq!(
+                    serde_json::to_string(&inline).expect("inline result serializes"),
+                    serde_json::to_string(&pipelined).expect("pipelined result serializes"),
+                    "{} / {scheme:?} / virtualized={virtualized}: \
+                     pipelined run diverged from the inline reference",
+                    workload.name,
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert_eq!(
+        compared,
+        (paper_workloads().len() * FIG7_SCHEMES.len() * 2) as u32,
+        "grid covered every (workload, scheme, mode) cell"
+    );
+}
