@@ -31,6 +31,13 @@
 #  11. clippy with the workspace lint table, warnings denied
 #  12. rustfmt check
 #  13. the csalt-audit static sweep over every preset x scheme
+#  14. csalt-audit srclint: the source-level determinism lints
+#      (S-rules) over every crates/*/src file — no hash-order
+#      iteration, no wall-clock reads, SAFETY'd unsafe, integer
+#      counters, Release/Acquire discipline; waivers must be reasoned
+#  15. csalt-audit modelcheck: exhaustive schedule exploration of the
+#      modeled SPSC ring and ThreadBudget ledger (M-properties), plus
+#      the mutation suite proving the checker itself catches bugs
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -87,5 +94,11 @@ cargo fmt --check
 
 step "cargo run -p csalt-audit -- --all-presets"
 cargo run -q -p csalt-audit -- --all-presets
+
+step "cargo run -p csalt-audit -- srclint (source-level determinism lints)"
+cargo run -q -p csalt-audit -- srclint
+
+step "cargo run -p csalt-audit -- modelcheck (exhaustive SPSC/budget schedules)"
+cargo run -q -p csalt-audit -- modelcheck
 
 printf '\nci.sh: all gates passed\n'

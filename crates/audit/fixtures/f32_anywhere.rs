@@ -1,0 +1,9 @@
+//# path: crates/workloads/src/fixture_f32.rs
+//# expect: S006
+// f32 is banned workspace-wide: single-precision accumulation is
+// platform- and codegen-sensitive in exactly the way a deterministic
+// simulator cannot afford.
+
+pub fn mean(samples: &[u64]) -> f32 {
+    samples.iter().sum::<u64>() as f32 / samples.len() as f32
+}

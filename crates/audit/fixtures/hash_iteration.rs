@@ -1,0 +1,15 @@
+//# path: crates/sim/src/fixture_hash_iteration.rs
+//# expect: S001
+// A result-affecting crate iterating a HashMap: the per-run iteration
+// order feeds the emitted report, so two identical runs can emit
+// differently-ordered bytes.
+
+use std::collections::HashMap;
+
+pub fn report(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//# path: crates/cache/src/fixture_missing_safety.rs
+//# expect: S003
+// An unsafe block with no SAFETY justification: the proof obligation
+// lives in the author's head and rots there.
+
+pub fn read_first(v: &[u64]) -> u64 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,9 @@
+//# path: crates/workloads/src/fixture_reasoned_waiver.rs
+//# expect:
+// A waiver with a reason covers the finding on the next line; the tool
+// still counts and reports it.
+
+// audit-waive: S006 interop with an external f32 wire format, never accumulated
+pub fn decode(x: f32) -> f64 {
+    f64::from(x)
+}

@@ -1,0 +1,9 @@
+//# path: crates/workloads/src/fixture_reasonless_waiver.rs
+//# expect: S000 S006
+// A waiver with no reason suppresses nothing and is itself a finding:
+// exceptions must say why they are sound.
+
+// audit-waive: S006
+pub fn half(x: f32) -> f32 {
+    x * 0.5f32
+}

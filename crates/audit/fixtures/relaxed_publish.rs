@@ -1,0 +1,21 @@
+//# path: crates/pipeline/src/spsc.rs
+//# expect: S008
+// Relaxed on a publication index: the consumer can acquire the new
+// tail yet still read the slot's previous contents, because nothing
+// orders the slot-word stores before the index becomes visible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Ring {
+    tail: AtomicUsize,
+}
+
+impl Ring {
+    pub fn publish(&self, n: usize) {
+        self.tail.store(n, Ordering::Relaxed);
+    }
+
+    pub fn refresh(&self) -> usize {
+        self.tail.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,21 @@
+//# path: crates/pipeline/src/source.rs
+//# expect: S007
+// A Release store whose field is never Acquire-loaded: the release
+// edge synchronizes with nothing, so the "published" data is not
+// actually made visible to anyone.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Publisher {
+    seq: AtomicUsize,
+}
+
+impl Publisher {
+    pub fn publish(&self, n: usize) {
+        self.seq.store(n, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> usize {
+        self.seq.load(Ordering::Relaxed)
+    }
+}

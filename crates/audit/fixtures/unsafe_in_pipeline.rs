@@ -1,0 +1,10 @@
+//# path: crates/pipeline/src/fixture_unsafe.rs
+//# expect: S004
+// Even a justified unsafe block is banned in the pipeline crate: its
+// lock-free structures are safe by design (atomic slot words), and the
+// determinism proofs lean on that.
+
+pub fn read_first(v: &[u64]) -> u64 {
+    // SAFETY: callers guarantee v is non-empty.
+    unsafe { *v.get_unchecked(0) }
+}

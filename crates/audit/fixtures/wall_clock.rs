@@ -1,0 +1,11 @@
+//# path: crates/core/src/fixture_wall_clock.rs
+//# expect: S002
+// A wall-clock read on the simulated path: the "latency" becomes a
+// function of host load instead of simulated cycles.
+
+use std::time::Instant;
+
+pub fn charge_latency() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,385 @@
+//! A minimal hand-rolled Rust lexer for the source-lint pass.
+//!
+//! The workspace takes no registry dependencies, so `syn` is out of
+//! reach; the S-series rules only need token-level facts (identifiers,
+//! float literals, punctuation, which lines are comments), so a small
+//! lexer is enough. It understands everything that would otherwise
+//! produce false positives at the string-matching level: line and
+//! nested block comments, string/char/byte/raw-string literals,
+//! lifetimes vs char literals, and tuple-index `.0` vs float literals.
+//!
+//! Comments are not discarded: they come back as a side stream so the
+//! rules can look for `// SAFETY:` justifications and
+//! `// audit-waive:` markers.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `f64`, ...).
+    Ident(String),
+    /// Integer literal (`0`, `0x1f`, `12_000`).
+    Int(String),
+    /// Floating-point literal (`1.0`, `2e9`, `0.5f64`).
+    Float(String),
+    /// String, byte-string, or raw-string literal (contents dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A comment (line, block, or doc) with its text and start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line number the comment starts on.
+    pub line: u32,
+}
+
+/// Lexes `src`, returning the token stream and the comment stream.
+///
+/// The lexer is lossy where the rules don't care (literal contents are
+/// dropped) and never fails: unexpected bytes become `Punct` tokens so
+/// a half-written fixture still lints.
+#[must_use]
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                let start_line = line;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&b, i) => {
+                let start_line = line;
+                i = skip_prefixed_literal(&b, i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime if an identifier follows and the char after
+                // it is not a closing quote (`'a` vs `'a'`).
+                if b.get(i + 1).copied().is_some_and(is_ident_start) && b.get(i + 2) != Some(&'\'')
+                {
+                    i += 1;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    // Char literal: skip to the closing quote, honoring
+                    // escapes.
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len() && (is_ident(b[i]) || b[i] == '.') {
+                    if b[i] == '.' {
+                        // `0..10` is a range, `x.0.1` can't start here;
+                        // only a digit right after the dot makes this a
+                        // float.
+                        if b.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    } else if (b[i] == 'e' || b[i] == 'E')
+                        && b.get(i + 1)
+                            .copied()
+                            .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+                        && b[start..i].iter().any(char::is_ascii_digit)
+                        && !b[start..i]
+                            .iter()
+                            .any(|&x| x == 'x' || x == 'b' || x == 'o')
+                    {
+                        is_float = true;
+                        i += 1; // consume the sign/first digit below
+                    }
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                let tok = if is_float || text.ends_with("f32") || text.ends_with("f64") {
+                    Tok::Float(text)
+                } else {
+                    Tok::Int(text)
+                };
+                tokens.push(Token { tok, line });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident(b[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(b[start..i].iter().collect()),
+                    line,
+                });
+            }
+            other => {
+                tokens.push(Token {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte literal
+/// rather than an identifier (`r"` / `r#"` / `b"` / `b'` / `br"` ...).
+fn starts_raw_or_byte_literal(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    matches!(b.get(j), Some(&'"')) || (b[i] == 'b' && b.get(j) == Some(&'\''))
+}
+
+/// Skips a literal introduced by `r`/`b` prefixes; returns the index
+/// past its end.
+fn skip_prefixed_literal(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) == Some(&'\'') {
+        // Byte char literal `b'x'`.
+        i += 1;
+        while i < b.len() {
+            match b[i] {
+                '\\' => i += 2,
+                '\'' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    if b.get(i) != Some(&'"') {
+        return i;
+    }
+    if raw {
+        i += 1;
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+            }
+            if b[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(b, i, line)
+    }
+}
+
+/// Skips a plain `"..."` string starting at the opening quote; returns
+/// the index past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"SystemTime"#;
+            let c = 'f';
+            let x = real_ident;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_tuple_index() {
+        let (toks, _) = lex("let a = 1.0; let b = 0..10; let c = x.0; let d = 2e9; let e = 1f64;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Float(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec!["1.0", "2e9", "1f64"]);
+    }
+
+    #[test]
+    fn hex_is_not_a_float() {
+        let (toks, _) = lex("let a = 0xE0; let b = 0b101;");
+        assert!(toks.iter().all(|t| !matches!(t.tok, Tok::Float(_))));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let (toks, comments) = lex("a\n// c\nb\n\"s\ntring\"\nc");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.to_string()))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("c"), Some(6));
+        assert_eq!(comments[0].line, 2);
+    }
+}

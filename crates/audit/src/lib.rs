@@ -16,9 +16,22 @@
 //!   checked on a [`HierarchySnapshot`] after runs and at epoch
 //!   boundaries when `csalt-sim` is built with its `audit` feature.
 //!
+//! * **Source lints** (`CSALT-S000`–`S008`, [`srclint`]) — a hand-rolled
+//!   lexical analysis over every `crates/*/src` file that enforces the
+//!   determinism contract at the source level: no hash-order iteration in
+//!   result-affecting crates, no wall-clock reads outside timing modules,
+//!   `// SAFETY:` on every unsafe block, integer-only counters, and
+//!   Release/Acquire discipline on the SPSC publication indices.
+//! * **Model checking** (`CSALT-M001`–`M005`, [`modelcheck`]) — exhaustive
+//!   DFS over every schedule of modeled SPSC-ring and thread-budget
+//!   executions under an abstract store-buffer memory model, proving FIFO
+//!   delivery, publication safety, and budget conservation on bounded
+//!   instances.
+//!
 //! The `csalt-audit` binary (`cargo run -p csalt-audit -- --all-presets`)
 //! drives the static layer and exits non-zero on any error-severity
-//! diagnostic; `--format json` emits machine-readable output.
+//! diagnostic; `--format json` emits machine-readable output. The
+//! `srclint` and `modelcheck` subcommands drive the other two layers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +42,17 @@ use csalt_types::{SystemConfig, TranslationScheme};
 use serde::Serialize;
 use std::fmt;
 
+pub mod fixtures;
+pub mod lexer;
+pub mod modelcheck;
+pub mod srclint;
+
 pub use csalt_types::invariants::{check_scheme, check_system};
+
+/// Version stamped into every JSON report this crate emits
+/// (`AuditReport`, `SrclintReport`, `ModelcheckReport`). Bumped whenever
+/// a report's shape changes so downstream consumers can dispatch.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One finding, located in the preset × scheme space the audit swept.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -283,6 +306,8 @@ pub fn audit_all_presets() -> AuditReport {
 /// Outcome of a sweep: counts plus every finding.
 #[derive(Debug, Clone, Serialize)]
 pub struct AuditReport {
+    /// JSON schema version ([`SCHEMA_VERSION`]).
+    pub version: u32,
     /// Preset × scheme combinations checked.
     pub combinations: u64,
     /// Error-severity findings.
@@ -308,6 +333,7 @@ impl AuditReport {
             .count() as u64;
         let warnings = diagnostics.len() as u64 - errors;
         AuditReport {
+            version: SCHEMA_VERSION,
             combinations,
             errors,
             warnings,
@@ -612,6 +638,7 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         assert!(json.contains("\"combinations\""));
         assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains(&format!("\"version\": {SCHEMA_VERSION}")));
     }
 
     #[test]

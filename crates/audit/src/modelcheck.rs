@@ -1,0 +1,1031 @@
+//! Exhaustive interleaving model checking (`csalt-audit modelcheck`,
+//! properties `M001`–`M005`).
+//!
+//! A mini-loom: the SPSC ring ([`csalt-pipeline`]'s `spsc.rs`) and the
+//! `ThreadBudget` ledger (`budget.rs`) are re-expressed as small state
+//! machines over an abstract memory, and a DFS enumerates **every**
+//! schedule of bounded configurations (ring capacity 2–4, 4–8 ops),
+//! checking safety properties in each reachable state:
+//!
+//! | property | claim |
+//! |----------|-------|
+//! | M001 | ring is FIFO: no lost, duplicated, or reordered record |
+//! | M002 | no read of an unpublished slot (release/acquire visibility) |
+//! | M003 | ring never holds more than `capacity` records |
+//! | M004 | budget ledger never grants more than capacity |
+//! | M005 | budget ledger drains back to zero |
+//!
+//! # The memory model
+//!
+//! Plain interleaving (sequential consistency) would trivialize the
+//! orderings — every store would be instantly visible, so a `Relaxed`
+//! publish would "work". Instead each atomic location keeps its full
+//! **write history** and each thread a **visibility frontier** per
+//! location (the oldest write it may still read — the abstract form of
+//! a store buffer that has not yet drained). A load nondeterministically
+//! reads *any* write at or after the thread's frontier; the DFS
+//! branches over all of them, so stale reads are explored exhaustively.
+//! Synchronization is view propagation: a `Release` store snapshots the
+//! writer's frontier into the write; an `Acquire` load that reads a
+//! `Release` write joins that snapshot into the reader's frontier.
+//! RMW operations (CAS, `fetch_sub`) always read the newest write —
+//! that is exactly the atomicity the real instructions guarantee.
+//!
+//! This catches the bugs that matter here: publishing the tail with
+//! `Relaxed` (or storing it before the slot words) lets the consumer
+//! acquire the new tail yet still read the slot's previous contents —
+//! M002 fires. It deliberately does *not* model same-thread statement
+//! reordering, so a consumer-side `head` publish weakened to `Relaxed`
+//! is invisible to it (the hazard there is compiler reordering of the
+//! consumer's slot reads, which only `srclint`'s S008 rule guards).
+//!
+//! Each built-in mutation (a deliberately broken variant) must make the
+//! checker report a violation — the checker proves the algorithms *and*
+//! the mutations prove the checker.
+
+use serde::Serialize;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// Sentinel for a slot nobody has written yet.
+pub const POISON: u64 = u64::MAX;
+
+/// Registry entries for `--list-rules`.
+pub fn model_properties() -> &'static [crate::Rule] {
+    &[
+        crate::Rule {
+            code: "M001",
+            name: "spsc-fifo",
+            summary: "ring delivers every record exactly once, in order",
+        },
+        crate::Rule {
+            code: "M002",
+            name: "spsc-publish",
+            summary: "no schedule lets the consumer read an unpublished slot",
+        },
+        crate::Rule {
+            code: "M003",
+            name: "spsc-bounded",
+            summary: "ring never holds more records than its capacity",
+        },
+        crate::Rule {
+            code: "M004",
+            name: "budget-cap",
+            summary: "ThreadBudget never grants more than capacity, any schedule",
+        },
+        crate::Rule {
+            code: "M005",
+            name: "budget-drain",
+            summary: "ThreadBudget drains back to zero when all holders release",
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Memory: write histories + per-thread visibility frontiers.
+// ---------------------------------------------------------------------
+
+/// Memory orderings the model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Mo {
+    /// No view propagation.
+    Relaxed,
+    /// Loads join the view attached to the write they read.
+    Acquire,
+    /// Stores attach the writer's current view.
+    Release,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Write {
+    value: u64,
+    /// The writer's frontier at store time, present iff Release.
+    view: Option<Vec<u32>>,
+}
+
+/// Abstract shared memory for a fixed set of atomic locations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Memory {
+    locs: Vec<Vec<Write>>,
+    /// `frontier[t][l]`: index of the oldest write of location `l`
+    /// thread `t` may still read.
+    frontier: Vec<Vec<u32>>,
+}
+
+impl Memory {
+    fn new(threads: usize, init: &[u64]) -> Self {
+        Memory {
+            locs: init
+                .iter()
+                .map(|&v| {
+                    vec![Write {
+                        value: v,
+                        view: None,
+                    }]
+                })
+                .collect(),
+            frontier: vec![vec![0; init.len()]; threads],
+        }
+    }
+
+    /// Number of writes thread `t` could read from location `l` (the
+    /// DFS branches over exactly this many choices).
+    fn candidates(&self, t: usize, l: usize) -> usize {
+        self.locs[l].len() - self.frontier[t][l] as usize
+    }
+
+    /// Reads the `choice`-th visible write (0 = the thread's frontier,
+    /// stalest permitted; `candidates-1` = the newest).
+    fn load(&mut self, t: usize, l: usize, ord: Mo, choice: usize) -> u64 {
+        let idx = self.frontier[t][l] as usize + choice;
+        let value = self.locs[l][idx].value;
+        self.frontier[t][l] = idx as u32;
+        if ord == Mo::Acquire {
+            // Split borrow: clone the view out before mutating.
+            if let Some(view) = self.locs[l][idx].view.clone() {
+                self.join(t, &view);
+            }
+        }
+        value
+    }
+
+    fn store(&mut self, t: usize, l: usize, ord: Mo, value: u64) {
+        let idx = self.locs[l].len() as u32;
+        self.frontier[t][l] = idx;
+        let view = (ord == Mo::Release).then(|| self.frontier[t].clone());
+        self.locs[l].push(Write { value, view });
+    }
+
+    /// RMW read half: always the newest write (hardware atomicity).
+    fn rmw_read(&mut self, t: usize, l: usize, ord: Mo) -> u64 {
+        let idx = self.locs[l].len() - 1;
+        self.frontier[t][l] = idx as u32;
+        let value = self.locs[l][idx].value;
+        if ord == Mo::Acquire {
+            if let Some(view) = self.locs[l][idx].view.clone() {
+                self.join(t, &view);
+            }
+        }
+        value
+    }
+
+    /// Newest value of `l` (the "physical truth" invariants check).
+    fn latest(&self, l: usize) -> u64 {
+        self.locs[l].last().map_or(0, |w| w.value)
+    }
+
+    fn join(&mut self, t: usize, view: &[u32]) {
+        for (f, &v) in self.frontier[t].iter_mut().zip(view) {
+            *f = (*f).max(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The model trait and the DFS explorer.
+// ---------------------------------------------------------------------
+
+type Verdict = Result<(), (&'static str, String)>;
+
+/// A bounded concurrent system the explorer can enumerate.
+pub trait Model: Clone + Eq + Hash {
+    /// Number of threads.
+    fn threads(&self) -> usize;
+    /// Whether thread `tid` has finished its program.
+    fn done(&self, tid: usize) -> bool;
+    /// Nondeterministic outcomes of `tid`'s next step (≥ 1 when not
+    /// done; loads branch over their visible writes).
+    fn choices(&self, tid: usize) -> usize;
+    /// Executes one step (exactly one shared-memory operation plus the
+    /// local computation around it).
+    fn step(&mut self, tid: usize, choice: usize) -> Verdict;
+    /// Safety invariant, checked after every step.
+    fn check_now(&self) -> Verdict;
+    /// Terminal assertion, checked when every thread is done.
+    fn check_done(&self) -> Verdict;
+    /// One-letter thread labels for schedule traces.
+    fn thread_label(&self, tid: usize) -> String;
+}
+
+/// A counterexample: which property failed, how, and the schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelViolation {
+    /// Property code (`M00x`).
+    pub property: &'static str,
+    /// What went wrong.
+    pub message: String,
+    /// The interleaving that produced it, as `label.choice` steps.
+    pub schedule: String,
+}
+
+/// Exploration statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Exploration {
+    /// Distinct states reached.
+    pub states: u64,
+    /// Transitions executed (steps, counting re-derivations).
+    pub transitions: u64,
+    /// Distinct terminal states (complete interleaving outcomes).
+    pub terminals: u64,
+    /// First violation found, if any (DFS order — deterministic).
+    pub violation: Option<ModelViolation>,
+}
+
+/// Exhaustively explores every schedule of `initial` by DFS with
+/// visited-state deduplication. `max_states` is a runaway bound; an
+/// exploration that exceeds it reports a synthetic violation rather
+/// than silently truncating coverage.
+pub fn explore<M: Model>(initial: M, max_states: u64) -> Exploration {
+    let mut visited: HashSet<M> = HashSet::new();
+    let mut out = Exploration {
+        states: 0,
+        transitions: 0,
+        terminals: 0,
+        violation: None,
+    };
+    let mut stack: Vec<(M, Vec<(u8, u8)>)> = vec![(initial, Vec::new())];
+    while let Some((state, sched)) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        out.states += 1;
+        if out.states > max_states {
+            out.violation = Some(ModelViolation {
+                property: "M000",
+                message: format!("state space exceeded the {max_states}-state bound"),
+                schedule: String::new(),
+            });
+            return out;
+        }
+        let all_done = (0..state.threads()).all(|t| state.done(t));
+        if all_done {
+            out.terminals += 1;
+            if let Err((property, message)) = state.check_done() {
+                out.violation = Some(ModelViolation {
+                    property,
+                    message,
+                    schedule: render(&state, &sched),
+                });
+                return out;
+            }
+            continue;
+        }
+        for tid in 0..state.threads() {
+            if state.done(tid) {
+                continue;
+            }
+            for choice in 0..state.choices(tid) {
+                let mut next = state.clone();
+                out.transitions += 1;
+                let mut sched2 = sched.clone();
+                sched2.push((tid as u8, choice as u8));
+                let verdict = next.step(tid, choice).and_then(|()| next.check_now());
+                if let Err((property, message)) = verdict {
+                    out.violation = Some(ModelViolation {
+                        property,
+                        message,
+                        schedule: render(&next, &sched2),
+                    });
+                    return out;
+                }
+                stack.push((next, sched2));
+            }
+        }
+    }
+    out
+}
+
+fn render<M: Model>(state: &M, sched: &[(u8, u8)]) -> String {
+    sched
+        .iter()
+        .map(|&(t, c)| {
+            let label = state.thread_label(t as usize);
+            if c == 0 {
+                label
+            } else {
+                format!("{label}.{c}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// ---------------------------------------------------------------------
+// Model 1: the SPSC ring (mirrors crates/pipeline/src/spsc.rs).
+// ---------------------------------------------------------------------
+
+/// Orderings for each of the ring's six atomic accesses. The correct
+/// assignment mirrors `spsc.rs`; mutations weaken one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct RingOrds {
+    /// Producer's slot-word store.
+    pub slot_store: Mo,
+    /// Producer's publish of `tail`.
+    pub tail_store: Mo,
+    /// Consumer's refresh of `tail`.
+    pub tail_load: Mo,
+    /// Consumer's publish of `head`.
+    pub head_store: Mo,
+    /// Producer's refresh of `head`.
+    pub head_load: Mo,
+    /// Consumer's slot-word load.
+    pub slot_load: Mo,
+}
+
+impl RingOrds {
+    /// The orderings `spsc.rs` actually uses.
+    #[must_use]
+    pub fn correct() -> Self {
+        RingOrds {
+            slot_store: Mo::Relaxed,
+            tail_store: Mo::Release,
+            tail_load: Mo::Acquire,
+            head_store: Mo::Release,
+            head_load: Mo::Acquire,
+            slot_load: Mo::Relaxed,
+        }
+    }
+}
+
+/// A bounded SPSC configuration to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct RingConfig {
+    /// Ring capacity (power of two, 2–4 for tractable exploration).
+    pub capacity: u64,
+    /// Records the producer pushes and the consumer must pop (4–8).
+    pub items: u64,
+    /// Orderings under test.
+    pub ords: RingOrds,
+    /// Mutation: drop the producer's space check (overrun).
+    pub skip_space_check: bool,
+    /// Mutation: publish `tail` before writing the slot (program-order
+    /// bug).
+    pub publish_before_write: bool,
+}
+
+impl RingConfig {
+    /// The correct ring at the given bounds.
+    #[must_use]
+    pub fn correct(capacity: u64, items: u64) -> Self {
+        RingConfig {
+            capacity,
+            items,
+            ords: RingOrds::correct(),
+            skip_space_check: false,
+            publish_before_write: false,
+        }
+    }
+}
+
+const TAIL: usize = 0;
+const HEAD: usize = 1;
+const SLOT0: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PPc {
+    /// Check space, then either refresh `head` or write the slot.
+    Ready,
+    /// Slot written; publish `tail`.
+    Publish,
+    /// Mutated order: `tail` published; now write the slot.
+    WriteAfter,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CPc {
+    /// Check emptiness, then either refresh `tail` or read the slot.
+    Ready,
+    /// Slot read and validated; publish `head`.
+    Publish,
+}
+
+/// The two-thread SPSC model. Thread 0 = producer, 1 = consumer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RingModel {
+    cfg: RingConfig,
+    mem: Memory,
+    // Producer locals (free-running counters, as in spsc.rs).
+    ppc: PPc,
+    p_tail: u64,
+    cached_head: u64,
+    pushed: u64,
+    // Consumer locals.
+    cpc: CPc,
+    c_head: u64,
+    cached_tail: u64,
+    popped: u64,
+}
+
+impl RingModel {
+    /// Builds the initial state: empty ring, slots poisoned.
+    #[must_use]
+    pub fn new(cfg: RingConfig) -> Self {
+        let mut init = vec![0u64, 0u64];
+        init.extend(std::iter::repeat_n(POISON, cfg.capacity as usize));
+        RingModel {
+            cfg,
+            mem: Memory::new(2, &init),
+            ppc: PPc::Ready,
+            p_tail: 0,
+            cached_head: 0,
+            pushed: 0,
+            cpc: CPc::Ready,
+            c_head: 0,
+            cached_tail: 0,
+            popped: 0,
+        }
+    }
+
+    fn slot(&self, counter: u64) -> usize {
+        SLOT0 + (counter & (self.cfg.capacity - 1)) as usize
+    }
+
+    fn p_full(&self) -> bool {
+        !self.cfg.skip_space_check && self.p_tail - self.cached_head == self.cfg.capacity
+    }
+}
+
+impl Model for RingModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        if tid == 0 {
+            self.ppc == PPc::Ready && self.pushed == self.cfg.items
+        } else {
+            self.cpc == CPc::Ready && self.popped == self.cfg.items
+        }
+    }
+
+    fn choices(&self, tid: usize) -> usize {
+        if tid == 0 {
+            match self.ppc {
+                PPc::Ready if self.p_full() => self.mem.candidates(0, HEAD),
+                _ => 1,
+            }
+        } else {
+            match self.cpc {
+                CPc::Ready if self.cached_tail == self.c_head => self.mem.candidates(1, TAIL),
+                CPc::Ready => self.mem.candidates(1, self.slot(self.c_head)),
+                CPc::Publish => 1,
+            }
+        }
+    }
+
+    fn step(&mut self, tid: usize, choice: usize) -> Verdict {
+        let ords = self.cfg.ords;
+        if tid == 0 {
+            match self.ppc {
+                PPc::Ready => {
+                    if self.p_full() {
+                        self.cached_head = self.mem.load(0, HEAD, ords.head_load, choice);
+                    } else if self.cfg.publish_before_write {
+                        self.mem.store(0, TAIL, ords.tail_store, self.p_tail + 1);
+                        self.ppc = PPc::WriteAfter;
+                    } else {
+                        let slot = self.slot(self.p_tail);
+                        self.mem.store(0, slot, ords.slot_store, self.pushed + 1);
+                        self.ppc = PPc::Publish;
+                    }
+                }
+                PPc::Publish => {
+                    self.p_tail += 1;
+                    self.mem.store(0, TAIL, ords.tail_store, self.p_tail);
+                    self.pushed += 1;
+                    self.ppc = PPc::Ready;
+                }
+                PPc::WriteAfter => {
+                    let slot = self.slot(self.p_tail);
+                    self.mem.store(0, slot, ords.slot_store, self.pushed + 1);
+                    self.p_tail += 1;
+                    self.pushed += 1;
+                    self.ppc = PPc::Ready;
+                }
+            }
+        } else {
+            match self.cpc {
+                CPc::Ready => {
+                    if self.cached_tail == self.c_head {
+                        self.cached_tail = self.mem.load(1, TAIL, ords.tail_load, choice);
+                    } else {
+                        let slot = self.slot(self.c_head);
+                        let v = self.mem.load(1, slot, ords.slot_load, choice);
+                        let expect = self.popped + 1;
+                        if v == POISON {
+                            return Err((
+                                "M002",
+                                format!(
+                                    "consumer read unpublished slot {} (expected record {expect})",
+                                    slot - SLOT0
+                                ),
+                            ));
+                        }
+                        if v != expect {
+                            return Err((
+                                "M001",
+                                format!(
+                                    "consumer popped record {v}, expected {expect} (FIFO broken)"
+                                ),
+                            ));
+                        }
+                        self.cpc = CPc::Publish;
+                    }
+                }
+                CPc::Publish => {
+                    self.c_head += 1;
+                    self.mem.store(1, HEAD, ords.head_store, self.c_head);
+                    self.popped += 1;
+                    self.cpc = CPc::Ready;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_now(&self) -> Verdict {
+        let occupancy = self.mem.latest(TAIL).saturating_sub(self.mem.latest(HEAD));
+        if occupancy > self.cfg.capacity {
+            return Err((
+                "M003",
+                format!(
+                    "ring holds {occupancy} records but capacity is {} (producer overran \
+                     unconsumed slots)",
+                    self.cfg.capacity
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_done(&self) -> Verdict {
+        if self.popped != self.cfg.items {
+            return Err((
+                "M001",
+                format!(
+                    "terminal state popped {} of {} records",
+                    self.popped, self.cfg.items
+                ),
+            ));
+        }
+        if self.mem.latest(TAIL) != self.cfg.items || self.mem.latest(HEAD) != self.cfg.items {
+            return Err((
+                "M001",
+                format!(
+                    "terminal indices tail={} head={} expected {}",
+                    self.mem.latest(TAIL),
+                    self.mem.latest(HEAD),
+                    self.cfg.items
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn thread_label(&self, tid: usize) -> String {
+        if tid == 0 { "P" } else { "C" }.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model 2: the ThreadBudget ledger (mirrors crates/pipeline/src/budget.rs).
+// ---------------------------------------------------------------------
+
+/// A bounded `ThreadBudget` configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct BudgetConfig {
+    /// Ledger capacity.
+    pub capacity: u64,
+    /// Threads hammering reserve/release.
+    pub threads: u64,
+    /// Threads ask for this many units per round.
+    pub want: u64,
+    /// reserve → hold → release rounds per thread.
+    pub rounds: u64,
+    /// Mutation: replace the CAS with a plain load+store (lost-update
+    /// bug).
+    pub blind_store: bool,
+}
+
+impl BudgetConfig {
+    /// The correct ledger at the given bounds.
+    #[must_use]
+    pub fn correct(capacity: u64, threads: u64, want: u64, rounds: u64) -> Self {
+        BudgetConfig {
+            capacity,
+            threads,
+            want,
+            rounds,
+            blind_store: false,
+        }
+    }
+}
+
+const USED: usize = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BPc {
+    /// Load `used` and size a grant.
+    Load,
+    /// Try to commit the grant (CAS, or the mutated blind store).
+    Commit { expected: u64, grant: u64 },
+    /// Holding; release via `fetch_sub`.
+    Release,
+}
+
+/// N threads doing reserve/release rounds against one atomic ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BudgetModel {
+    cfg: BudgetConfig,
+    mem: Memory,
+    pc: Vec<BPc>,
+    granted: Vec<u64>,
+    rounds_done: Vec<u64>,
+}
+
+impl BudgetModel {
+    /// Builds the initial state: ledger empty, nobody holding.
+    #[must_use]
+    pub fn new(cfg: BudgetConfig) -> Self {
+        let threads = cfg.threads as usize;
+        BudgetModel {
+            cfg,
+            mem: Memory::new(threads, &[0]),
+            pc: vec![BPc::Load; threads],
+            granted: vec![0; threads],
+            rounds_done: vec![0; threads],
+        }
+    }
+
+    /// Grant sizing, as in `ThreadBudget::reserve_at_least` with no
+    /// forced minimum.
+    fn size_grant(&self, used: u64) -> u64 {
+        self.cfg.want.min(self.cfg.capacity.saturating_sub(used))
+    }
+}
+
+impl Model for BudgetModel {
+    fn threads(&self) -> usize {
+        self.cfg.threads as usize
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        self.pc[tid] == BPc::Load && self.rounds_done[tid] == self.cfg.rounds
+    }
+
+    fn choices(&self, tid: usize) -> usize {
+        match self.pc[tid] {
+            BPc::Load => self.mem.candidates(tid, USED),
+            _ => 1,
+        }
+    }
+
+    fn step(&mut self, tid: usize, choice: usize) -> Verdict {
+        match self.pc[tid] {
+            BPc::Load => {
+                let used = self.mem.load(tid, USED, Mo::Relaxed, choice);
+                let grant = self.size_grant(used);
+                if grant == 0 {
+                    // Zero grant: the reservation is empty; the round
+                    // completes without touching the ledger again.
+                    self.rounds_done[tid] += 1;
+                } else {
+                    self.pc[tid] = BPc::Commit {
+                        expected: used,
+                        grant,
+                    };
+                }
+            }
+            BPc::Commit { expected, grant } => {
+                if self.cfg.blind_store {
+                    // The lost-update mutation: no atomicity.
+                    self.mem.store(tid, USED, Mo::Relaxed, expected + grant);
+                    self.granted[tid] = grant;
+                    self.pc[tid] = BPc::Release;
+                } else {
+                    let current = self.mem.rmw_read(tid, USED, Mo::Relaxed);
+                    if current == expected {
+                        self.mem.store(tid, USED, Mo::Relaxed, current + grant);
+                        self.granted[tid] = grant;
+                        self.pc[tid] = BPc::Release;
+                    } else {
+                        // CAS failure: retry with the observed value,
+                        // exactly like the compare_exchange_weak loop.
+                        let regrant = self.size_grant(current);
+                        if regrant == 0 {
+                            self.rounds_done[tid] += 1;
+                            self.pc[tid] = BPc::Load;
+                        } else {
+                            self.pc[tid] = BPc::Commit {
+                                expected: current,
+                                grant: regrant,
+                            };
+                        }
+                    }
+                }
+            }
+            BPc::Release => {
+                let current = self.mem.rmw_read(tid, USED, Mo::Relaxed);
+                self.mem.store(
+                    tid,
+                    USED,
+                    Mo::Relaxed,
+                    current.saturating_sub(self.granted[tid]),
+                );
+                self.granted[tid] = 0;
+                self.rounds_done[tid] += 1;
+                self.pc[tid] = BPc::Load;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_now(&self) -> Verdict {
+        let outstanding: u64 = self.granted.iter().sum();
+        if outstanding > self.cfg.capacity {
+            return Err((
+                "M004",
+                format!(
+                    "{outstanding} units granted simultaneously, capacity {}",
+                    self.cfg.capacity
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_done(&self) -> Verdict {
+        let used = self.mem.latest(USED);
+        if used != 0 {
+            return Err((
+                "M005",
+                format!("ledger reads {used} after every reservation was released"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn thread_label(&self, tid: usize) -> String {
+        format!("T{tid}")
+    }
+}
+
+// ---------------------------------------------------------------------
+// The suite the CLI runs.
+// ---------------------------------------------------------------------
+
+/// One exploration's outcome in the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckResult {
+    /// Human name of the configuration.
+    pub name: String,
+    /// Whether this configuration is a deliberate mutation.
+    pub mutation: bool,
+    /// Distinct states explored.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Distinct terminal states.
+    pub terminals: u64,
+    /// Counterexample, if one was found.
+    pub violation: Option<ModelViolation>,
+    /// Whether the outcome matches expectation (correct models verify,
+    /// mutations produce their expected violation).
+    pub ok: bool,
+}
+
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {} states / {} transitions / {} terminals",
+            if self.ok { "ok  " } else { "FAIL" },
+            self.name,
+            self.states,
+            self.transitions,
+            self.terminals
+        )?;
+        if let Some(v) = &self.violation {
+            write!(
+                f,
+                " — {} {} [schedule: {}]",
+                v.property, v.message, v.schedule
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The full modelcheck report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelcheckReport {
+    /// JSON schema version.
+    pub version: u32,
+    /// Totals across every configuration.
+    pub states: u64,
+    /// Total transitions.
+    pub transitions: u64,
+    /// Total distinct interleaving outcomes.
+    pub terminals: u64,
+    /// Per-configuration results.
+    pub checks: Vec<CheckResult>,
+}
+
+impl ModelcheckReport {
+    /// Whether every configuration behaved as expected.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+}
+
+/// Runaway bound per exploration; the full suite stays far below it.
+const MAX_STATES: u64 = 20_000_000;
+
+fn run_one<M: Model>(name: &str, mutation: Option<&[&str]>, model: M) -> CheckResult {
+    let e = explore(model, MAX_STATES);
+    let ok = match (&e.violation, mutation) {
+        (None, None) => true,
+        (Some(v), Some(expected)) => expected.contains(&v.property),
+        _ => false,
+    };
+    CheckResult {
+        name: name.to_string(),
+        mutation: mutation.is_some(),
+        states: e.states,
+        transitions: e.transitions,
+        terminals: e.terminals,
+        violation: e.violation,
+        ok,
+    }
+}
+
+/// Runs the bounded verification suite: correct ring and budget models
+/// over the (capacity × ops) grid, then every mutation, each of which
+/// must produce its expected counterexample.
+#[must_use]
+pub fn run_suite() -> ModelcheckReport {
+    let mut checks = Vec::new();
+
+    // Correct models: must verify with zero violations.
+    for (cap, items) in [(2, 4), (2, 6), (2, 8), (4, 4), (4, 6)] {
+        checks.push(run_one(
+            &format!("spsc capacity={cap} items={items}"),
+            None,
+            RingModel::new(RingConfig::correct(cap, items)),
+        ));
+    }
+    for (cap, threads, want, rounds) in [(1, 2, 1, 2), (2, 2, 2, 2), (2, 3, 1, 2), (3, 2, 2, 3)] {
+        checks.push(run_one(
+            &format!("budget capacity={cap} threads={threads} want={want} rounds={rounds}"),
+            None,
+            BudgetModel::new(BudgetConfig::correct(cap, threads, want, rounds)),
+        ));
+    }
+
+    // Mutations: the checker must catch each one.
+    let mut relaxed_tail = RingConfig::correct(2, 4);
+    relaxed_tail.ords.tail_store = Mo::Relaxed;
+    checks.push(run_one(
+        "spsc mutation: tail published Relaxed",
+        Some(&["M002"]),
+        RingModel::new(relaxed_tail),
+    ));
+
+    let mut publish_first = RingConfig::correct(2, 4);
+    publish_first.publish_before_write = true;
+    checks.push(run_one(
+        "spsc mutation: tail published before slot write",
+        Some(&["M002"]),
+        RingModel::new(publish_first),
+    ));
+
+    let mut no_space = RingConfig::correct(2, 4);
+    no_space.skip_space_check = true;
+    checks.push(run_one(
+        "spsc mutation: space check skipped",
+        Some(&["M003", "M001"]),
+        RingModel::new(no_space),
+    ));
+
+    let mut blind = BudgetConfig::correct(2, 2, 2, 2);
+    blind.blind_store = true;
+    checks.push(run_one(
+        "budget mutation: CAS replaced by load+store",
+        Some(&["M004", "M005"]),
+        BudgetModel::new(blind),
+    ));
+
+    ModelcheckReport {
+        version: crate::SCHEMA_VERSION,
+        states: checks.iter().map(|c| c.states).sum(),
+        transitions: checks.iter().map(|c| c.transitions).sum(),
+        terminals: checks.iter().map(|c| c.terminals).sum(),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_ring_verifies_smallest_config() {
+        let e = explore(RingModel::new(RingConfig::correct(2, 4)), MAX_STATES);
+        assert!(e.violation.is_none(), "{:?}", e.violation);
+        assert!(
+            e.states > 100,
+            "suspiciously small exploration: {}",
+            e.states
+        );
+        assert!(e.terminals >= 1);
+    }
+
+    #[test]
+    fn relaxed_tail_publish_is_caught() {
+        let mut cfg = RingConfig::correct(2, 2);
+        cfg.ords.tail_store = Mo::Relaxed;
+        let e = explore(RingModel::new(cfg), MAX_STATES);
+        let v = e.violation.expect("Relaxed publish must be caught");
+        assert_eq!(v.property, "M002", "{v:?}");
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn relaxed_tail_load_is_caught() {
+        let mut cfg = RingConfig::correct(2, 2);
+        cfg.ords.tail_load = Mo::Relaxed;
+        let e = explore(RingModel::new(cfg), MAX_STATES);
+        let v = e.violation.expect("Relaxed acquire side must be caught");
+        assert_eq!(v.property, "M002", "{v:?}");
+    }
+
+    #[test]
+    fn publish_before_write_is_caught() {
+        let mut cfg = RingConfig::correct(2, 2);
+        cfg.publish_before_write = true;
+        let e = explore(RingModel::new(cfg), MAX_STATES);
+        assert_eq!(e.violation.expect("must be caught").property, "M002");
+    }
+
+    #[test]
+    fn skipped_space_check_is_caught() {
+        let mut cfg = RingConfig::correct(2, 4);
+        cfg.skip_space_check = true;
+        let e = explore(RingModel::new(cfg), MAX_STATES);
+        let v = e.violation.expect("overrun must be caught");
+        assert!(v.property == "M003" || v.property == "M001", "{v:?}");
+    }
+
+    #[test]
+    fn correct_budget_verifies() {
+        let e = explore(
+            BudgetModel::new(BudgetConfig::correct(2, 2, 2, 2)),
+            MAX_STATES,
+        );
+        assert!(e.violation.is_none(), "{:?}", e.violation);
+        assert!(e.states > 50);
+    }
+
+    #[test]
+    fn blind_store_budget_is_caught() {
+        let mut cfg = BudgetConfig::correct(2, 2, 2, 1);
+        cfg.blind_store = true;
+        let e = explore(BudgetModel::new(cfg), MAX_STATES);
+        let v = e.violation.expect("lost update must be caught");
+        assert!(v.property == "M004" || v.property == "M005", "{v:?}");
+    }
+
+    #[test]
+    fn suite_is_clean_and_counts_are_plausible() {
+        let r = run_suite();
+        for c in &r.checks {
+            assert!(c.ok, "{}: {:?}", c.name, c.violation);
+        }
+        assert!(r.clean());
+        assert!(r.states > 1_000);
+        assert!(r.checks.iter().filter(|c| c.mutation).count() >= 4);
+    }
+
+    #[test]
+    fn stale_reads_are_actually_explored() {
+        // The consumer must be able to read a stale tail: candidate
+        // count for TAIL exceeds 1 once the producer has published
+        // while the consumer's frontier is behind.
+        let mut m = RingModel::new(RingConfig::correct(2, 2));
+        // P: write slot, publish tail.
+        m.step(0, 0).expect("slot write succeeds");
+        m.step(0, 0).expect("tail publish succeeds");
+        assert_eq!(m.choices(1), 2, "consumer should see {{initial, new}} tail");
+    }
+
+    #[test]
+    fn property_codes_are_unique() {
+        let mut codes: Vec<&str> = model_properties().iter().map(|r| r.code).collect();
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n);
+    }
+}

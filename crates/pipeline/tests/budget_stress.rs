@@ -1,0 +1,104 @@
+//! Multi-thread stress on the [`ThreadBudget`] ledger — the real-world
+//! counterpart of `csalt-audit modelcheck`'s bounded M004/M005 proof:
+//! the model checker exhausts every schedule of a tiny instance, and
+//! this test hammers a real instance with real threads to cover the
+//! sizes the model cannot.
+
+use csalt_pipeline::budget::ThreadBudget;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Hammer reserve/release from many threads; under the (non-forced)
+/// `reserve` path, the sum of live grants must never exceed capacity,
+/// and once every thread stops the ledger must read zero.
+#[test]
+fn concurrent_reservations_never_exceed_capacity_and_drain() {
+    const CAPACITY: usize = 4;
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 2_000;
+
+    let budget = Arc::new(ThreadBudget::with_capacity(CAPACITY));
+    let start = Arc::new(Barrier::new(THREADS));
+    let overcap = Arc::new(AtomicBool::new(false));
+    let grants_seen = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let budget = Arc::clone(&budget);
+            let start = Arc::clone(&start);
+            let overcap = Arc::clone(&overcap);
+            let grants_seen = Arc::clone(&grants_seen);
+            thread::spawn(move || {
+                start.wait();
+                for round in 0..ROUNDS {
+                    // Vary the ask so grants of every size (0..=3) occur.
+                    let want = 1 + (tid + round) % 3;
+                    let r = budget.reserve(want);
+                    assert!(r.granted() <= want, "granted more than asked");
+                    // While held, the ledger may transiently exceed the
+                    // *sum of grants* we can observe (other threads'
+                    // in_use reads race), but it must never exceed
+                    // capacity on this path: no forced minimums here.
+                    if budget.in_use() > CAPACITY {
+                        overcap.store(true, Ordering::Relaxed);
+                    }
+                    if r.granted() > 0 {
+                        grants_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(r);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    assert!(
+        !overcap.load(Ordering::Relaxed),
+        "ledger exceeded capacity under contention"
+    );
+    assert_eq!(budget.in_use(), 0, "ledger did not drain to zero");
+    // The hammer must have actually exercised the grant path, not
+    // starved every thread into zero-grants.
+    assert!(
+        grants_seen.load(Ordering::Relaxed) > THREADS * ROUNDS / 4,
+        "too few non-zero grants: {}",
+        grants_seen.load(Ordering::Relaxed)
+    );
+    // A fresh full-capacity reservation succeeds after the drain.
+    assert_eq!(budget.reserve(CAPACITY).granted(), CAPACITY);
+}
+
+/// Forced minimums may oversubscribe while held, but every forced
+/// grant is still accounted and returned: the ledger drains to zero.
+#[test]
+fn forced_minimums_are_returned_on_drop() {
+    const CAPACITY: usize = 2;
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 1_000;
+
+    let budget = Arc::new(ThreadBudget::with_capacity(CAPACITY));
+    let start = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let budget = Arc::clone(&budget);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for _ in 0..ROUNDS {
+                    let r = budget.reserve_at_least(2, 1);
+                    assert!(r.granted() >= 1, "forced floor must always grant");
+                    drop(r);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread panicked");
+    }
+
+    assert_eq!(budget.in_use(), 0, "forced grants leaked");
+}

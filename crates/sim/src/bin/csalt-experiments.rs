@@ -358,7 +358,7 @@ fn cache_gate() {
     let unique = configs
         .iter()
         .map(sweep::config_key)
-        .collect::<std::collections::HashSet<_>>()
+        .collect::<std::collections::BTreeSet<_>>()
         .len() as u64;
     let total = configs.len() as u64;
 

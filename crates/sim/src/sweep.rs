@@ -44,7 +44,7 @@ use crate::simulator::{run, SimConfig, SimResult};
 use csalt_pipeline::ThreadBudget;
 use csalt_telemetry::{HistogramRecord, NullRecorder, Recorder, TelemetryRecord};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -294,9 +294,9 @@ pub struct Sweep {
     jobs: Option<usize>,
     /// canonical config JSON → result (persisted hits + this process's
     /// completed runs).
-    results: Mutex<HashMap<String, SimResult>>,
+    results: Mutex<BTreeMap<String, SimResult>>,
     /// [`config_key`] → (wall seconds, total accesses).
-    costs: Mutex<HashMap<String, (f64, u64)>>,
+    costs: Mutex<BTreeMap<String, (f64, u64)>>,
     results_file: Mutex<Option<File>>,
     costs_file: Mutex<Option<File>>,
     recorder: Mutex<Box<dyn Recorder>>,
@@ -311,8 +311,8 @@ impl Sweep {
         let mut sweep = Self {
             fingerprint: fingerprint.clone(),
             jobs: options.jobs,
-            results: Mutex::new(HashMap::new()),
-            costs: Mutex::new(HashMap::new()),
+            results: Mutex::new(BTreeMap::new()),
+            costs: Mutex::new(BTreeMap::new()),
             results_file: Mutex::new(None),
             costs_file: Mutex::new(None),
             recorder: Mutex::new(Box::new(NullRecorder)),
@@ -464,7 +464,7 @@ impl Sweep {
         }
 
         // Layer 2b: fold duplicates within the batch.
-        let mut job_of: HashMap<&str, usize> = HashMap::new();
+        let mut job_of: BTreeMap<&str, usize> = BTreeMap::new();
         let mut jobs: Vec<(&str, &SimConfig)> = Vec::new();
         for (i, text) in canon.iter().enumerate() {
             if out[i].is_some() {
