@@ -13,6 +13,12 @@
 #   5. telemetry stream round-trip: an instrumented run's JSONL must
 #      pass `csalt-report --telemetry --check` (no parse errors, no
 #      stage-sum violations)
+#   5b. trace export round-trip: a smoke run with --trace must emit
+#      Chrome trace JSON that passes `csalt-report trace --check`
+#      (balanced spans, monotonic per-track timestamps) with at least
+#      one repartition instant
+#   5c. bench trajectory diff: `csalt-report bench-diff` over
+#      BENCH_history.jsonl, warn-only (regressions print, never fail)
 #   6. sweep cache gate: a smoke figure suite runs cold into a fresh
 #      cache, then warm from it — the warm pass must simulate nothing
 #      and reproduce byte-identical results, and cross-figure duplicate
@@ -67,6 +73,17 @@ trap 'rm -f "$tmp_stream"' EXIT
 CSALT_WARMUP=2000 CSALT_SCALE=0.05 cargo run -q -p csalt-sim --bin csalt-experiments -- \
     run gups csalt-cd --telemetry "$tmp_stream" --telemetry-sample 200 --accesses 8000
 cargo run -q -p csalt-sim --bin csalt-report -- --telemetry "$tmp_stream" --check > /dev/null
+
+step "trace export round-trip (--trace -> csalt-report trace --check)"
+tmp_trace="$(mktemp -t csalt-trace-XXXXXX.json)"
+trap 'rm -f "$tmp_stream" "$tmp_trace"' EXIT
+CSALT_WARMUP=2000 CSALT_SCALE=0.05 cargo run -q -p csalt-sim --bin csalt-experiments -- \
+    run gups csalt-cd --trace "$tmp_trace" --telemetry-sample 200 --accesses 8000
+cargo run -q -p csalt-sim --bin csalt-report -- \
+    trace "$tmp_trace" --check --expect-repartitions 1 > /dev/null
+
+step "bench trajectory (csalt-report bench-diff, warn-only)"
+cargo run -q -p csalt-sim --bin csalt-report -- bench-diff
 
 step "sweep cache gate (warm re-run simulates nothing, results byte-identical)"
 cargo run -q -p csalt-sim --bin csalt-experiments -- cache-gate

@@ -209,5 +209,12 @@ fn main() {
         text.push('\n');
         std::fs::write(&path, text).expect("BENCH_sweep.json written");
         println!("recorded to {}", path.display());
+        csalt_bench::append_history(
+            "sweep",
+            &[
+                ("cold_secs".to_owned(), record.cold_secs, "lower"),
+                ("warm_secs".to_owned(), record.warm_secs, "lower"),
+            ],
+        );
     }
 }

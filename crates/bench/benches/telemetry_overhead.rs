@@ -44,6 +44,7 @@ fn time_instrumented(cfg: &SimConfig) -> Duration {
         recorder: &mut rec,
         sample_interval: 0,
         progress_every_epochs: 0,
+        trace: None,
     };
     let t = Instant::now();
     let r = run_instrumented(cfg, &mut inst);

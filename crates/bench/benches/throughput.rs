@@ -312,4 +312,21 @@ fn main() {
         "recorded -> {} (dirty: {dirty}, host threads: {host_threads})",
         path.display()
     );
+
+    // Trajectory: the same numbers, appended (never rewritten) so
+    // `csalt-report bench-diff` can compare sessions over time.
+    let mut history: Vec<csalt_bench::HistoryMetric> = Vec::new();
+    for s in &record.schemes {
+        history.push((
+            format!("{}/accesses_per_sec", s.scheme),
+            s.accesses_per_sec,
+            "higher",
+        ));
+        history.push((
+            format!("{}/pipeline_accesses_per_sec", s.scheme),
+            s.pipeline_accesses_per_sec,
+            "higher",
+        ));
+    }
+    csalt_bench::append_history("throughput", &history);
 }

@@ -63,6 +63,80 @@ fn persist(table: &Table) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One line of `BENCH_history.jsonl`: a single scalar measurement with
+/// enough provenance to compare across sessions. The file is
+/// append-only — every record-mode bench session adds its numbers, and
+/// `csalt-report bench-diff` reads the trajectory back.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct HistoryLine {
+    /// Bench target the number came from (`throughput`, `sweep`, …).
+    pub bench: String,
+    /// Metric path within the bench, e.g. `csalt-cd/accesses_per_sec`.
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Which direction is an improvement: `higher` or `lower`.
+    pub better: String,
+    /// `git rev-parse --short HEAD` at measurement time.
+    pub git_rev: String,
+    /// Whether the tree had uncommitted changes. `bench-diff` baselines
+    /// only against clean-tree lines.
+    pub dirty: bool,
+    /// `available_parallelism` of the measuring host.
+    pub host_threads: usize,
+    /// Unix timestamp (seconds) of the append.
+    pub timestamp: u64,
+}
+
+/// A metric to append: `(path, value, better-direction)`.
+pub type HistoryMetric = (String, f64, &'static str);
+
+/// Appends one line per metric to `BENCH_history.jsonl` at the repo
+/// root. Best-effort: history is observability, so failures warn on
+/// stderr instead of failing the bench that produced the numbers.
+pub fn append_history(bench: &str, metrics: &[HistoryMetric]) {
+    let path = history_path();
+    let git_rev = csalt_sim::sweep::git_rev();
+    let dirty = csalt_sim::sweep::git_dirty();
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::new();
+    for (metric, value, better) in metrics {
+        let line = HistoryLine {
+            bench: bench.to_owned(),
+            metric: metric.clone(),
+            value: *value,
+            better: (*better).to_owned(),
+            git_rev: git_rev.clone(),
+            dirty,
+            host_threads,
+            timestamp,
+        };
+        out.push_str(&serde_json::to_string(&line).expect("history line serializes"));
+        out.push('\n');
+    }
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(out.as_bytes()));
+    match appended {
+        Ok(()) => println!(
+            "history: {} metrics appended to {}",
+            metrics.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not append {}: {e}", path.display()),
+    }
+}
+
+/// `BENCH_history.jsonl` at the repo root.
+pub fn history_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_history.jsonl")
+}
+
 /// Directory for machine-readable experiment outputs: the *workspace*
 /// target directory (cargo runs bench binaries with the package root as
 /// CWD, so a relative path would land under `crates/bench/`).

@@ -15,7 +15,7 @@
 use crate::managed::{CacheManagement, ManagedCache, PartitionSample};
 use csalt_cache::{Cache, CacheStats, Occupancy};
 use csalt_dram::{DramModel, DramStats};
-use csalt_profiler::{CriticalityEstimator, CriticalityGauges, Weights};
+use csalt_profiler::{CriticalityEstimator, CriticalityGauges, PartitionDecision, Weights};
 use csalt_ptw::{
     FrameAllocator, GuestAddressSpace, HugePagePolicy, NativeWalker, NestedWalker, PteRead, WalkDim,
 };
@@ -937,6 +937,25 @@ impl MemoryHierarchy {
         )
     }
 
+    /// Repartition observability for core 0's L2: decisions taken so
+    /// far, the latest decision, and (when partition tracing is
+    /// enabled) the marginal-utility curve behind it.
+    pub fn l2_decision_info(&self) -> (u64, Option<PartitionDecision>, &[(u32, f64)]) {
+        self.l2.first().map_or((0, None, &[] as &[_]), |c| {
+            (c.decisions(), c.last_decision(), c.last_curve())
+        })
+    }
+
+    /// Repartition observability for the shared L3; see
+    /// [`Self::l2_decision_info`].
+    pub fn l3_decision_info(&self) -> (u64, Option<PartitionDecision>, &[(u32, f64)]) {
+        (
+            self.l3.decisions(),
+            self.l3.last_decision(),
+            self.l3.last_curve(),
+        )
+    }
+
     /// Partition samples of (first core's L2, L3).
     pub fn partition_traces(&self) -> (&[PartitionSample], &[PartitionSample]) {
         (
@@ -1385,6 +1404,60 @@ mod extension_tests {
         assert!(snap.pom.is_none(), "no POM-TLB in a TSB scheme");
         let (l2, l3) = h.current_partitions();
         assert!(l2.is_some() && l3.is_some(), "caches must be partitioned");
+    }
+
+    #[test]
+    fn decision_info_exposes_curves_when_tracing() {
+        let mut cfg = SystemConfig::skylake();
+        cfg.epoch_accesses = 2_000;
+        let mut h = MemoryHierarchy::new(
+            &cfg,
+            TranslationScheme::CsaltD,
+            true,
+            HugePagePolicy::NONE,
+            1,
+        );
+        h.enable_partition_trace();
+        let ctx = h.add_context();
+        let core = CoreId::new(0);
+        for i in 0..30_000u64 {
+            h.access(core, ctx, access_at(0x10_0000 + (i * 4096) % (1 << 28)));
+        }
+        let (l3_n, l3_dec, l3_curve) = h.l3_decision_info();
+        assert!(l3_n > 0, "L3 must have decided at least once");
+        let dec = l3_dec.expect("decision recorded");
+        assert_eq!(dec.data_ways + dec.tlb_ways, cfg.l3.ways);
+        assert_eq!(
+            l3_curve.len() as u32,
+            cfg.l3.ways - 1,
+            "full feasible-split curve recorded under tracing"
+        );
+        let (l2_n, l2_dec, _) = h.l2_decision_info();
+        assert!(l2_n > 0 && l2_dec.is_some());
+    }
+
+    #[test]
+    fn decision_curve_is_empty_without_tracing() {
+        let mut cfg = SystemConfig::skylake();
+        cfg.epoch_accesses = 2_000;
+        let mut h = MemoryHierarchy::new(
+            &cfg,
+            TranslationScheme::CsaltD,
+            true,
+            HugePagePolicy::NONE,
+            1,
+        );
+        let ctx = h.add_context();
+        for i in 0..10_000u64 {
+            h.access(
+                CoreId::new(0),
+                ctx,
+                access_at(0x10_0000 + (i * 4096) % (1 << 28)),
+            );
+        }
+        let (n, dec, curve) = h.l3_decision_info();
+        assert!(n > 0 && dec.is_some(), "decisions tracked regardless");
+        assert!(curve.is_empty(), "curve only recomputed under tracing");
     }
 
     #[test]

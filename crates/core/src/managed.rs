@@ -6,7 +6,10 @@
 //! are computed and the way partition adjusted.
 
 use csalt_cache::{AccessOutcome, Cache, DipController};
-use csalt_profiler::{choose_partition, EpochController, StackDistanceProfiler, Weights};
+use csalt_profiler::{
+    choose_partition, utility_curve, EpochController, PartitionDecision, StackDistanceProfiler,
+    Weights,
+};
 use csalt_types::{EntryKind, LineAddr, ReplacementKind};
 
 /// How a managed cache decides its partition.
@@ -55,6 +58,9 @@ pub struct ManagedCache {
     accesses: u64,
     partition_trace: Vec<PartitionSample>,
     trace_enabled: bool,
+    decisions: u64,
+    last_decision: Option<PartitionDecision>,
+    last_curve: Vec<(u32, f64)>,
 }
 
 impl ManagedCache {
@@ -88,6 +94,9 @@ impl ManagedCache {
             accesses: 0,
             partition_trace: Vec::new(),
             trace_enabled: false,
+            decisions: 0,
+            last_decision: None,
+            last_curve: Vec::new(),
         }
     }
 
@@ -170,14 +179,36 @@ impl ManagedCache {
         let tlb = self.profiler.counts(EntryKind::Tlb);
         let decision = choose_partition(&data, &tlb, 1, weights);
         self.cache.set_partition(decision.data_ways);
-        self.profiler.reset_counters();
+        self.decisions += 1;
+        self.last_decision = Some(decision);
         if self.trace_enabled {
+            // The curve is pure recomputation over the same profiles the
+            // argmax already scanned — it cannot change the decision.
+            self.last_curve = utility_curve(&data, &tlb, 1, weights);
             self.partition_trace.push(PartitionSample {
                 at_access: self.accesses,
                 tlb_ways: decision.tlb_ways,
                 total_ways: self.cache.ways(),
             });
         }
+        self.profiler.reset_counters();
+    }
+
+    /// Repartition decisions taken so far (epoch boundaries crossed).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The most recent repartition decision, if one has been taken.
+    pub fn last_decision(&self) -> Option<PartitionDecision> {
+        self.last_decision
+    }
+
+    /// The marginal-utility curve `[(data_ways, utility)]` behind the
+    /// most recent decision. Populated only when the partition trace is
+    /// enabled; empty otherwise.
+    pub fn last_curve(&self) -> &[(u32, f64)] {
+        &self.last_curve
     }
 
     /// Current ways reserved for data, if partitioned.

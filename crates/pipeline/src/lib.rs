@@ -46,6 +46,6 @@ pub mod spsc;
 pub mod staged;
 
 pub use budget::{Reservation, ThreadBudget};
-pub use source::{PipelineStats, StagedStreams};
+pub use source::{PipelineProgress, PipelineStats, ProducerPerf, StagedStreams};
 pub use spsc::{ring, Consumer, Producer, Record};
 pub use staged::StagedAccess;

@@ -14,7 +14,7 @@ use crate::spsc::{ring, Consumer, Producer};
 use crate::staged::StagedAccess;
 use csalt_types::Asid;
 use csalt_workloads::{AnyGenerator, TraceGenerator};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -35,9 +35,35 @@ const SPINS_PER_YIELD: u32 = 64;
 /// Sample ring occupancy every this many pops.
 const OCCUPANCY_SAMPLE_EVERY: u64 = 1024;
 
+/// Point-in-time pipeline progress, readable from the commit-stage
+/// thread while producers are still running (progress lines, trace
+/// events). Monotonic between reads; never feeds simulated results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineProgress {
+    /// Records staged into rings so far (producer-side, approximate by
+    /// up to one batch per producer).
+    pub records_staged: u64,
+    /// Records the commit stage has popped so far.
+    pub records_committed: u64,
+    /// Producer stall waits so far (every owned ring full).
+    pub producer_stalls: u64,
+    /// Consumer stall spins so far (ring empty when commit wanted one).
+    pub consumer_stalls: u64,
+}
+
+/// One producer thread's end-of-run contribution, for per-thread
+/// attribution in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerPerf {
+    /// Records this thread staged.
+    pub staged: u64,
+    /// Stall waits this thread took.
+    pub stalls: u64,
+}
+
 /// End-of-run pipeline telemetry: how well production overlapped
 /// commit.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
     /// Producer threads that ran.
     pub producers: usize,
@@ -57,6 +83,8 @@ pub struct PipelineStats {
     pub occupancy_sum: u64,
     /// Number of occupancy samples taken.
     pub occupancy_samples: u64,
+    /// Per-producer-thread staging/stall breakdown, indexed by thread.
+    pub per_producer: Vec<ProducerPerf>,
 }
 
 impl PipelineStats {
@@ -75,6 +103,16 @@ impl PipelineStats {
 struct ProducerReport {
     staged: u64,
     stalls: u64,
+}
+
+/// Producer-side counters shared with the consumer for live progress.
+/// Plain stat counters, never consulted by the commit path's logic:
+/// Relaxed suffices (only the ring publication indices are
+/// Relaxed-denied by the audit policy).
+#[derive(Default)]
+struct LiveCounters {
+    staged: AtomicU64,
+    stalls: AtomicU64,
 }
 
 /// One generator a producer drives, with its write endpoint.
@@ -99,6 +137,8 @@ pub struct StagedStreams {
     occupancy_samples: u64,
     staged_total: u64,
     producer_stalls_total: u64,
+    per_producer: Vec<ProducerPerf>,
+    live: Arc<LiveCounters>,
 }
 
 impl StagedStreams {
@@ -154,14 +194,16 @@ impl StagedStreams {
         }
 
         let stop = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(LiveCounters::default());
         let handles = work
             .into_iter()
             .enumerate()
             .map(|(t, slots)| {
                 let stop = Arc::clone(&stop);
+                let live = Arc::clone(&live);
                 std::thread::Builder::new()
                     .name(format!("csalt-produce-{t}"))
-                    .spawn(move || produce(slots, &stop))
+                    .spawn(move || produce(slots, &stop, &live))
                     .expect("spawn pipeline producer thread")
             })
             .collect();
@@ -178,6 +220,21 @@ impl StagedStreams {
             occupancy_samples: 0,
             staged_total: 0,
             producer_stalls_total: 0,
+            per_producer: Vec::new(),
+            live,
+        }
+    }
+
+    /// A point-in-time progress snapshot, safe to take from the commit
+    /// thread while producers run. Producer counters are Relaxed reads
+    /// (may trail by a batch); consumer counters are exact.
+    #[must_use]
+    pub fn progress(&self) -> PipelineProgress {
+        PipelineProgress {
+            records_staged: self.live.staged.load(Ordering::Relaxed),
+            records_committed: self.pops,
+            producer_stalls: self.live.stalls.load(Ordering::Relaxed),
+            consumer_stalls: self.consumer_stalls,
         }
     }
 
@@ -223,6 +280,10 @@ impl StagedStreams {
             let report = handle.join().expect("pipeline producer panicked");
             self.staged_total += report.staged;
             self.producer_stalls_total += report.stalls;
+            self.per_producer.push(ProducerPerf {
+                staged: report.staged,
+                stalls: report.stalls,
+            });
         }
         PipelineStats {
             producers: self.producers,
@@ -233,6 +294,7 @@ impl StagedStreams {
             ring_capacity: self.ring_capacity,
             occupancy_sum: self.occupancy_sum,
             occupancy_samples: self.occupancy_samples,
+            per_producer: self.per_producer.clone(),
         }
     }
 }
@@ -251,7 +313,7 @@ impl Drop for StagedStreams {
 /// The producer loop: round-robin over the owned slots, staging up to
 /// [`BATCH`] records into any ring with space; back off when every ring
 /// is full (commit is the bottleneck — the desired steady state).
-fn produce(mut slots: Vec<Slot>, stop: &AtomicBool) -> ProducerReport {
+fn produce(mut slots: Vec<Slot>, stop: &AtomicBool, live: &LiveCounters) -> ProducerReport {
     let mut scratch: Vec<StagedAccess> = Vec::with_capacity(BATCH);
     let mut staged: u64 = 0;
     let mut stalls: u64 = 0;
@@ -269,10 +331,12 @@ fn produce(mut slots: Vec<Slot>, stop: &AtomicBool) -> ProducerReport {
             let pushed = slot.out.push_batch(&scratch);
             debug_assert_eq!(pushed, space, "sole producer saw space vanish");
             staged += pushed as u64;
+            live.staged.fetch_add(pushed as u64, Ordering::Relaxed);
             pushed_any = true;
         }
         if !pushed_any {
             stalls += 1;
+            live.stalls.fetch_add(1, Ordering::Relaxed);
             std::thread::yield_now();
         }
     }
@@ -330,6 +394,27 @@ mod tests {
         let b = streams.finish();
         assert_eq!(a.records_committed, b.records_committed);
         drop(streams);
+    }
+
+    #[test]
+    fn progress_tracks_the_run_and_agrees_with_finish() {
+        let asids = [Asid::new(1)];
+        let mut streams = StagedStreams::spawn(generators(1, 1), &asids, 1, 64);
+        for _ in 0..500 {
+            let _ = streams.next(0, 0);
+        }
+        let p = streams.progress();
+        assert_eq!(p.records_committed, 500);
+        assert!(p.records_staged >= 1, "producer has staged something");
+        let stats = streams.finish();
+        assert_eq!(stats.records_committed, 500);
+        assert!(stats.records_staged >= p.records_staged);
+        assert_eq!(stats.per_producer.len(), 1);
+        assert_eq!(
+            stats.per_producer.iter().map(|p| p.staged).sum::<u64>(),
+            stats.records_staged,
+            "per-producer breakdown sums to the total"
+        );
     }
 
     #[test]

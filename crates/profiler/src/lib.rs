@@ -45,4 +45,6 @@ mod partition;
 pub use criticality::{CriticalityEstimator, CriticalityGauges};
 pub use epoch::EpochController;
 pub use msa::{LruStackCounts, StackDistanceProfiler};
-pub use partition::{choose_partition, weighted_marginal_utility, PartitionDecision, Weights};
+pub use partition::{
+    choose_partition, utility_curve, weighted_marginal_utility, PartitionDecision, Weights,
+};

@@ -71,6 +71,34 @@ pub fn weighted_marginal_utility(
     weights.s_dat * data.hits_with_ways(n) as f64 + weights.s_tr * tlb.hits_with_ways(k - n) as f64
 }
 
+/// Evaluates every feasible split and returns the full marginal-utility
+/// curve `[(data_ways, CWMU)]` that Algorithm 1 scans for its argmax.
+///
+/// This is observability surface: repartition trace events attach the
+/// curve so the chosen split can be audited against its alternatives.
+/// It is pure and leaves no state behind, so calling it (or not) cannot
+/// perturb simulated results.
+///
+/// # Panics
+///
+/// Panics if the profiles disagree on associativity or `2*n_min > K`.
+pub fn utility_curve(
+    data: &LruStackCounts,
+    tlb: &LruStackCounts,
+    n_min: u32,
+    weights: Weights,
+) -> Vec<(u32, f64)> {
+    let k = data.ways();
+    assert_eq!(k, tlb.ways(), "profiles must cover the same cache");
+    assert!(
+        n_min >= 1 && 2 * n_min <= k,
+        "n_min leaves no feasible split"
+    );
+    (n_min..=(k - n_min))
+        .map(|n| (n, weighted_marginal_utility(data, tlb, n, weights)))
+        .collect()
+}
+
 /// The outcome of an epoch's partitioning decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PartitionDecision {
@@ -216,6 +244,30 @@ mod tests {
         let dec = choose_partition(&d, &t, 2, Weights::UNIT);
         assert!(dec.data_ways >= 2);
         assert!(dec.tlb_ways >= 2);
+    }
+
+    #[test]
+    fn utility_curve_matches_pointwise_evaluation() {
+        let (d, t) = figure5_profiles();
+        let curve = utility_curve(&d, &t, 1, Weights::UNIT);
+        assert_eq!(curve.len(), 7, "splits 1..=7 for an 8-way cache");
+        for &(n, mu) in &curve {
+            assert_eq!(mu, weighted_marginal_utility(&d, &t, n, Weights::UNIT));
+        }
+        // The curve's argmax is exactly what choose_partition picks.
+        let dec = choose_partition(&d, &t, 1, Weights::UNIT);
+        let best = curve
+            .iter()
+            .copied()
+            .fold((0u32, f64::NEG_INFINITY), |acc, (n, mu)| {
+                if mu >= acc.1 {
+                    (n, mu)
+                } else {
+                    acc
+                }
+            });
+        assert_eq!(best.0, dec.data_ways);
+        assert_eq!(best.1, dec.utility);
     }
 
     #[test]

@@ -25,11 +25,12 @@ use csalt_sim::{run_instrumented_with_stats, Instrumentation};
 use csalt_sim::{sweep, SimConfig, Sweep, SweepOptions};
 #[cfg(feature = "telemetry")]
 use csalt_telemetry::{NullRecorder, Recorder, StreamRecorder};
+#[cfg(feature = "telemetry")]
+use csalt_trace::TraceBuffer;
 use csalt_types::TranslationScheme;
 #[cfg(feature = "telemetry")]
 use csalt_workloads::paper_workloads;
 use csalt_workloads::{BenchKind, WorkloadSpec};
-#[cfg(feature = "telemetry")]
 use std::path::PathBuf;
 
 struct Entry {
@@ -149,6 +150,8 @@ fn registry() -> Vec<Entry> {
 /// Flags: `--telemetry <path>` (JSONL or CSV by extension; omitted =
 /// discard records, still useful with `--progress`),
 /// `--telemetry-sample <N>` (trace every Nth translation; 0 = off),
+/// `--trace <path>` (span trace in Chrome Trace Event JSON — open in
+/// Perfetto/`chrome://tracing`, or inspect with `csalt-report trace`),
 /// `--progress <N>` (heartbeat every N epochs on stderr),
 /// `--accesses <N>` (per-core access budget override).
 #[cfg(feature = "telemetry")]
@@ -156,6 +159,7 @@ fn run_single(args: &[String]) {
     let mut workload_name: Option<&str> = None;
     let mut scheme = TranslationScheme::CsaltCd;
     let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut sample_interval: u64 = 0;
     let mut progress: u64 = 0;
     let mut accesses: Option<u64> = None;
@@ -170,6 +174,7 @@ fn run_single(args: &[String]) {
         };
         match arg.as_str() {
             "--telemetry" => telemetry_path = Some(PathBuf::from(value("--telemetry"))),
+            "--trace" => trace_path = Some(PathBuf::from(value("--trace"))),
             "--telemetry-sample" => {
                 sample_interval = parse_or_die(value("--telemetry-sample"), "--telemetry-sample");
             }
@@ -189,7 +194,7 @@ fn run_single(args: &[String]) {
     }
 
     let Some(name) = workload_name else {
-        eprintln!("usage: csalt-experiments run <workload> [scheme] [--telemetry <path>] [--telemetry-sample <N>] [--progress <N>] [--accesses <N>]");
+        eprintln!("usage: csalt-experiments run <workload> [scheme] [--telemetry <path>] [--telemetry-sample <N>] [--trace <path>] [--progress <N>] [--accesses <N>]");
         std::process::exit(2);
     };
     let workload = paper_workloads()
@@ -205,6 +210,11 @@ fn run_single(args: &[String]) {
     if let Some(n) = accesses {
         cfg.accesses_per_core = n;
     }
+    // The span trace reads repartition decisions (and their
+    // marginal-utility curves) off the partition trace, so turn it on.
+    if trace_path.is_some() {
+        cfg.trace_partitions = true;
+    }
 
     let mut stream: Option<StreamRecorder> = telemetry_path.as_deref().map(|path| {
         StreamRecorder::create(path).unwrap_or_else(|e| {
@@ -217,10 +227,12 @@ fn run_single(args: &[String]) {
         Some(s) => s,
         None => &mut null,
     };
+    let mut trace_buf = trace_path.as_ref().map(|_| TraceBuffer::new());
     let mut inst = Instrumentation {
         recorder,
         sample_interval,
         progress_every_epochs: progress,
+        trace: trace_buf.as_mut(),
     };
     let (result, pipeline) = run_instrumented_with_stats(&cfg, &mut inst);
 
@@ -255,6 +267,22 @@ fn run_single(args: &[String]) {
                 s.records_skipped(),
             );
         }
+    }
+    if let (Some(buf), Some(path)) = (&trace_buf, &trace_path) {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let mut out = std::io::BufWriter::new(file);
+        csalt_trace::write_chrome(buf, &mut out).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "trace: {} span events to {} (load in Perfetto, or `csalt-report trace`)",
+            buf.len(),
+            path.display(),
+        );
     }
 }
 
@@ -423,7 +451,7 @@ fn main() {
             println!("  {:<22} {}", e.name, e.about);
         }
         println!(
-            "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --progress <N>",
+            "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --trace <path> --progress <N>",
             "run"
         );
         println!(
@@ -452,6 +480,21 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Figure suites run through the global sweep engine; `--trace`
+    // installs a wall-domain sink there (per-job simulate spans,
+    // cache-hit/dedup instants) and exports it when the suite is done.
+    let trace_path = args.iter().position(|a| a == "--trace").map(|i| {
+        args.remove(i);
+        if i < args.len() {
+            PathBuf::from(args.remove(i))
+        } else {
+            eprintln!("--trace needs a value");
+            std::process::exit(2);
+        }
+    });
+    if trace_path.is_some() {
+        csalt_sim::Sweep::global().set_trace(csalt_trace::TraceBuffer::new());
+    }
     let wanted: Vec<&Entry> = if args.iter().any(|a| a == "all") {
         registry.iter().collect()
     } else {
@@ -471,6 +514,26 @@ fn main() {
         eprintln!("running {} ({})...", e.name, e.about);
         if let Some(table) = (e.run)() {
             println!("{}", table.render());
+        }
+    }
+    if let Some(path) = trace_path {
+        let Some(buf) = csalt_sim::Sweep::global().take_trace() else {
+            return;
+        };
+        let write = std::fs::File::create(&path).and_then(|f| {
+            let mut out = std::io::BufWriter::new(f);
+            csalt_trace::write_chrome(&buf, &mut out)
+        });
+        match write {
+            Ok(()) => eprintln!(
+                "trace: {} span events to {} (sweep wall domain)",
+                buf.len(),
+                path.display(),
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

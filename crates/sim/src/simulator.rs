@@ -21,7 +21,9 @@
 //! misses overlap through MSHRs; translations do not).
 
 use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
-use csalt_pipeline::{PipelineStats, Reservation, StagedAccess, StagedStreams, ThreadBudget};
+use csalt_pipeline::{
+    PipelineProgress, PipelineStats, Reservation, StagedAccess, StagedStreams, ThreadBudget,
+};
 use csalt_ptw::HugePagePolicy;
 use csalt_types::{
     geomean, Asid, ContextId, CoreId, Cycle, MemAccess, SystemConfig, TranslationScheme,
@@ -32,8 +34,10 @@ use serde::{Deserialize, Serialize};
 #[cfg(feature = "telemetry")]
 use csalt_telemetry::{
     EpochRecord, HistogramRecord, Log2Histogram, ProvenanceRecord, Recorder, TelemetryRecord,
-    WalkTraceRecord, FORMAT_VERSION,
+    WalkStage, WalkTraceRecord, FORMAT_VERSION,
 };
+#[cfg(feature = "telemetry")]
+use csalt_trace::{ArgValue, Domain, TraceBuffer, TraceSink};
 
 /// Everything one simulation run needs.
 ///
@@ -201,7 +205,9 @@ trait PhaseHooks {
     /// Called once per retired access with its cycle charges.
     fn on_access(&mut self, _charge: &AccessCharge) {}
     /// Called for accesses selected by [`PhaseHooks::wants_trace`] with
-    /// the full per-stage attribution.
+    /// the full per-stage attribution. `at_cycles` is the issuing core's
+    /// cycle count when the access was issued.
+    #[allow(clippy::too_many_arguments)]
     fn on_traced(
         &mut self,
         _index: u64,
@@ -210,16 +216,22 @@ trait PhaseHooks {
         _acc: &MemAccess,
         _charge: &AccessCharge,
         _stages: Vec<StageSample>,
+        _at_cycles: Cycle,
     ) {
     }
+    /// Called when a core's quantum expires and it switches VMs, with
+    /// the core's cycle count after the switch overhead was charged.
+    fn on_context_switch(&mut self, _core: usize, _from_vm: u32, _to_vm: u32, _at_cycles: Cycle) {}
     /// Called after every round-robin sweep over the cores with the
-    /// phase's cumulative access count and target.
+    /// phase's cumulative access count, target, and (when the pipelined
+    /// source is running) a live pipeline-progress snapshot.
     fn after_sweep(
         &mut self,
         _hier: &MemoryHierarchy,
         _cores: &[CoreState],
         _total: u64,
         _target: u64,
+        _progress: Option<PipelineProgress>,
     ) {
     }
 }
@@ -237,6 +249,13 @@ trait AccessSource {
     /// The next access of `(core, vm)`'s stream, with its pure
     /// precomputation (packed TLB keys) done.
     fn next(&mut self, core: usize, vm: usize) -> StagedAccess;
+
+    /// A live progress snapshot, when this source has one (the
+    /// pipelined source exposes its ring counters; the inline source
+    /// has nothing to report).
+    fn progress(&self) -> Option<PipelineProgress> {
+        None
+    }
 }
 
 /// Single-threaded source: drives the generators at commit time, on the
@@ -267,6 +286,10 @@ impl AccessSource for PipelinedSource {
     #[inline]
     fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
         self.streams.next(core, vm)
+    }
+
+    fn progress(&self) -> Option<PipelineProgress> {
+        Some(self.streams.progress())
     }
 }
 
@@ -600,10 +623,14 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
 
                 // Context switch when the quantum expires.
                 if vms > 1 && state.cycles >= state.next_switch {
+                    let from_vm = state.current_vm;
                     state.current_vm = (state.current_vm + 1) % vms;
                     state.cycles += cfg.switch_overhead_cycles;
                     state.next_switch = state.cycles + quantum;
                     state.switches += 1;
+                    if let Some(h) = hooks.as_deref_mut() {
+                        h.on_context_switch(core, from_vm, state.current_vm, state.cycles);
+                    }
                 }
 
                 let vm = state.current_vm as usize;
@@ -613,10 +640,13 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
                     .as_deref_mut()
                     .is_some_and(|h| h.wants_trace(total_done));
                 let charge = if traced {
+                    let at_cycles = state.cycles;
                     let (charge, stages) =
                         hier.access_traced(CoreId::new(core as u8), vm_ctx[vm], acc);
                     if let Some(h) = hooks.as_deref_mut() {
-                        h.on_traced(total_done, core, vm_ctx[vm], &acc, &charge, stages);
+                        h.on_traced(
+                            total_done, core, vm_ctx[vm], &acc, &charge, stages, at_cycles,
+                        );
                     }
                     charge
                 } else {
@@ -641,7 +671,13 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
             }
 
             if let Some(h) = hooks.as_deref_mut() {
-                h.after_sweep(hier, cores_state, total_done, target_total);
+                h.after_sweep(
+                    hier,
+                    cores_state,
+                    total_done,
+                    target_total,
+                    source.progress(),
+                );
             }
 
             #[cfg(feature = "audit")]
@@ -774,6 +810,10 @@ pub struct Instrumentation<'a> {
     pub sample_interval: u64,
     /// Print a heartbeat line to stderr every `N` epochs (0 = none).
     pub progress_every_epochs: u64,
+    /// Span-event sink for `--trace`: engine events on the simulated-
+    /// cycles clock, infrastructure events on the wall clock. `None`
+    /// (the default) keeps the uninstrumented fast path.
+    pub trace: Option<&'a mut TraceBuffer>,
 }
 
 /// Runs one configuration with telemetry: a provenance header, one
@@ -808,9 +848,20 @@ pub fn run_instrumented_with_stats(
     // skip the hook bookkeeping entirely and take the same monomorphized
     // no-op path as `run` — this is what keeps a telemetry-capable build
     // free when telemetry is not requested.
-    if !inst.recorder.is_enabled() && inst.progress_every_epochs == 0 {
+    if !inst.recorder.is_enabled() && inst.progress_every_epochs == 0 && inst.trace.is_none() {
         return run_with_stats(cfg);
     }
+    let cores = cfg.system.cores as usize;
+    let wall_start = if let Some(t) = inst.trace.as_deref_mut() {
+        t.set_track_name(Domain::Cycles, 0, "partitioner");
+        for core in 0..cores {
+            t.set_track_name(Domain::Cycles, 1 + core as u32, format!("core {core}"));
+        }
+        t.set_track_name(Domain::Wall, 0, "commit stage");
+        Some(csalt_trace::timing::wall_micros())
+    } else {
+        None
+    };
     let workload = cfg.workload.name.clone();
     let scheme = cfg.scheme.label();
     inst.recorder.record(&TelemetryRecord::Provenance {
@@ -840,6 +891,12 @@ pub fn run_instrumented_with_stats(
         translation_hist: Log2Histogram::new(),
         data_hist: Log2Histogram::new(),
         total_hist: Log2Histogram::new(),
+        epoch_start_ts: 0,
+        core_last_ts: vec![0; cores],
+        l2_decisions_seen: 0,
+        l3_decisions_seen: 0,
+        last_commit_wall: wall_start.unwrap_or(0),
+        last_progress: PipelineProgress::default(),
     };
     let (result, pipeline) = execute(
         cfg,
@@ -859,6 +916,27 @@ pub fn run_instrumented_with_stats(
         rec.gauge(m::PRODUCERS, p.producers as f64);
         rec.gauge(m::RING_CAPACITY, p.ring_capacity as f64);
         rec.gauge(m::MEAN_RING_OCCUPANCY, p.mean_occupancy());
+        // One wall-domain span per producer thread: the session the
+        // thread spent staging records, with its totals attached.
+        if let Some(t) = hooks.inst.trace.as_deref_mut() {
+            let end = csalt_trace::timing::wall_micros();
+            let start = wall_start.unwrap_or(end);
+            for (i, perf) in p.per_producer.iter().enumerate() {
+                let tid = 1 + i as u32;
+                t.set_track_name(Domain::Wall, tid, format!("producer {i}"));
+                t.begin_args(
+                    Domain::Wall,
+                    tid,
+                    start,
+                    "produce",
+                    vec![
+                        ("staged", ArgValue::U64(perf.staged)),
+                        ("stalls", ArgValue::U64(perf.stalls)),
+                    ],
+                );
+                t.end(Domain::Wall, tid, end, "produce");
+            }
+        }
     }
     hooks.finish();
     (result, pipeline)
@@ -881,12 +959,191 @@ struct LiveHooks<'a, 'b> {
     translation_hist: Log2Histogram,
     data_hist: Log2Histogram,
     total_hist: Log2Histogram,
+    /// Cycles timestamp where the currently accumulating epoch began.
+    epoch_start_ts: u64,
+    /// Per-core monotonicity clamp for the cycles-domain core tracks:
+    /// walk spans are sized by raw stage cycles, which can exceed the
+    /// core's charged (MLP-overlapped) advance, so back-to-back traced
+    /// accesses could otherwise overlap on the track.
+    core_last_ts: Vec<u64>,
+    l2_decisions_seen: u64,
+    l3_decisions_seen: u64,
+    /// Wall timestamp where the current commit span began.
+    last_commit_wall: u64,
+    last_progress: PipelineProgress,
+}
+
+/// Cycles-domain track id of a core (`tid` 0 is the partitioner).
+#[cfg(feature = "telemetry")]
+fn core_tid(core: usize) -> u32 {
+    1 + core as u32
+}
+
+/// Span label for a walk stage.
+#[cfg(feature = "telemetry")]
+fn stage_label(stage: WalkStage) -> &'static str {
+    match stage {
+        WalkStage::L1Tlb => "l1_tlb",
+        WalkStage::L2Tlb => "l2_tlb",
+        WalkStage::PomLookup => "pom_lookup",
+        WalkStage::TsbLookup => "tsb_lookup",
+        WalkStage::GuestPte => "guest_pte",
+        WalkStage::HostPte => "host_pte",
+        WalkStage::Data => "data",
+    }
 }
 
 #[cfg(feature = "telemetry")]
 impl LiveHooks<'_, '_> {
+    /// Emits the trace events of one epoch boundary: the cycles-domain
+    /// epoch span on the partitioner track, one `repartition` instant
+    /// per partitioned cache (with the fresh decision's utility and
+    /// marginal-utility curve when the partitioner acted this epoch),
+    /// and the wall-domain commit span with ring-stall markers.
+    fn trace_epoch(
+        &mut self,
+        hier: &MemoryHierarchy,
+        cores: &[CoreState],
+        total: u64,
+        progress: Option<PipelineProgress>,
+    ) {
+        let ts = cores
+            .iter()
+            .map(|c| c.cycles)
+            .max()
+            .unwrap_or(0)
+            .max(self.epoch_start_ts);
+        let (l2_ways, l3_ways) = hier.current_partitions();
+        let accesses = total.saturating_sub(self.last_emit_total);
+        let epoch = self.epoch;
+        let Some(t) = self.inst.trace.as_deref_mut() else {
+            return;
+        };
+        t.begin_args(
+            Domain::Cycles,
+            0,
+            self.epoch_start_ts,
+            "epoch",
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("accesses", ArgValue::U64(accesses)),
+            ],
+        );
+        t.end(Domain::Cycles, 0, ts, "epoch");
+        self.epoch_start_ts = ts;
+
+        // Repartition instants: one per partitioned cache, every epoch
+        // boundary, so the timeline always shows the split in force.
+        // Decision detail (utility, MU curve) rides along only when the
+        // partitioner actually decided since the last boundary.
+        let mut repartition = |cache: &'static str,
+                               data_ways: Option<u32>,
+                               total_ways: u32,
+                               info: (
+            u64,
+            Option<csalt_profiler::PartitionDecision>,
+            &[(u32, f64)],
+        ),
+                               seen: &mut u64| {
+            let Some(dw) = data_ways else { return };
+            let (decisions, decision, curve) = info;
+            let mut args = vec![
+                ("cache", ArgValue::from(cache)),
+                ("data_ways", ArgValue::U64(u64::from(dw))),
+                ("tlb_ways", ArgValue::U64(u64::from(total_ways - dw))),
+                ("decisions", ArgValue::U64(decisions)),
+            ];
+            if decisions > *seen {
+                *seen = decisions;
+                if let Some(d) = decision {
+                    args.push(("utility", ArgValue::Str(format!("{:.1}", d.utility))));
+                }
+                if !curve.is_empty() {
+                    let rendered = curve
+                        .iter()
+                        .map(|(n, u)| format!("{n}:{u:.1}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    args.push(("mu_curve", ArgValue::Str(rendered)));
+                }
+            }
+            t.instant(Domain::Cycles, 0, ts, "repartition", args);
+        };
+        repartition(
+            "l2",
+            l2_ways,
+            hier.config().l2.ways,
+            hier.l2_decision_info(),
+            &mut self.l2_decisions_seen,
+        );
+        repartition(
+            "l3",
+            l3_ways,
+            hier.config().l3.ways,
+            hier.l3_decision_info(),
+            &mut self.l3_decisions_seen,
+        );
+
+        // Wall domain: the commit stage's slice of real time spent on
+        // this epoch, with ring stalls flagged when the pipeline ran.
+        let now = csalt_trace::timing::wall_micros().max(self.last_commit_wall);
+        let mut args = vec![
+            ("epoch", ArgValue::U64(epoch)),
+            ("accesses", ArgValue::U64(accesses)),
+        ];
+        if let Some(p) = progress {
+            args.push((
+                "staged",
+                ArgValue::U64(
+                    p.records_staged
+                        .saturating_sub(self.last_progress.records_staged),
+                ),
+            ));
+            args.push((
+                "committed",
+                ArgValue::U64(
+                    p.records_committed
+                        .saturating_sub(self.last_progress.records_committed),
+                ),
+            ));
+        }
+        t.begin_args(Domain::Wall, 0, self.last_commit_wall, "commit", args);
+        t.end(Domain::Wall, 0, now, "commit");
+        if let Some(p) = progress {
+            let producer_stalls = p
+                .producer_stalls
+                .saturating_sub(self.last_progress.producer_stalls);
+            let consumer_stalls = p
+                .consumer_stalls
+                .saturating_sub(self.last_progress.consumer_stalls);
+            if producer_stalls > 0 || consumer_stalls > 0 {
+                t.instant(
+                    Domain::Wall,
+                    0,
+                    now,
+                    "ring_stall",
+                    vec![
+                        ("producer_stalls", ArgValue::U64(producer_stalls)),
+                        ("consumer_stalls", ArgValue::U64(consumer_stalls)),
+                    ],
+                );
+            }
+            self.last_progress = p;
+        }
+        self.last_commit_wall = now;
+    }
+
     /// Emits the epoch record covering `(last emission, total]`.
-    fn emit_epoch(&mut self, hier: &MemoryHierarchy, cores: &[CoreState], total: u64) {
+    fn emit_epoch(
+        &mut self,
+        hier: &MemoryHierarchy,
+        cores: &[CoreState],
+        total: u64,
+        progress: Option<PipelineProgress>,
+    ) {
+        if self.inst.trace.is_some() {
+            self.trace_epoch(hier, cores, total, progress);
+        }
         let snap = hier.snapshot();
         let delta = match &self.prev {
             Some(p) => snap.delta_since(p),
@@ -1002,7 +1259,40 @@ impl PhaseHooks for LiveHooks<'_, '_> {
         acc: &MemAccess,
         charge: &AccessCharge,
         stages: Vec<StageSample>,
+        at_cycles: Cycle,
     ) {
+        if let Some(t) = self.inst.trace.as_deref_mut() {
+            // The walk span plus one nested span per stage, sized by the
+            // stage's raw cycles; clamped so spans on a core track never
+            // overlap (see `core_last_ts`).
+            let tid = core_tid(core);
+            let total: u64 = stages.iter().map(|s| s.cycles).sum();
+            let t0 = at_cycles.max(self.core_last_ts[core]);
+            t.begin_args(
+                Domain::Cycles,
+                tid,
+                t0,
+                "walk",
+                vec![
+                    ("index", ArgValue::U64(index)),
+                    ("walked", ArgValue::U64(u64::from(charge.walked))),
+                    (
+                        "translation_cycles",
+                        ArgValue::U64(charge.translation_cycles),
+                    ),
+                    ("data_cycles", ArgValue::U64(charge.data_cycles)),
+                ],
+            );
+            let mut at = t0;
+            for s in &stages {
+                let name = stage_label(s.stage);
+                t.begin(Domain::Cycles, tid, at, name);
+                at += s.cycles;
+                t.end(Domain::Cycles, tid, at, name);
+            }
+            t.end(Domain::Cycles, tid, t0 + total, "walk");
+            self.core_last_ts[core] = t0 + total;
+        }
         let record = WalkTraceRecord {
             workload: self.workload.clone(),
             scheme: self.scheme.clone(),
@@ -1024,32 +1314,62 @@ impl PhaseHooks for LiveHooks<'_, '_> {
             .record(&TelemetryRecord::WalkTrace { record });
     }
 
+    fn on_context_switch(&mut self, core: usize, from_vm: u32, to_vm: u32, at_cycles: Cycle) {
+        if let Some(t) = self.inst.trace.as_deref_mut() {
+            let tid = core_tid(core);
+            let ts = at_cycles.max(self.core_last_ts[core]);
+            t.instant(
+                Domain::Cycles,
+                tid,
+                ts,
+                "context_switch",
+                vec![
+                    ("from_vm", ArgValue::U64(u64::from(from_vm))),
+                    ("to_vm", ArgValue::U64(u64::from(to_vm))),
+                ],
+            );
+            self.core_last_ts[core] = ts;
+        }
+    }
+
     fn after_sweep(
         &mut self,
         hier: &MemoryHierarchy,
         cores: &[CoreState],
         total: u64,
         target: u64,
+        progress: Option<PipelineProgress>,
     ) {
         while total >= self.next_epoch_at {
             self.next_epoch_at += self.epoch_len;
-            self.emit_epoch(hier, cores, total);
+            self.emit_epoch(hier, cores, total, progress);
             if self.inst.progress_every_epochs > 0
                 && self.epoch.is_multiple_of(self.inst.progress_every_epochs)
             {
+                let (l2_ways, l3_ways) = hier.current_partitions();
+                let ways = |w: Option<u32>| w.map_or_else(|| "-".to_owned(), |w| w.to_string());
+                let pipe = progress.map_or_else(String::new, |p| {
+                    format!(
+                        ", pipeline {}/{} staged/committed, stalls {}p/{}c",
+                        p.records_staged, p.records_committed, p.producer_stalls, p.consumer_stalls,
+                    )
+                });
                 eprintln!(
-                    "[csalt] {} / {}: epoch {}, {total} of {target} accesses retired ({} remaining)",
+                    "[csalt] {} / {}: epoch {}, {total} of {target} accesses retired ({} remaining), data ways l2/l3 {}/{}{}",
                     self.workload,
                     self.scheme,
                     self.epoch,
                     target.saturating_sub(total),
+                    ways(l2_ways),
+                    ways(l3_ways),
+                    pipe,
                 );
             }
         }
         // The final (usually partial) epoch: emitted exactly once, when
         // the phase target is reached, so delta sums equal run totals.
         if total >= target && total > self.last_emit_total {
-            self.emit_epoch(hier, cores, total);
+            self.emit_epoch(hier, cores, total, progress);
         }
     }
 }

@@ -43,6 +43,7 @@
 use crate::simulator::{run, SimConfig, SimResult};
 use csalt_pipeline::ThreadBudget;
 use csalt_telemetry::{HistogramRecord, NullRecorder, Recorder, TelemetryRecord};
+use csalt_trace::{ArgValue, Domain, TraceBuffer, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -300,6 +301,10 @@ pub struct Sweep {
     results_file: Mutex<Option<File>>,
     costs_file: Mutex<Option<File>>,
     recorder: Mutex<Box<dyn Recorder>>,
+    /// Wall-domain span sink (`--trace` on figure suites): per-job
+    /// `simulate` spans on per-worker tracks plus batch-level
+    /// cache-hit/dedup instants. `None` keeps the engine untraced.
+    trace: Mutex<Option<TraceBuffer>>,
     counters: Counters,
 }
 
@@ -316,6 +321,7 @@ impl Sweep {
             results_file: Mutex::new(None),
             costs_file: Mutex::new(None),
             recorder: Mutex::new(Box::new(NullRecorder)),
+            trace: Mutex::new(None),
             counters: Counters::default(),
         };
         if let Some(dir) = options.cache_dir {
@@ -353,6 +359,19 @@ impl Sweep {
     /// returning the previous one so callers can inspect or flush it.
     pub fn set_recorder(&self, recorder: Box<dyn Recorder>) -> Box<dyn Recorder> {
         std::mem::replace(&mut *lock(&self.recorder, "recorder"), recorder)
+    }
+
+    /// Installs a span-trace sink, mirroring [`Self::set_recorder`]:
+    /// subsequent batches emit wall-domain `simulate` spans (one per
+    /// job, on its worker's track) and batch instants into it.
+    pub fn set_trace(&self, buffer: TraceBuffer) -> Option<TraceBuffer> {
+        lock(&self.trace, "trace").replace(buffer)
+    }
+
+    /// Removes and returns the installed trace sink, if any — callers
+    /// export it with [`csalt_trace::write_chrome`].
+    pub fn take_trace(&self) -> Option<TraceBuffer> {
+        lock(&self.trace, "trace").take()
     }
 
     fn attach_cache_dir(&mut self, dir: &Path) {
@@ -453,17 +472,20 @@ impl Sweep {
 
         // Layer 1+2a: resolve against the in-memory store (persisted
         // hits and earlier batches).
+        let mut batch_hits: u64 = 0;
         {
             let mem = lock(&self.results, "results");
             for (slot, text) in out.iter_mut().zip(&canon) {
                 if let Some(r) = mem.get(text) {
                     *slot = Some(r.clone());
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    batch_hits += 1;
                 }
             }
         }
 
         // Layer 2b: fold duplicates within the batch.
+        let mut batch_deduped: u64 = 0;
         let mut job_of: BTreeMap<&str, usize> = BTreeMap::new();
         let mut jobs: Vec<(&str, &SimConfig)> = Vec::new();
         for (i, text) in canon.iter().enumerate() {
@@ -472,6 +494,7 @@ impl Sweep {
             }
             if job_of.contains_key(text.as_str()) {
                 self.counters.deduped.fetch_add(1, Ordering::Relaxed);
+                batch_deduped += 1;
             } else {
                 job_of.insert(text, jobs.len());
                 jobs.push((text, &configs[i]));
@@ -508,21 +531,42 @@ impl Sweep {
             let floor = if self.jobs.is_some() { want } else { 1 };
             let reservation = ThreadBudget::global().reserve_at_least(want, floor);
             let workers = reservation.granted();
+            // (worker, job, begin us, end us) for traced runs; workers
+            // push after each job, so contention is one lock per job.
+            let tracing = lock(&self.trace, "trace").is_some();
+            let job_spans: Mutex<Vec<(usize, usize, u64, u64)>> = Mutex::new(Vec::new());
             std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
+                let (next, schedule, jobs, slots, spans) =
+                    (&next, &schedule, &jobs, &slots, &job_spans);
+                for w in 0..workers {
+                    s.spawn(move || loop {
                         let pos = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&j) = schedule.get(pos) else {
                             break;
+                        };
+                        let begin = if tracing {
+                            csalt_trace::timing::wall_micros()
+                        } else {
+                            0
                         };
                         let t = Instant::now();
                         let r = run(jobs[j].1);
                         let secs = t.elapsed().as_secs_f64();
                         self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        if tracing {
+                            let end = csalt_trace::timing::wall_micros();
+                            lock(spans, "job spans").push((w, j, begin, end));
+                        }
                         assert!(slots[j].set((r, secs)).is_ok(), "disjoint job slots");
                     });
                 }
             });
+            self.trace_jobs(
+                job_spans
+                    .into_inner()
+                    .unwrap_or_else(PoisonError::into_inner),
+                &jobs,
+            );
 
             // Integrate: memory store, persistence, cost model,
             // telemetry — all on the cold path, once per batch.
@@ -560,6 +604,32 @@ impl Sweep {
             }
         }
 
+        // Batch-level trace instants: how much of the batch the cache
+        // and dedup layers absorbed (emitted even for all-hit batches,
+        // where no worker ever spawns — the warm pass IS the story).
+        if let Some(t) = lock(&self.trace, "trace").as_mut() {
+            let now = csalt_trace::timing::wall_micros();
+            t.set_track_name(Domain::Wall, 0, "sweep batch");
+            if batch_hits > 0 {
+                t.instant(
+                    Domain::Wall,
+                    0,
+                    now,
+                    "cache_hit",
+                    vec![("count", ArgValue::U64(batch_hits))],
+                );
+            }
+            if batch_deduped > 0 {
+                t.instant(
+                    Domain::Wall,
+                    0,
+                    now,
+                    "dedup",
+                    vec![("count", ArgValue::U64(batch_deduped))],
+                );
+            }
+        }
+
         // Fill every unresolved slot from the store (its own run for
         // unique configs, the first copy's run for duplicates).
         let mem = lock(&self.results, "results");
@@ -569,6 +639,37 @@ impl Sweep {
                 slot.unwrap_or_else(|| mem.get(text).expect("batch resolved every config").clone())
             })
             .collect()
+    }
+
+    /// Emits one wall-domain `simulate` span per completed job onto its
+    /// worker's track. Spans are sorted by `(worker, begin)` before
+    /// emission: each worker ran its jobs serially, so the sort makes
+    /// every track's event order monotonic regardless of the order the
+    /// workers' pushes interleaved in.
+    fn trace_jobs(&self, mut spans: Vec<(usize, usize, u64, u64)>, jobs: &[(&str, &SimConfig)]) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut trace = lock(&self.trace, "trace");
+        let Some(t) = trace.as_mut() else { return };
+        spans.sort_unstable_by_key(|&(w, _, begin, _)| (w, begin));
+        for (w, j, begin, end) in spans {
+            let tid = 1 + w as u32;
+            t.set_track_name(Domain::Wall, tid, format!("sweep worker {w}"));
+            let cfg = jobs[j].1;
+            t.begin_args(
+                Domain::Wall,
+                tid,
+                begin,
+                "simulate",
+                vec![
+                    ("workload", ArgValue::from(cfg.workload.name.clone())),
+                    ("scheme", ArgValue::from(cfg.scheme.label())),
+                    ("accesses", ArgValue::U64(total_accesses(cfg))),
+                ],
+            );
+            t.end(Domain::Wall, tid, end.max(begin), "simulate");
+        }
     }
 
     fn persist_result(&self, key: &str, config: &str, wall_secs: f64, result: &SimResult) {

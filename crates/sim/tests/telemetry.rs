@@ -25,6 +25,7 @@ fn instrumented(cfg: &SimConfig, sample_interval: u64) -> (csalt_sim::SimResult,
         recorder: &mut rec,
         sample_interval,
         progress_every_epochs: 0,
+        trace: None,
     };
     let result = run_instrumented(cfg, &mut inst);
     (result, rec)
@@ -180,6 +181,7 @@ fn jsonl_stream_parses_back_clean() {
             recorder: &mut rec,
             sample_interval: 1_000,
             progress_every_epochs: 0,
+            trace: None,
         };
         run_instrumented(&cfg, &mut inst);
         assert_eq!(rec.records_skipped(), 0);

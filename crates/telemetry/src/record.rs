@@ -304,6 +304,23 @@ pub mod pipeline_metrics {
     pub const MEAN_RING_OCCUPANCY: &str = "pipeline.mean_ring_occupancy";
 }
 
+/// End-of-stream integrity footer.
+///
+/// Emitted by `StreamRecorder` only when the stream is incomplete —
+/// records were dropped by a bounded buffer or writes failed — so
+/// clean streams stay byte-identical to earlier format versions while
+/// truncated ones are self-describing (`csalt-report --check` fails on
+/// a footer with drops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FooterRecord {
+    /// Records serialized into the stream before this footer.
+    pub records_written: u64,
+    /// Whole records discarded by the bounded buffer (never torn).
+    pub records_dropped: u64,
+    /// Failed sink writes or serialization errors.
+    pub write_errors: u64,
+}
+
 /// Stream-wide counter and gauge values accumulated by a recorder's
 /// instrument API, flushed as the last record before shutdown.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -348,6 +365,11 @@ pub enum TelemetryRecord {
         /// Payload.
         record: InstrumentsRecord,
     },
+    /// Stream-integrity footer (only present on truncated streams).
+    Footer {
+        /// Payload.
+        record: FooterRecord,
+    },
 }
 
 impl TelemetryRecord {
@@ -360,6 +382,7 @@ impl TelemetryRecord {
             Self::WalkTrace { .. } => "walk_trace",
             Self::Histogram { .. } => "histogram",
             Self::Instruments { .. } => "instruments",
+            Self::Footer { .. } => "footer",
         }
     }
 }

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::histogram::Log2Histogram;
-use crate::record::{EpochRecord, InstrumentsRecord, TelemetryRecord};
+use crate::record::{EpochRecord, FooterRecord, InstrumentsRecord, TelemetryRecord};
 
 /// Sink abstraction for telemetry: counters, gauges, log2 histograms
 /// and structured records.
@@ -184,16 +184,26 @@ ddr_row_hit_rate,stacked_row_hit_rate";
 /// whenever it crosses `buffer_capacity`, so a fine-grained epoch
 /// stream does not issue one `write` syscall per record. I/O errors
 /// never panic the simulation; they are counted in `write_errors`.
+///
+/// With [`StreamRecorder::with_drop_bound`] the buffer instead models a
+/// hard bound (e.g. a non-blocking sink): records that do not fit are
+/// dropped *whole* — never torn mid-line — counted in
+/// `records_dropped`, and reported in a [`FooterRecord`] at flush time.
 pub struct StreamRecorder {
     sink: Box<dyn Write + Send>,
     format: StreamFormat,
     buf: Vec<u8>,
     buffer_capacity: usize,
+    /// `Some(bytes)`: hard buffer bound — overflowing records drop
+    /// whole instead of forcing a flush; drained only by `flush`.
+    drop_bound: Option<usize>,
     instruments: InstrumentSet,
     records_written: u64,
     records_skipped: u64,
+    records_dropped: u64,
     write_errors: u64,
     csv_header_written: bool,
+    footer_emitted: bool,
 }
 
 impl std::fmt::Debug for StreamRecorder {
@@ -202,6 +212,7 @@ impl std::fmt::Debug for StreamRecorder {
             .field("format", &self.format)
             .field("records_written", &self.records_written)
             .field("records_skipped", &self.records_skipped)
+            .field("records_dropped", &self.records_dropped)
             .field("write_errors", &self.write_errors)
             .finish_non_exhaustive()
     }
@@ -216,11 +227,14 @@ impl StreamRecorder {
             format,
             buf: Vec::with_capacity(DEFAULT_BUFFER_CAPACITY.min(64 * 1024)),
             buffer_capacity: DEFAULT_BUFFER_CAPACITY,
+            drop_bound: None,
             instruments: InstrumentSet::default(),
             records_written: 0,
             records_skipped: 0,
+            records_dropped: 0,
             write_errors: 0,
             csv_header_written: false,
+            footer_emitted: false,
         }
     }
 
@@ -243,6 +257,15 @@ impl StreamRecorder {
         self
     }
 
+    /// Turns the buffer into a hard bound of `bytes`: records that do
+    /// not fit are dropped whole (counted, reported in the stream
+    /// footer) and the buffer drains only on [`Recorder::flush`].
+    #[must_use]
+    pub fn with_drop_bound(mut self, bytes: usize) -> Self {
+        self.drop_bound = Some(bytes);
+        self
+    }
+
     /// Records successfully serialized into the stream so far.
     #[must_use]
     pub fn records_written(&self) -> u64 {
@@ -261,7 +284,25 @@ impl StreamRecorder {
         self.write_errors
     }
 
+    /// Whole records discarded by the drop-bounded buffer so far.
+    #[must_use]
+    pub fn records_dropped(&self) -> u64 {
+        self.records_dropped
+    }
+
     fn push_line(&mut self, line: &str) {
+        if let Some(bound) = self.drop_bound {
+            // Hard bound: a record either fits whole or is dropped
+            // whole — the stream never carries a torn line.
+            if self.buf.len() + line.len() + 1 > bound {
+                self.records_dropped += 1;
+                return;
+            }
+            self.buf.extend_from_slice(line.as_bytes());
+            self.buf.push(b'\n');
+            self.records_written += 1;
+            return;
+        }
         self.buf.extend_from_slice(line.as_bytes());
         self.buf.push(b'\n');
         self.records_written += 1;
@@ -370,6 +411,20 @@ impl Recorder for StreamRecorder {
             });
         }
         self.flush_buf();
+        // Clean streams carry no footer (byte-identical to before the
+        // footer existed); truncated or erroring streams get exactly
+        // one, emitted after the buffer drained so it always fits.
+        if (self.records_dropped > 0 || self.write_errors > 0) && !self.footer_emitted {
+            self.footer_emitted = true;
+            self.emit(&TelemetryRecord::Footer {
+                record: FooterRecord {
+                    records_written: self.records_written,
+                    records_dropped: self.records_dropped,
+                    write_errors: self.write_errors,
+                },
+            });
+            self.flush_buf();
+        }
         if self.sink.flush().is_err() {
             self.write_errors += 1;
         }
@@ -612,6 +667,51 @@ mod tests {
         assert!(drain(&rx).is_empty(), "buffered record must not hit sink");
         rec.flush();
         assert!(!drain(&rx).is_empty(), "flush pushes the buffer");
+    }
+
+    #[test]
+    fn drop_bound_drops_whole_records_and_reports_a_footer() {
+        let (tx, rx) = mpsc::channel();
+        let one_record = serde_json::to_string(&provenance("w9")).expect("serialize");
+        // Room for exactly two records (plus newlines), not three.
+        let bound = (one_record.len() + 1) * 2 + 1;
+        let mut rec = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Jsonl)
+            .with_drop_bound(bound);
+        for _ in 0..5 {
+            rec.record(&provenance("w9"));
+        }
+        assert_eq!(rec.records_written(), 2);
+        assert_eq!(rec.records_dropped(), 3);
+        assert!(drain(&rx).is_empty(), "drop-bounded buffer defers writes");
+        rec.flush();
+        let text = drain(&rx);
+        let lines: Vec<&str> = text.lines().collect();
+        // Every line parses — dropped records vanished whole, no tears.
+        let parsed: Vec<TelemetryRecord> = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).expect("untorn line"))
+            .collect();
+        assert_eq!(parsed.len(), 3, "2 kept + footer: {text}");
+        match parsed.last().expect("footer line") {
+            TelemetryRecord::Footer { record } => {
+                assert_eq!(record.records_dropped, 3);
+                assert_eq!(record.records_written, 2);
+                assert_eq!(record.write_errors, 0);
+            }
+            other => panic!("expected footer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_stream_has_no_footer() {
+        let (tx, rx) = mpsc::channel();
+        let mut rec = StreamRecorder::new(Box::new(ChannelSink(tx)), StreamFormat::Jsonl)
+            .with_drop_bound(1 << 20);
+        rec.record(&provenance("w10"));
+        rec.flush();
+        let text = drain(&rx);
+        assert_eq!(text.lines().count(), 1, "no footer on a clean stream");
+        assert!(!text.contains("Footer"));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::io::BufRead;
 
 use crate::histogram::Log2Histogram;
-use crate::record::TelemetryRecord;
+use crate::record::{EpochRecord, FooterRecord, TelemetryRecord};
 
 /// Aggregated view of one telemetry stream.
 #[derive(Debug, Default)]
@@ -30,16 +30,28 @@ pub struct StreamSummary {
     pub histograms: u64,
     /// Instruments records seen.
     pub instruments: u64,
+    /// Stream footer, present only on truncated/erroring streams.
+    pub footer: Option<FooterRecord>,
+    /// Epoch records in stream order, kept whole for timeline rendering.
+    pub epoch_records: Vec<EpochRecord>,
     /// Histograms merged per `(instrument name, scheme)`.
     pub merged: BTreeMap<(String, String), Log2Histogram>,
 }
 
 impl StreamSummary {
-    /// True when the stream is well-formed: everything parsed and every
-    /// walk trace's stages summed to its recorded total latency.
+    /// True when the stream is well-formed and complete: everything
+    /// parsed, every walk trace's stages summed to its recorded total
+    /// latency, and no footer reports dropped records or write errors.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.parse_errors == 0 && self.stage_sum_violations == 0
+        self.parse_errors == 0 && self.stage_sum_violations == 0 && self.dropped_records() == 0
+    }
+
+    /// Records the producer dropped (from the footer; 0 when absent).
+    #[must_use]
+    pub fn dropped_records(&self) -> u64 {
+        self.footer
+            .map_or(0, |f| f.records_dropped + f.write_errors)
     }
 
     /// Schemes that contributed to the named instrument, in stable order.
@@ -96,7 +108,10 @@ impl StreamSummary {
     fn absorb(&mut self, rec: &TelemetryRecord) {
         match rec {
             TelemetryRecord::Provenance { .. } => self.provenance += 1,
-            TelemetryRecord::Epoch { .. } => self.epochs += 1,
+            TelemetryRecord::Epoch { record } => {
+                self.epochs += 1;
+                self.epoch_records.push(record.clone());
+            }
             TelemetryRecord::WalkTrace { record } => {
                 self.walk_traces += 1;
                 let stage_sum: u64 = record.stages.iter().map(|s| s.cycles).sum();
@@ -115,6 +130,7 @@ impl StreamSummary {
                     .merge(&record.to_histogram());
             }
             TelemetryRecord::Instruments { .. } => self.instruments += 1,
+            TelemetryRecord::Footer { record } => self.footer = Some(*record),
         }
     }
 }
@@ -223,5 +239,28 @@ mod tests {
         let summary = summarize_stream(stream.as_bytes()).expect("in-memory read");
         assert_eq!(summary.stage_sum_violations, 1);
         assert!(!summary.is_clean());
+    }
+
+    #[test]
+    fn footer_with_drops_flags_truncation() {
+        let footer = TelemetryRecord::Footer {
+            record: crate::record::FooterRecord {
+                records_written: 7,
+                records_dropped: 3,
+                write_errors: 0,
+            },
+        };
+        let stream = format!(
+            "{}\n{}\n",
+            hist_line("CSALT-D", &[10]),
+            serde_json::to_string(&footer).expect("serialize"),
+        );
+        let summary = summarize_stream(stream.as_bytes()).expect("in-memory read");
+        assert_eq!(summary.parse_errors, 0);
+        assert_eq!(summary.dropped_records(), 3);
+        assert!(
+            !summary.is_clean(),
+            "a footer reporting drops must fail --check"
+        );
     }
 }

@@ -1,0 +1,174 @@
+//! Hand-rolled Chrome Trace Event Format writer.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": [...]}`) that
+//! Perfetto and `chrome://tracing` load directly. Each [`Domain`]
+//! becomes a process (`pid`), each track a thread (`tid`), and one
+//! domain unit (simulated cycle or wall microsecond) renders as one
+//! `ts` microsecond — Perfetto's ruler then reads directly in cycles
+//! for the engine process.
+//!
+//! No serializer dependency: events are integers and preformatted
+//! strings, so the writer is a few string pushes per event.
+
+use crate::span::{ArgValue, Domain, Phase, TraceBuffer};
+use std::io::{self, Write};
+
+/// Writes `buf` as Chrome Trace Event JSON.
+///
+/// Metadata events name the two processes and every registered track;
+/// instant events carry thread scope (`"s":"t"`).
+///
+/// # Errors
+///
+/// Returns any I/O error from `w`.
+pub fn write_chrome<W: Write>(buf: &TraceBuffer, w: &mut W) -> io::Result<()> {
+    let mut out = String::with_capacity(buf.len() * 96 + 512);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push_event = |text: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&text);
+    };
+
+    for domain in [Domain::Cycles, Domain::Wall] {
+        let name = match domain {
+            Domain::Cycles => "engine (simulated cycles)",
+            Domain::Wall => "infrastructure (wall clock)",
+        };
+        push_event(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                domain.pid(),
+                escaped(name)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for (domain, tid, name) in buf.tracks() {
+        push_event(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                domain.pid(),
+                escaped(name)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for ev in buf.events() {
+        let ph = match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Mark => "i",
+        };
+        let mut text = format!(
+            "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"{ph}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            escaped(ev.name),
+            ev.domain.category(),
+            ev.domain.pid(),
+            ev.tid,
+            ev.ts
+        );
+        if ev.phase == Phase::Mark {
+            text.push_str(",\"s\":\"t\"");
+        }
+        if !ev.args.is_empty() {
+            text.push_str(",\"args\":{");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    text.push(',');
+                }
+                text.push_str(&escaped(k));
+                text.push(':');
+                match v {
+                    ArgValue::U64(n) => text.push_str(&n.to_string()),
+                    ArgValue::I64(n) => text.push_str(&n.to_string()),
+                    ArgValue::Str(s) => text.push_str(&escaped(s)),
+                }
+            }
+            text.push('}');
+        }
+        text.push('}');
+        push_event(text, &mut out, &mut first);
+    }
+
+    out.push_str("]}");
+    w.write_all(out.as_bytes())
+}
+
+/// JSON string literal (quoted, escaped).
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let n = c as u32;
+                for shift in [4u32, 0] {
+                    let digit = (n >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceSink;
+
+    #[test]
+    fn output_is_valid_json_with_metadata_and_events() {
+        let mut b = TraceBuffer::new();
+        b.set_track_name(Domain::Cycles, 1, "core 0");
+        b.begin(Domain::Cycles, 1, 100, "walk");
+        b.instant(
+            Domain::Cycles,
+            1,
+            150,
+            "repartition",
+            vec![
+                ("data_ways", ArgValue::U64(12)),
+                ("utility", ArgValue::Str("3.5".to_string())),
+            ],
+        );
+        b.end(Domain::Cycles, 1, 200, "walk");
+        let mut bytes = Vec::new();
+        write_chrome(&b, &mut bytes).expect("write to Vec");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let v = serde_json::parse(&text).expect("valid JSON");
+        let map = v.as_map().expect("object");
+        let events = map
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_seq())
+            .expect("traceEvents array");
+        // 2 process_name + 1 thread_name + 3 events.
+        assert_eq!(events.len(), 6);
+        assert!(text.contains("\"s\":\"t\""), "instants carry scope");
+        assert!(text.contains("\"utility\":\"3.5\""));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_chars() {
+        assert_eq!(escaped("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+    }
+}

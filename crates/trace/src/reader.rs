@@ -1,0 +1,371 @@
+//! Minimal validating reader for exported Chrome traces.
+//!
+//! [`validate`] parses a trace JSON (vendored `serde_json`) and checks
+//! the structural invariants the writer promises:
+//!
+//! * every track's begin/end events nest and balance (no span left
+//!   open, no stray end, end names match the span they close);
+//! * timestamps are monotonic (non-decreasing) per track within each
+//!   clock domain;
+//! * instant events carry thread scope.
+//!
+//! It also aggregates per-span-name durations so `csalt-report trace`
+//! can print the wall-time / cycle attribution table without
+//! re-parsing.
+
+use serde_json::Value;
+
+/// Per-`(pid, tid)` track statistics.
+#[derive(Debug, Clone)]
+pub struct TrackSummary {
+    /// Chrome process id (1 = cycles domain, 2 = wall domain).
+    pub pid: u64,
+    /// Track id within the process.
+    pub tid: u64,
+    /// `thread_name` metadata, when present.
+    pub name: Option<String>,
+    /// Begin events seen.
+    pub begins: u64,
+    /// End events seen.
+    pub ends: u64,
+    /// Instant events seen.
+    pub instants: u64,
+    /// Deepest begin/end nesting reached.
+    pub max_depth: u64,
+    /// Last timestamp seen on the track.
+    pub last_ts: u64,
+}
+
+/// Aggregate duration of all spans sharing a name within one process.
+#[derive(Debug, Clone)]
+pub struct SpanAggregate {
+    /// Chrome process id the spans belong to.
+    pub pid: u64,
+    /// Span name.
+    pub name: String,
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed `end.ts - begin.ts` over those spans, in the domain unit.
+    pub total_duration: u64,
+}
+
+/// Validation outcome and aggregates for one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Non-metadata events read.
+    pub events: u64,
+    /// Per-track statistics, ordered by `(pid, tid)`.
+    pub tracks: Vec<TrackSummary>,
+    /// Closed-span aggregates, ordered by `(pid, name)`.
+    pub spans: Vec<SpanAggregate>,
+    /// `(pid, name, count)` for instant events, ordered by `(pid, name)`.
+    pub instants: Vec<(u64, String, u64)>,
+    /// Structural violations; empty means the trace is valid.
+    pub errors: Vec<String>,
+}
+
+impl TraceSummary {
+    /// Whether the trace passed every structural check.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Count of instant events named `name` in process `pid`.
+    #[must_use]
+    pub fn instant_count(&self, pid: u64, name: &str) -> u64 {
+        self.instants
+            .iter()
+            .find(|(p, n, _)| *p == pid && n == name)
+            .map_or(0, |(_, _, c)| *c)
+    }
+
+    /// Count of closed spans named `name` in process `pid`.
+    #[must_use]
+    pub fn span_count(&self, pid: u64, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .find(|a| a.pid == pid && a.name == name)
+            .map_or(0, |a| a.count)
+    }
+}
+
+/// One track's in-flight state while scanning.
+struct TrackState {
+    summary: TrackSummary,
+    /// Open spans as `(name, begin_ts)`.
+    stack: Vec<(String, u64)>,
+}
+
+fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Parses and validates a Chrome trace JSON document.
+///
+/// # Errors
+///
+/// Returns `Err` when the text is not JSON or lacks the
+/// `{"traceEvents": [...]}` shape; structural violations inside a
+/// well-formed document land in [`TraceSummary::errors`] instead.
+pub fn validate(text: &str) -> Result<TraceSummary, String> {
+    let doc = serde_json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .as_map()
+        .and_then(|m| field(m, "traceEvents"))
+        .and_then(Value::as_seq)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    let mut summary = TraceSummary::default();
+    // (pid, tid) -> state; linear scan keeps ordering deterministic.
+    let mut tracks: Vec<((u64, u64), TrackState)> = Vec::new();
+    // (pid, name) -> (count, total) accumulators.
+    let mut spans: Vec<((u64, String), (u64, u64))> = Vec::new();
+    let mut instants: Vec<((u64, String), u64)> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let Some(map) = ev.as_map() else {
+            summary.errors.push(format!("event {i}: not an object"));
+            continue;
+        };
+        let ph = field(map, "ph").and_then(as_str).unwrap_or("");
+        if ph == "M" {
+            // Metadata: capture thread names for the report.
+            if field(map, "name").and_then(as_str) == Some("thread_name") {
+                let pid = field(map, "pid").and_then(as_u64).unwrap_or(0);
+                let tid = field(map, "tid").and_then(as_u64).unwrap_or(0);
+                let name = field(map, "args")
+                    .and_then(Value::as_map)
+                    .and_then(|a| field(a, "name"))
+                    .and_then(as_str)
+                    .map(str::to_string);
+                let state = track_state(&mut tracks, pid, tid);
+                state.summary.name = name;
+            }
+            continue;
+        }
+        summary.events += 1;
+        let (Some(pid), Some(tid), Some(ts)) = (
+            field(map, "pid").and_then(as_u64),
+            field(map, "tid").and_then(as_u64),
+            field(map, "ts").and_then(as_u64),
+        ) else {
+            summary
+                .errors
+                .push(format!("event {i}: missing integer pid/tid/ts"));
+            continue;
+        };
+        let name = field(map, "name")
+            .and_then(as_str)
+            .unwrap_or("")
+            .to_string();
+        let state = track_state(&mut tracks, pid, tid);
+        if state.summary.begins + state.summary.ends + state.summary.instants > 0
+            && ts < state.summary.last_ts
+        {
+            summary.errors.push(format!(
+                "event {i} ({name}): timestamp {ts} before {} on track pid {pid} tid {tid}",
+                state.summary.last_ts
+            ));
+        }
+        state.summary.last_ts = ts;
+        match ph {
+            "B" => {
+                state.summary.begins += 1;
+                state.stack.push((name, ts));
+                state.summary.max_depth = state.summary.max_depth.max(state.stack.len() as u64);
+            }
+            "E" => {
+                state.summary.ends += 1;
+                match state.stack.pop() {
+                    Some((open_name, begin_ts)) => {
+                        if !name.is_empty() && name != open_name {
+                            summary.errors.push(format!(
+                                "event {i}: end `{name}` closes span `{open_name}` \
+                                 on track pid {pid} tid {tid}"
+                            ));
+                        }
+                        let key = (pid, open_name);
+                        let slot = match spans.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, s)) => s,
+                            None => {
+                                spans.push((key, (0, 0)));
+                                &mut spans.last_mut().expect("just pushed").1
+                            }
+                        };
+                        slot.0 += 1;
+                        slot.1 += ts.saturating_sub(begin_ts);
+                    }
+                    None => summary.errors.push(format!(
+                        "event {i}: end `{name}` with no open span on track pid {pid} tid {tid}"
+                    )),
+                }
+            }
+            "i" | "I" => {
+                state.summary.instants += 1;
+                if field(map, "s").and_then(as_str).is_none() {
+                    summary
+                        .errors
+                        .push(format!("event {i}: instant `{name}` without scope"));
+                }
+                let key = (pid, name);
+                match instants.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, c)) => *c += 1,
+                    None => instants.push((key, 1)),
+                }
+            }
+            other => summary
+                .errors
+                .push(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+
+    for ((pid, tid), state) in &tracks {
+        for (open_name, _) in &state.stack {
+            summary.errors.push(format!(
+                "span `{open_name}` left open on track pid {pid} tid {tid}"
+            ));
+        }
+    }
+
+    tracks.sort_by_key(|(k, _)| *k);
+    summary.tracks = tracks.into_iter().map(|(_, s)| s.summary).collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.spans = spans
+        .into_iter()
+        .map(|((pid, name), (count, total_duration))| SpanAggregate {
+            pid,
+            name,
+            count,
+            total_duration,
+        })
+        .collect();
+    instants.sort_by(|a, b| a.0.cmp(&b.0));
+    summary.instants = instants
+        .into_iter()
+        .map(|((pid, name), c)| (pid, name, c))
+        .collect();
+    Ok(summary)
+}
+
+fn track_state(tracks: &mut Vec<((u64, u64), TrackState)>, pid: u64, tid: u64) -> &mut TrackState {
+    if let Some(i) = tracks.iter().position(|(k, _)| *k == (pid, tid)) {
+        return &mut tracks[i].1;
+    }
+    tracks.push((
+        (pid, tid),
+        TrackState {
+            summary: TrackSummary {
+                pid,
+                tid,
+                name: None,
+                begins: 0,
+                ends: 0,
+                instants: 0,
+                max_depth: 0,
+                last_ts: 0,
+            },
+            stack: Vec::new(),
+        },
+    ));
+    &mut tracks.last_mut().expect("just pushed").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ArgValue, Domain, TraceBuffer, TraceSink};
+
+    fn export(buf: &TraceBuffer) -> String {
+        let mut bytes = Vec::new();
+        crate::write_chrome(buf, &mut bytes).expect("write to Vec");
+        String::from_utf8(bytes).expect("utf8")
+    }
+
+    #[test]
+    fn round_trip_is_valid_and_aggregates() {
+        let mut b = TraceBuffer::new();
+        b.set_track_name(Domain::Cycles, 1, "core 0");
+        b.begin(Domain::Cycles, 1, 100, "walk");
+        b.begin(Domain::Cycles, 1, 110, "stage");
+        b.end(Domain::Cycles, 1, 140, "stage");
+        b.end(Domain::Cycles, 1, 150, "walk");
+        b.instant(
+            Domain::Cycles,
+            0,
+            160,
+            "repartition",
+            vec![("data_ways", ArgValue::U64(12))],
+        );
+        b.begin(Domain::Wall, 7, 5, "commit");
+        b.end(Domain::Wall, 7, 25, "commit");
+        let s = validate(&export(&b)).expect("parses");
+        assert!(s.is_valid(), "{:?}", s.errors);
+        assert_eq!(s.events, 7);
+        assert_eq!(s.span_count(1, "walk"), 1);
+        assert_eq!(s.span_count(2, "commit"), 1);
+        assert_eq!(s.instant_count(1, "repartition"), 1);
+        let walk = s
+            .spans
+            .iter()
+            .find(|a| a.name == "walk")
+            .expect("walk span");
+        assert_eq!(walk.total_duration, 50);
+        let core = s
+            .tracks
+            .iter()
+            .find(|t| t.pid == 1 && t.tid == 1)
+            .expect("core track");
+        assert_eq!(core.name.as_deref(), Some("core 0"));
+        assert_eq!(core.max_depth, 2);
+    }
+
+    #[test]
+    fn unbalanced_and_nonmonotonic_traces_are_flagged() {
+        let mut b = TraceBuffer::new();
+        b.begin(Domain::Cycles, 1, 100, "walk");
+        let s = validate(&export(&b)).expect("parses");
+        assert!(!s.is_valid());
+        assert!(s.errors[0].contains("left open"));
+
+        let mut b = TraceBuffer::new();
+        b.instant(Domain::Cycles, 1, 100, "a", Vec::new());
+        b.instant(Domain::Cycles, 1, 50, "b", Vec::new());
+        let s = validate(&export(&b)).expect("parses");
+        assert!(s.errors.iter().any(|e| e.contains("before")));
+
+        let mut b = TraceBuffer::new();
+        b.end(Domain::Wall, 1, 10, "never-opened");
+        let s = validate(&export(&b)).expect("parses");
+        assert!(s.errors.iter().any(|e| e.contains("no open span")));
+    }
+
+    #[test]
+    fn mismatched_end_name_is_flagged() {
+        let mut b = TraceBuffer::new();
+        b.begin(Domain::Cycles, 1, 1, "walk");
+        b.end(Domain::Cycles, 1, 2, "epoch");
+        let s = validate(&export(&b)).expect("parses");
+        assert!(s.errors.iter().any(|e| e.contains("closes span")));
+    }
+
+    #[test]
+    fn garbage_input_errors_out() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"other\":[]}").is_err());
+    }
+}

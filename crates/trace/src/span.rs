@@ -1,0 +1,299 @@
+//! The span event model: two clock domains, begin/end/instant phases,
+//! and the in-memory [`TraceBuffer`] sink.
+//!
+//! Integer-only by policy (srclint S005): fractional values cross this
+//! boundary preformatted as [`ArgValue::Str`].
+
+/// Which clock a timestamp was read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Domain {
+    /// Simulated core cycles — deterministic engine events.
+    Cycles,
+    /// Microseconds of host wall clock — infrastructure events.
+    Wall,
+}
+
+impl Domain {
+    /// The Chrome-trace process id this domain exports under.
+    #[must_use]
+    pub fn pid(self) -> u32 {
+        match self {
+            Domain::Cycles => 1,
+            Domain::Wall => 2,
+        }
+    }
+
+    /// Export category string (`cat` field).
+    #[must_use]
+    pub fn category(self) -> &'static str {
+        match self {
+            Domain::Cycles => "cycles",
+            Domain::Wall => "wall",
+        }
+    }
+}
+
+/// Event phase, mirroring the Chrome `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span start (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Point event (`"i"`). Named `Mark` rather than after the Chrome
+    /// term so the identifier stays clear of the S002 clock lint.
+    Mark,
+}
+
+/// An argument value attached to an event. No float variant on
+/// purpose — this module is in the integer-only srclint scope; format
+/// fractional values into [`ArgValue::Str`] at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// Non-negative integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Preformatted text (also used for fractional values).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Begin, end, or instant.
+    pub phase: Phase,
+    /// Event name (span or marker label).
+    pub name: &'static str,
+    /// Clock domain the timestamp belongs to.
+    pub domain: Domain,
+    /// Track within the domain (core, VM, or worker thread).
+    pub tid: u32,
+    /// Timestamp in the domain's unit (cycles or microseconds).
+    pub ts: u64,
+    /// Attached key/value detail.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Sink for span events. [`TraceBuffer`] records them; [`NullSink`]
+/// discards them (the disabled path, monomorphizing to nothing).
+pub trait TraceSink {
+    /// Opens a span on `(domain, tid)` at `ts`.
+    fn begin(&mut self, domain: Domain, tid: u32, ts: u64, name: &'static str);
+    /// Closes the innermost open span named `name` on `(domain, tid)`.
+    fn end(&mut self, domain: Domain, tid: u32, ts: u64, name: &'static str);
+    /// Records a point event with arguments.
+    fn instant(
+        &mut self,
+        domain: Domain,
+        tid: u32,
+        ts: u64,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    );
+}
+
+/// The always-off sink: every call compiles to nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn begin(&mut self, _: Domain, _: u32, _: u64, _: &'static str) {}
+    fn end(&mut self, _: Domain, _: u32, _: u64, _: &'static str) {}
+    fn instant(
+        &mut self,
+        _: Domain,
+        _: u32,
+        _: u64,
+        _: &'static str,
+        _: Vec<(&'static str, ArgValue)>,
+    ) {
+    }
+}
+
+/// In-memory event buffer with a track-name registry; the sink behind
+/// `--trace`. Events are kept in emission order; [`crate::write_chrome`]
+/// renders them.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    /// Registered `(domain, tid) -> display name`, insertion-ordered.
+    tracks: Vec<(Domain, u32, String)>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a track for the exporter's `thread_name` metadata.
+    /// Re-registering a `(domain, tid)` pair replaces the name.
+    pub fn set_track_name(&mut self, domain: Domain, tid: u32, name: impl Into<String>) {
+        let name = name.into();
+        if let Some(t) = self
+            .tracks
+            .iter_mut()
+            .find(|(d, id, _)| *d == domain && *id == tid)
+        {
+            t.2 = name;
+        } else {
+            self.tracks.push((domain, tid, name));
+        }
+    }
+
+    /// Records a begin event with arguments.
+    pub fn begin_args(
+        &mut self,
+        domain: Domain,
+        tid: u32,
+        ts: u64,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            phase: Phase::Begin,
+            name,
+            domain,
+            tid,
+            ts,
+            args,
+        });
+    }
+
+    /// Records an end event with arguments.
+    pub fn end_args(
+        &mut self,
+        domain: Domain,
+        tid: u32,
+        ts: u64,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            phase: Phase::End,
+            name,
+            domain,
+            tid,
+            ts,
+            args,
+        });
+    }
+
+    /// Every recorded event in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Registered track names as `(domain, tid, name)`.
+    #[must_use]
+    pub fn tracks(&self) -> &[(Domain, u32, String)] {
+        &self.tracks
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn begin(&mut self, domain: Domain, tid: u32, ts: u64, name: &'static str) {
+        self.begin_args(domain, tid, ts, name, Vec::new());
+    }
+
+    fn end(&mut self, domain: Domain, tid: u32, ts: u64, name: &'static str) {
+        self.end_args(domain, tid, ts, name, Vec::new());
+    }
+
+    fn instant(
+        &mut self,
+        domain: Domain,
+        tid: u32,
+        ts: u64,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(TraceEvent {
+            phase: Phase::Mark,
+            name,
+            domain,
+            tid,
+            ts,
+            args,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_records_in_order_and_names_tracks() {
+        let mut b = TraceBuffer::new();
+        b.set_track_name(Domain::Cycles, 0, "partitioner");
+        b.set_track_name(Domain::Cycles, 0, "partitioner (renamed)");
+        b.begin(Domain::Cycles, 0, 10, "epoch");
+        b.instant(
+            Domain::Cycles,
+            0,
+            15,
+            "repartition",
+            vec![("data_ways", ArgValue::U64(12))],
+        );
+        b.end(Domain::Cycles, 0, 20, "epoch");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.events()[0].phase, Phase::Begin);
+        assert_eq!(b.events()[1].args[0].1, ArgValue::U64(12));
+        assert_eq!(b.tracks().len(), 1);
+        assert_eq!(b.tracks()[0].2, "partitioner (renamed)");
+    }
+
+    #[test]
+    fn null_sink_discards_everything() {
+        let mut s = NullSink;
+        s.begin(Domain::Wall, 1, 0, "x");
+        s.end(Domain::Wall, 1, 1, "x");
+        s.instant(Domain::Wall, 1, 2, "y", Vec::new());
+    }
+
+    #[test]
+    fn domains_map_to_distinct_pids() {
+        assert_ne!(Domain::Cycles.pid(), Domain::Wall.pid());
+        assert_eq!(Domain::Cycles.category(), "cycles");
+    }
+}

@@ -1,0 +1,32 @@
+//! The crate's only wall-clock site, registered as a timing module in
+//! `crates/audit/srclint.manifest` (S002 `clock-allow`).
+//!
+//! Infrastructure events timestamp with [`wall_micros`]: microseconds
+//! since the first call in this process, which keeps wall timestamps
+//! small, monotonic, and aligned across every track of the wall domain.
+//! Nothing here may feed back into simulated results.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds of monotonic wall clock since the first call (which
+/// itself returns 0).
+#[must_use]
+pub fn wall_micros() -> u64 {
+    let start = START.get_or_init(Instant::now);
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let a = wall_micros();
+        let b = wall_micros();
+        assert!(b >= a);
+    }
+}

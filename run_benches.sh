@@ -19,9 +19,18 @@ export CSALT_CACHE_DIR="${CSALT_CACHE_DIR:-/root/repo/target/csalt-cache}"
 # surprise.
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
     echo "git tree: DIRTY at $(git rev-parse --short HEAD 2>/dev/null || echo unknown) — BENCH records will be flagged dirty" | tee -a bench_output.txt
+    DIRTY=true
 else
     echo "git tree: clean at $(git rev-parse --short HEAD 2>/dev/null || echo unknown)" | tee -a bench_output.txt
+    DIRTY=false
 fi
+# Session marker in the bench trajectory: one line per bench session,
+# so `csalt-report bench-diff` can attribute metric lines to sessions.
+printf '{"bench":"session","metric":"start","value":0,"better":"higher","git_rev":"%s","dirty":%s,"host_threads":%s,"timestamp":%s}\n' \
+    "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    "$DIRTY" \
+    "$(nproc 2>/dev/null || echo 1)" \
+    "$(date +%s)" >> BENCH_history.jsonl
 BENCHES="tab02_config fig01_tlb_mpki_ratio tab01_walk_cycles fig03_cache_occupancy \
 fig07_performance fig08_walks_eliminated fig09_partition_trace fig10_l2_mpki \
 fig11_l3_mpki fig12_native fig13_prior_work fig14_contexts fig15_epoch \
