@@ -23,6 +23,13 @@
 #      cache, then warm from it — the warm pass must simulate nothing
 #      and reproduce byte-identical results, and cross-figure duplicate
 #      configs must be simulated exactly once
+#   6b. functional fast-forward smoke: a `--warmup-mode functional`
+#      sampled-window run with the audit feature live (conservation
+#      laws checked at every epoch boundary), run twice — the two
+#      outputs must be byte-identical
+#   6c. trace v2 convert round-trip: record a v1 trace, upgrade it with
+#      `trace-convert`, which re-opens both files and verifies the
+#      access stream converted byte-faithfully
 #   7. pipelined determinism: the determinism snapshot again with
 #      CSALT_PIPELINE=force, so the threaded producer path must hit the
 #      exact pinned counters of the inline engine
@@ -87,6 +94,28 @@ cargo run -q -p csalt-sim --bin csalt-report -- bench-diff
 
 step "sweep cache gate (warm re-run simulates nothing, results byte-identical)"
 cargo run -q -p csalt-sim --bin csalt-experiments -- cache-gate
+
+step "functional fast-forward smoke (audit laws live, bit-deterministic)"
+tmp_ff_a="$(mktemp -t csalt-ff-a-XXXXXX.txt)"
+tmp_ff_b="$(mktemp -t csalt-ff-b-XXXXXX.txt)"
+tmp_v1="$(mktemp -t csalt-v1-XXXXXX.trace)"
+tmp_v2="$(mktemp -t csalt-v2-XXXXXX.trace)"
+trap 'rm -f "$tmp_stream" "$tmp_trace" "$tmp_ff_a" "$tmp_ff_b" "$tmp_v1" "$tmp_v2"' EXIT
+ff_smoke() {
+    CSALT_SCALE=0.05 CSALT_WARMUP=4000 \
+        cargo run -q -p csalt-sim --features audit --bin csalt-experiments -- \
+        run graph500_gups csalt-cd --accesses 12000 --warmup-mode functional \
+        --sample-windows 2 --window-accesses 3000
+}
+ff_smoke > "$tmp_ff_a"
+ff_smoke > "$tmp_ff_b"
+cmp "$tmp_ff_a" "$tmp_ff_b"
+
+step "trace v2 convert round-trip (record v1 -> convert -> verified)"
+cargo run -q -p csalt-sim --bin csalt-experiments -- \
+    trace-record gups "$tmp_v1" --count 20000 --scale 0.05 --v1
+cargo run -q -p csalt-sim --bin csalt-experiments -- \
+    trace-convert "$tmp_v1" "$tmp_v2" --asid 3
 
 step "determinism snapshot under CSALT_PIPELINE=force (pinned counters, threaded path)"
 CSALT_PIPELINE=force cargo test -q --test determinism

@@ -28,9 +28,9 @@
 //! measured phase — both run the identical hot path) divided by the
 //! run's wall time, minimized over rounds to reject scheduler noise.
 
-use csalt_sim::{experiments, run_inline, run_pipelined, SimConfig};
-use csalt_types::TranslationScheme;
-use csalt_workloads::{BenchKind, WorkloadSpec};
+use csalt_sim::{experiments, run_inline, run_pipelined, SimConfig, WarmupMode};
+use csalt_types::{Asid, TranslationHint, TranslationScheme};
+use csalt_workloads::{BenchKind, TraceFile, TraceGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -70,6 +70,19 @@ struct ThroughputRecord {
     warmup_accesses_per_core: u64,
     /// Per-scheme steady-state throughput, in fig07 presentation order.
     schemes: Vec<SchemeThroughput>,
+    /// Functional fast-forward accesses/sec: a warmup-dominated csalt-cd
+    /// run under `--warmup-mode functional` (state updates only, no
+    /// cycle accounting).
+    fastforward_accesses_per_sec: f64,
+    /// The identical warmup-dominated run with timed warmup — the
+    /// baseline the fast-forward speedup compares against.
+    fastforward_timed_accesses_per_sec: f64,
+    /// v2 staged replay: records/sec through the producer staging loop
+    /// with prepacked TLB keys (`TraceFile::next_staged`).
+    trace_replay_v2_accesses_per_sec: f64,
+    /// v1 unstaged replay: records/sec with per-access key packing —
+    /// the cost the v2 format removes.
+    trace_replay_v1_accesses_per_sec: f64,
 }
 
 /// One scheme's recorded measurement: the inline baseline and the
@@ -137,6 +150,61 @@ fn measure(cfg: &SimConfig, rounds: u32, pipelined: bool) -> f64 {
         best = best.max(total_accesses as f64 / elapsed);
     }
     best
+}
+
+/// Speedup targets for the two fast-path measurements (warnings, not
+/// gates — single-thread CI runners measure these under co-tenant
+/// noise, same policy as [`SPEEDUP_TARGET`]).
+const FASTFORWARD_TARGET: f64 = 5.0;
+const REPLAY_V2_TARGET: f64 = 2.0;
+
+/// (measured, warmup, rounds) for the fast-forward measurement: warmup
+/// dominates 30:1, so the run's rate is the warmup path's rate.
+const FF_RUN: (u64, u64, u32) = (4_000, 120_000, 3);
+
+/// Distinct records in the replay micro-loop (wraps like the engine).
+const REPLAY_RECORDS: u64 = 65_536;
+/// Accesses replayed per timing round.
+const REPLAY_ACCESSES: u64 = 4_000_000;
+
+/// Functional vs timed warmup throughput on a warmup-dominated csalt-cd
+/// run: `(functional, timed)` accesses/sec.
+fn measure_fastforward() -> (f64, f64) {
+    let (accesses, warmup, rounds) = FF_RUN;
+    let mut cfg = config(TranslationScheme::CsaltCd, accesses, warmup);
+    let timed = measure(&cfg, rounds, false);
+    cfg.warmup_mode = WarmupMode::Functional;
+    let functional = measure(&cfg, rounds, false);
+    (functional, timed)
+}
+
+/// v2 (prepacked keys) vs v1 (pack per access) replay rate through the
+/// producer staging loop: `(v2, v1)` records/sec, best of `rounds`.
+fn measure_trace_replay(rounds: u32) -> (f64, f64) {
+    let mut g = BenchKind::Graph500.build(1, experiments::scaled::SCALE);
+    let records: Vec<_> = (0..REPLAY_RECORDS).map(|_| g.next_access()).collect();
+    let asid = Asid::new(1);
+    let mut v1 = TraceFile::from_records(records.clone());
+    let mut v2 = TraceFile::from_records(records);
+    v2.restage(asid);
+
+    let (mut best_v1, mut best_v2) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..REPLAY_ACCESSES {
+            let a = v1.next_access();
+            let h = TranslationHint::compute(a.vaddr, asid);
+            std::hint::black_box((a, h));
+        }
+        best_v1 = best_v1.max(REPLAY_ACCESSES as f64 / t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for _ in 0..REPLAY_ACCESSES {
+            std::hint::black_box(v2.next_staged());
+        }
+        best_v2 = best_v2.max(REPLAY_ACCESSES as f64 / t.elapsed().as_secs_f64());
+    }
+    (best_v2, best_v1)
 }
 
 /// (accesses, warmup, rounds) for the smoke-length run.
@@ -294,6 +362,32 @@ fn main() {
         });
     }
 
+    let (ff_functional, ff_timed) = measure_fastforward();
+    let ff_speedup = ff_functional / ff_timed;
+    println!(
+        "   fastforward: {ff_functional:>12.0} acc/s vs timed {ff_timed:>12.0} acc/s \
+         ({ff_speedup:.2}x)",
+    );
+    if ff_speedup < FASTFORWARD_TARGET {
+        println!(
+            "   fastforward  WARNING: functional warmup speedup {ff_speedup:.2}x is below \
+             the {FASTFORWARD_TARGET}x target",
+        );
+    }
+
+    let (replay_v2, replay_v1) = measure_trace_replay(rounds);
+    let replay_speedup = replay_v2 / replay_v1;
+    println!(
+        "trace_replay_v2: {replay_v2:>12.0} rec/s vs v1 {replay_v1:>12.0} rec/s \
+         ({replay_speedup:.2}x)",
+    );
+    if replay_speedup < REPLAY_V2_TARGET {
+        println!(
+            "trace_replay_v2  WARNING: staged replay speedup {replay_speedup:.2}x is below \
+             the {REPLAY_V2_TARGET}x target",
+        );
+    }
+
     let record = ThroughputRecord {
         git_rev: rev,
         dirty,
@@ -305,6 +399,10 @@ fn main() {
         accesses_per_core: accesses,
         warmup_accesses_per_core: warmup,
         schemes,
+        fastforward_accesses_per_sec: ff_functional,
+        fastforward_timed_accesses_per_sec: ff_timed,
+        trace_replay_v2_accesses_per_sec: replay_v2,
+        trace_replay_v1_accesses_per_sec: replay_v1,
     };
     let json = serde_json::to_string_pretty(&record).expect("record serializes");
     std::fs::write(&path, json + "\n").expect("write BENCH_throughput.json");
@@ -328,5 +426,15 @@ fn main() {
             "higher",
         ));
     }
+    history.push((
+        "fastforward/accesses_per_sec".to_owned(),
+        record.fastforward_accesses_per_sec,
+        "higher",
+    ));
+    history.push((
+        "trace_replay_v2/accesses_per_sec".to_owned(),
+        record.trace_replay_v2_accesses_per_sec,
+        "higher",
+    ));
     csalt_bench::append_history("throughput", &history);
 }

@@ -325,8 +325,20 @@ fn produce(mut slots: Vec<Slot>, stop: &AtomicBool, live: &LiveCounters) -> Prod
                 continue;
             }
             scratch.clear();
-            for _ in 0..space {
-                scratch.push(StagedAccess::stage(slot.gen.next_access(), slot.asid));
+            match slot.gen.as_trace_mut() {
+                // v2 replay: records already carry the packed TLB keys
+                // for this slot's ASID, so staging is a pure copy.
+                Some(trace) if trace.is_staged_for(slot.asid) => {
+                    for _ in 0..space {
+                        let (acc, hint) = trace.next_staged();
+                        scratch.push(StagedAccess { acc, hint });
+                    }
+                }
+                _ => {
+                    for _ in 0..space {
+                        scratch.push(StagedAccess::stage(slot.gen.next_access(), slot.asid));
+                    }
+                }
             }
             let pushed = slot.out.push_batch(&scratch);
             debug_assert_eq!(pushed, space, "sole producer saw space vanish");
@@ -383,6 +395,36 @@ mod tests {
         assert_eq!(stats.records_committed, 2_000);
         assert!(stats.records_staged >= 2_000);
         assert_eq!(stats.producers, 2);
+    }
+
+    #[test]
+    fn staged_trace_replay_matches_inline_staging() {
+        use csalt_workloads::TraceFile;
+        // Record a short trace, stage it for the run ASID, and check
+        // the producer's zero-repack path emits the same stream (same
+        // accesses, same keys) as staging the raw generator inline.
+        let asid = Asid::new(1);
+        let mut recorded = Vec::new();
+        {
+            let mut g = BenchKind::Gups.build(7, 0.05);
+            for _ in 0..256 {
+                recorded.push(g.next_access());
+            }
+        }
+        let mut trace = TraceFile::from_records(recorded.clone());
+        trace.restage(asid);
+        let threads = vec![vec![AnyGenerator::Trace(trace)]];
+        let mut streams = StagedStreams::spawn(threads, &[asid], 1, 64);
+        for round in 0..1_000usize {
+            let got = streams.next(0, 0);
+            let want = recorded[round % recorded.len()];
+            assert_eq!(got.acc, want, "round {round}");
+            assert_eq!(
+                got.hint,
+                csalt_types::TranslationHint::compute(want.vaddr, asid)
+            );
+        }
+        streams.finish();
     }
 
     #[test]

@@ -27,10 +27,10 @@ use csalt_sim::{sweep, SimConfig, Sweep, SweepOptions};
 use csalt_telemetry::{NullRecorder, Recorder, StreamRecorder};
 #[cfg(feature = "telemetry")]
 use csalt_trace::TraceBuffer;
-use csalt_types::TranslationScheme;
+use csalt_types::{Asid, TranslationScheme};
 #[cfg(feature = "telemetry")]
 use csalt_workloads::paper_workloads;
-use csalt_workloads::{BenchKind, WorkloadSpec};
+use csalt_workloads::{BenchKind, TraceFile, TraceGenerator, WorkloadSpec};
 use std::path::PathBuf;
 
 struct Entry {
@@ -141,6 +141,11 @@ fn registry() -> Vec<Entry> {
             about: "ablation: static partitions vs dynamic",
             run: || Some(exp::ablation_static()),
         },
+        Entry {
+            name: "ablation_warmup",
+            about: "ablation: functional vs timed warmup drift",
+            run: || Some(exp::ablation_warmup()),
+        },
     ]
 }
 
@@ -163,6 +168,9 @@ fn run_single(args: &[String]) {
     let mut sample_interval: u64 = 0;
     let mut progress: u64 = 0;
     let mut accesses: Option<u64> = None;
+    let mut warmup_mode: Option<csalt_sim::WarmupMode> = None;
+    let mut sample_windows: Option<u64> = None;
+    let mut window_accesses: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -180,6 +188,22 @@ fn run_single(args: &[String]) {
             }
             "--progress" => progress = parse_or_die(value("--progress"), "--progress"),
             "--accesses" => accesses = Some(parse_or_die(value("--accesses"), "--accesses")),
+            "--warmup-mode" => {
+                let v = value("--warmup-mode");
+                warmup_mode = Some(csalt_sim::WarmupMode::parse(v).unwrap_or_else(|| {
+                    eprintln!("--warmup-mode: '{v}' is not one of timed, functional");
+                    std::process::exit(2);
+                }));
+            }
+            "--sample-windows" => {
+                sample_windows = Some(parse_or_die(value("--sample-windows"), "--sample-windows"));
+            }
+            "--window-accesses" => {
+                window_accesses = Some(parse_or_die(
+                    value("--window-accesses"),
+                    "--window-accesses",
+                ));
+            }
             name if workload_name.is_none() => workload_name = Some(name),
             label => {
                 scheme = TranslationScheme::parse_label(label).unwrap_or_else(|| {
@@ -209,6 +233,19 @@ fn run_single(args: &[String]) {
     let mut cfg = exp::default_config(workload, scheme);
     if let Some(n) = accesses {
         cfg.accesses_per_core = n;
+    }
+    if let Some(m) = warmup_mode {
+        cfg.warmup_mode = m;
+    }
+    if let Some(n) = sample_windows {
+        cfg.sample_windows = n;
+    }
+    if let Some(n) = window_accesses {
+        cfg.window_accesses = n;
+    }
+    if (cfg.sample_windows == 0) != (cfg.window_accesses == 0) {
+        eprintln!("--sample-windows and --window-accesses must be set together");
+        std::process::exit(2);
     }
     // The span trace reads repartition decisions (and their
     // marginal-utility curves) off the partition trace, so turn it on.
@@ -286,12 +323,179 @@ fn run_single(args: &[String]) {
     }
 }
 
-#[cfg(feature = "telemetry")]
 fn parse_or_die(text: &str, flag: &str) -> u64 {
     text.parse().unwrap_or_else(|_| {
         eprintln!("{flag}: '{text}' is not a non-negative integer");
         std::process::exit(2);
     })
+}
+
+/// `csalt-experiments trace-record <bench> <out.trace>` — record a
+/// benchmark's access stream to a trace file (v2 staged format by
+/// default; `--v1` writes the legacy 13-byte format).
+///
+/// Flags: `--count <N>` records (default 1,000,000), `--seed <N>`,
+/// `--scale <F>` footprint multiplier, `--asid <N>` the ASID the v2
+/// packed keys are staged for (default 1 — what a single-VM replay run
+/// assigns), `--v1`.
+fn trace_record(args: &[String]) {
+    let mut bench: Option<BenchKind> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut count: u64 = 1_000_000;
+    let mut seed: u64 = 0xC5A1_7000;
+    let mut scale: f64 = 1.0;
+    let mut asid: u64 = 1;
+    let mut v1 = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--count" => count = parse_or_die(value("--count"), "--count"),
+            "--seed" => seed = parse_or_die(value("--seed"), "--seed"),
+            "--asid" => asid = parse_or_die(value("--asid"), "--asid"),
+            "--v1" => v1 = true,
+            "--scale" => {
+                let v = value("--scale");
+                scale = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--scale: '{v}' is not a number");
+                    std::process::exit(2);
+                });
+            }
+            name if bench.is_none() => {
+                bench = Some(
+                    BenchKind::ALL
+                        .into_iter()
+                        .find(|b| b.name() == name)
+                        .unwrap_or_else(|| {
+                            let known: Vec<&str> =
+                                BenchKind::ALL.iter().map(BenchKind::name).collect();
+                            eprintln!("unknown benchmark '{name}' — one of: {}", known.join(", "));
+                            std::process::exit(2);
+                        }),
+                );
+            }
+            path if out.is_none() => out = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("unexpected argument '{extra}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(bench), Some(out)) = (bench, out) else {
+        eprintln!(
+            "usage: csalt-experiments trace-record <bench> <out.trace> \
+             [--count <N>] [--seed <N>] [--scale <F>] [--asid <N>] [--v1]"
+        );
+        std::process::exit(2);
+    };
+    let asid = u16::try_from(asid).unwrap_or_else(|_| {
+        eprintln!("--asid: {asid} does not fit in 16 bits");
+        std::process::exit(2);
+    });
+    if count == 0 {
+        eprintln!("--count must be nonzero (a valid trace is never empty)");
+        std::process::exit(2);
+    }
+    let mut generator = bench.build(seed, scale);
+    let write = if v1 {
+        TraceFile::record(&out, generator.as_mut(), count)
+    } else {
+        TraceFile::record_v2(&out, generator.as_mut(), count, Asid::new(asid))
+    };
+    if let Err(e) = write {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "recorded {count} {} accesses to {} ({}) ",
+        bench.name(),
+        out.display(),
+        if v1 {
+            "v1, unstaged".to_owned()
+        } else {
+            format!("v2, staged for asid {asid}")
+        },
+    );
+}
+
+/// `csalt-experiments trace-convert <in.trace> <out.trace>` — upgrade a
+/// trace to the v2 staged format (packed TLB keys precomputed for
+/// `--asid <N>`, default 1), then re-open the output and verify the
+/// access stream converted byte-faithfully.
+fn trace_convert(args: &[String]) {
+    let mut input: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut asid: u64 = 1;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--asid" => {
+                let v = it.next().map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--asid needs a value");
+                    std::process::exit(2);
+                });
+                asid = parse_or_die(v, "--asid");
+            }
+            path if input.is_none() => input = Some(PathBuf::from(path)),
+            path if out.is_none() => out = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("unexpected argument '{extra}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(input), Some(out)) = (input, out) else {
+        eprintln!("usage: csalt-experiments trace-convert <in.trace> <out.trace> [--asid <N>]");
+        std::process::exit(2);
+    };
+    let asid = u16::try_from(asid).unwrap_or_else(|_| {
+        eprintln!("--asid: {asid} does not fit in 16 bits");
+        std::process::exit(2);
+    });
+    let mut trace = TraceFile::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot open {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    let from_version = trace.version();
+    trace.restage(Asid::new(asid));
+    if let Err(e) = trace.save_v2(&out) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+
+    // Round-trip proof: re-open both files and compare the full access
+    // stream, so a conversion bug can never silently corrupt a trace.
+    let mut a = TraceFile::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot re-open {}: {e}", input.display());
+        std::process::exit(1);
+    });
+    let mut b = TraceFile::open(&out).unwrap_or_else(|e| {
+        eprintln!("cannot re-open {}: {e}", out.display());
+        std::process::exit(1);
+    });
+    if a.len() != b.len() {
+        eprintln!("conversion FAILED: {} records in, {} out", a.len(), b.len());
+        std::process::exit(1);
+    }
+    for i in 0..a.len() {
+        if a.next_access() != b.next_access() {
+            eprintln!("conversion FAILED: record {i} differs after round-trip");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "converted {} records v{from_version} -> v2 at {}, keys staged for asid {asid}; \
+         round-trip verified",
+        b.len(),
+        out.display(),
+    );
 }
 
 /// Removes the sweep-engine flags from `args`, exporting them as the
@@ -446,17 +650,26 @@ fn main() {
     extract_sweep_flags(&mut args);
     let registry = registry();
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: csalt-experiments <name>... | all | list | cache-gate | run <workload> [scheme] [--telemetry <path>]\n");
+        println!("usage: csalt-experiments <name>... | all | list | cache-gate | run <workload> [scheme] [--telemetry <path>] | trace-record <bench> <out> | trace-convert <in> <out>\n");
         for e in &registry {
             println!("  {:<22} {}", e.name, e.about);
         }
         println!(
-            "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --trace <path> --progress <N>",
+            "  {:<22} one instrumented run: --telemetry <path> --telemetry-sample <N> --trace <path> --progress <N> \
+             --warmup-mode <timed|functional> --sample-windows <N> --window-accesses <M>",
             "run"
         );
         println!(
             "  {:<22} prove the result cache: cold run, warm run, 0 re-simulations",
             "cache-gate"
+        );
+        println!(
+            "  {:<22} record a benchmark stream to a v2 (staged) trace file",
+            "trace-record"
+        );
+        println!(
+            "  {:<22} upgrade a v1 trace to v2 and verify the round-trip",
+            "trace-convert"
         );
         println!(
             "\nsweep flags (any position): --jobs <N>, --cache-dir <path>, --no-cache, \
@@ -466,6 +679,14 @@ fn main() {
     }
     if args[0] == "cache-gate" {
         cache_gate();
+        return;
+    }
+    if args[0] == "trace-record" {
+        trace_record(&args[1..]);
+        return;
+    }
+    if args[0] == "trace-convert" {
+        trace_convert(&args[1..]);
         return;
     }
     if args[0] == "run" {

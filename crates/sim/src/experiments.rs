@@ -26,8 +26,13 @@
 //! Environment knobs: `CSALT_ACCESSES` overrides the per-core access
 //! count (e.g. `CSALT_ACCESSES=50000` for a smoke run), `CSALT_WARMUP`
 //! the warmup length, and `CSALT_SCALE` the footprint multiplier.
+//! `CSALT_WARMUP_MODE` (`timed` | `functional`) selects the warmup
+//! execution path, and `CSALT_SAMPLE_WINDOWS` / `CSALT_WINDOW_ACCESSES`
+//! turn on SMARTS-style sampled measurement: N timed windows of M
+//! accesses each, functionally fast-forwarded in between — the figure
+//! suite's lever for 10×+ longer access streams at similar wall clock.
 
-use crate::simulator::{run, SimConfig, SimResult};
+use crate::simulator::{run, SimConfig, SimResult, WarmupMode};
 use csalt_types::{geomean, Cycle, TranslationScheme};
 use csalt_workloads::{paper_workloads, BenchKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -69,6 +74,15 @@ pub fn default_config(workload: WorkloadSpec, scheme: TranslationScheme) -> SimC
     cfg.scale = env_f64("CSALT_SCALE").unwrap_or(scaled::SCALE);
     cfg.system.cs_interval_cycles = scaled::QUANTUM_10MS;
     cfg.system.epoch_accesses = scaled::EPOCH_256K;
+    if let Some(mode) = std::env::var("CSALT_WARMUP_MODE")
+        .ok()
+        .as_deref()
+        .and_then(WarmupMode::parse)
+    {
+        cfg.warmup_mode = mode;
+    }
+    cfg.sample_windows = env_u64("CSALT_SAMPLE_WINDOWS").unwrap_or(0);
+    cfg.window_accesses = env_u64("CSALT_WINDOW_ACCESSES").unwrap_or(0);
     cfg
 }
 
@@ -886,6 +900,51 @@ pub fn ablation_static() -> Table {
     Table::new(
         "Ablation: static partitions vs CSALT-CD (normalized to POM-TLB)",
         &["static-4", "static-8", "static-12", "csalt-cd"],
+        rows,
+    )
+}
+
+/// Ablation: functional-warmup drift. Runs the fig07 grid twice — timed
+/// warmup vs functional fast-forward warmup — and reports the L2 TLB
+/// MPKI ratio (functional / timed, 1.0 = no drift) per scheme. Timing-
+/// independent schemes must land at exactly 1.0; the criticality-
+/// weighted ones (`csalt-cd`) may drift, because functional warmup
+/// cannot compute the cycle-derived replacement weights and degrades
+/// to unit weights until the measured phase begins.
+pub fn ablation_warmup() -> Table {
+    let workloads = paper_workloads();
+    let mut configs = Vec::new();
+    for w in &workloads {
+        for s in FIG7_SCHEMES {
+            for mode in [WarmupMode::Timed, WarmupMode::Functional] {
+                let mut c = default_config(w.clone(), s);
+                c.warmup_mode = mode;
+                configs.push(c);
+            }
+        }
+    }
+    let flat = run_parallel(configs);
+    let rows = flat
+        .chunks(FIG7_SCHEMES.len() * 2)
+        .map(|per_w| Row {
+            label: per_w[0].workload.clone(),
+            values: per_w
+                .chunks(2)
+                .map(|pair| {
+                    let timed = pair[0].l2_tlb_mpki();
+                    let functional = pair[1].l2_tlb_mpki();
+                    if timed > 0.0 {
+                        functional / timed
+                    } else {
+                        1.0
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Table::new(
+        "Ablation: functional-warmup L2 TLB MPKI drift (functional / timed)",
+        &["conventional", "pom-tlb", "csalt-d", "csalt-cd"],
         rows,
     )
 }

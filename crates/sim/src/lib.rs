@@ -29,13 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod fastforward;
 mod simulator;
 pub mod sweep;
 
 pub use csalt_pipeline::{PipelineStats, ThreadBudget};
 pub use simulator::{
     build_threads, run, run_inline, run_pipelined, run_with_generators, run_with_stats,
-    OccupancySample, PipelineRequest, SimConfig, SimResult,
+    OccupancySample, PipelineRequest, SimConfig, SimResult, WarmupMode,
 };
 pub use sweep::{Sweep, SweepOptions, SweepStats};
 

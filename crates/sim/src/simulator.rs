@@ -20,6 +20,7 @@
 //! latency divided by the configured memory-level parallelism (data
 //! misses overlap through MSHRs; translations do not).
 
+use crate::fastforward::{functional_phase, FunctionalSchedule};
 use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
 use csalt_pipeline::{
     PipelineProgress, PipelineStats, Reservation, StagedAccess, StagedStreams, ThreadBudget,
@@ -75,6 +76,20 @@ pub struct SimConfig {
     pub occupancy_scan_interval: u64,
     /// Fixed software cost charged to a core at each context switch.
     pub switch_overhead_cycles: Cycle,
+    /// How the warmup phase executes: full timing simulation, or the
+    /// functional (state-only) fast path. State after either is a
+    /// fully populated hierarchy; only cycle-dependent schemes
+    /// (criticality-weighted replacement) can land differently.
+    pub warmup_mode: WarmupMode,
+    /// SMARTS-style sampling: number of timed measurement windows to
+    /// spread over the run (0 = classic single-window measurement).
+    /// The stream between windows is fast-forwarded functionally and
+    /// never reaches the reported counters.
+    pub sample_windows: u64,
+    /// Timed accesses per core in each sampled window. Must be nonzero
+    /// iff `sample_windows` is, with `sample_windows *
+    /// window_accesses <= accesses_per_core`.
+    pub window_accesses: u64,
 }
 
 impl SimConfig {
@@ -95,6 +110,47 @@ impl SimConfig {
             trace_partitions: false,
             occupancy_scan_interval: 0,
             switch_overhead_cycles: 2_000,
+            warmup_mode: WarmupMode::Timed,
+            sample_windows: 0,
+            window_accesses: 0,
+        }
+    }
+}
+
+/// Which execution path the warmup phase takes (`--warmup-mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WarmupMode {
+    /// Full timing simulation during warmup (the historical default).
+    /// Cycle counters are discarded afterwards either way, so timed
+    /// warmup buys exact state for cycle-dependent schemes at full
+    /// simulation cost.
+    Timed,
+    /// State-only fast-forward: fills, replacement stamps and radix
+    /// tables advance, cycles and DRAM are never modelled. For
+    /// timing-independent configurations this lands bit-identical
+    /// steady state at a fraction of the cost; the
+    /// criticality-weighted schemes (`csalt-cd`, `tsb-csalt`) warm up
+    /// with unit replacement weights instead of cycle-derived ones.
+    Functional,
+}
+
+impl WarmupMode {
+    /// Parses a CLI/env spelling (`timed` | `functional`, any case).
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.to_ascii_lowercase().as_str() {
+            "timed" => Some(WarmupMode::Timed),
+            "functional" => Some(WarmupMode::Functional),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (`timed` / `functional`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WarmupMode::Timed => "timed",
+            WarmupMode::Functional => "functional",
         }
     }
 }
@@ -183,13 +239,13 @@ impl SimResult {
     }
 }
 
-struct CoreState {
-    cycles: Cycle,
-    instructions: u64,
-    accesses_done: u64,
-    current_vm: u32,
-    next_switch: Cycle,
-    switches: u64,
+pub(crate) struct CoreState {
+    pub(crate) cycles: Cycle,
+    pub(crate) instructions: u64,
+    pub(crate) accesses_done: u64,
+    pub(crate) current_vm: u32,
+    pub(crate) next_switch: Cycle,
+    pub(crate) switches: u64,
 }
 
 /// Observation points of the measured phase. The engine is monomorphized
@@ -245,7 +301,7 @@ impl PhaseHooks for NoHooks {}
 /// implementation, mirroring [`PhaseHooks`]: the inline source compiles
 /// to exactly the pre-pipeline per-access code, so the default path
 /// pays nothing for the pipelined mode's existence.
-trait AccessSource {
+pub(crate) trait AccessSource {
     /// The next access of `(core, vm)`'s stream, with its pure
     /// precomputation (packed TLB keys) done.
     fn next(&mut self, core: usize, vm: usize) -> StagedAccess;
@@ -290,6 +346,22 @@ impl AccessSource for PipelinedSource {
 
     fn progress(&self) -> Option<PipelineProgress> {
         Some(self.streams.progress())
+    }
+}
+
+/// Zero-repack replay source: pops prepacked records straight out of
+/// staged (v2) traces. The fixed-width trace record *is* the staged
+/// payload, so `next` is a copy — no key packing, no generator math.
+struct StagedReplaySource {
+    /// Trace matrix, `[vm][core]`, every trace staged for its VM's ASID.
+    threads: Vec<Vec<csalt_workloads::TraceFile>>,
+}
+
+impl AccessSource for StagedReplaySource {
+    #[inline]
+    fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
+        let (acc, hint) = self.threads[vm][core].next_staged();
+        StagedAccess { acc, hint }
     }
 }
 
@@ -367,6 +439,9 @@ fn vm_asids(vms: u32) -> Vec<Asid> {
 /// Execution plan for one run, decided before any thread is spawned.
 enum ExecPlan {
     Inline,
+    /// Every generator is a staged (v2) trace replay: pop prepacked
+    /// records directly, no packing and no producer threads.
+    StagedReplay,
     /// Producer thread count plus the budget reservation backing it.
     Pipelined(usize, Reservation<'static>),
 }
@@ -380,6 +455,18 @@ fn plan_execution(
     threads: &[Vec<AnyGenerator>],
     req: PipelineRequest,
 ) -> ExecPlan {
+    // A matrix of staged (v2) traces replays prepacked records directly
+    // regardless of the pipeline request: the records already are the
+    // staged payload, so there is nothing for producers to do and the
+    // single-threaded pop is the fastest path. Bit-identical to inline.
+    let asids = vm_asids(cfg.system.contexts_per_core);
+    if threads
+        .iter()
+        .enumerate()
+        .all(|(vm, row)| !row.is_empty() && row.iter().all(|g| g.is_staged_replay(asids[vm])))
+    {
+        return ExecPlan::StagedReplay;
+    }
     if req == PipelineRequest::Off {
         return ExecPlan::Inline;
     }
@@ -414,15 +501,45 @@ fn plan_execution(
 /// returns the pipeline telemetry when the pipelined path ran.
 fn execute<H: PhaseHooks>(
     cfg: &SimConfig,
-    threads: Vec<Vec<AnyGenerator>>,
+    mut threads: Vec<Vec<AnyGenerator>>,
     req: PipelineRequest,
     hooks: &mut H,
 ) -> (SimResult, Option<PipelineStats>) {
+    // Staged traces recorded under a different ASID get their packed
+    // keys recomputed once, up front, so replay stays zero-repack per
+    // access no matter which ASID the trace was recorded for.
+    let asids = vm_asids(cfg.system.contexts_per_core);
+    for (vm, row) in threads.iter_mut().enumerate() {
+        for g in row.iter_mut() {
+            if let Some(t) = g.as_trace_mut() {
+                if t.is_staged() {
+                    t.restage(asids[vm]);
+                }
+            }
+        }
+    }
     match plan_execution(cfg, &threads, req) {
         ExecPlan::Inline => {
             let mut source = InlineSource {
                 asids: vm_asids(cfg.system.contexts_per_core),
                 threads,
+            };
+            (simulate(cfg, hooks, &mut source), None)
+        }
+        ExecPlan::StagedReplay => {
+            let trace_threads = threads
+                .into_iter()
+                .map(|row| {
+                    row.into_iter()
+                        .map(|g| match g {
+                            AnyGenerator::Trace(t) => t,
+                            _ => unreachable!("plan checked every generator is a staged trace"),
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut source = StagedReplaySource {
+                threads: trace_threads,
             };
             (simulate(cfg, hooks, &mut source), None)
         }
@@ -539,6 +656,152 @@ pub fn run_with_generators(cfg: &SimConfig, threads: Vec<Vec<AnyGenerator>>) -> 
     execute(cfg, threads, PipelineRequest::from_env(), &mut NoHooks).0
 }
 
+/// One timed scheduling phase: run every core up to `total_per_core`
+/// *cumulative* accesses with full cycle accounting. `hooks` is `None`
+/// during warmup (warmup is never observed) and `Some` during the
+/// measured phase.
+///
+/// Targets are cumulative against `CoreState::accesses_done` so
+/// sampled-window runs can re-enter the phase window after window with
+/// the prior windows' progress still on the cores; a fresh phase
+/// (counters at zero) behaves exactly like the historical
+/// single-window code.
+#[allow(clippy::too_many_arguments)]
+fn timed_phase<H: PhaseHooks, S: AccessSource>(
+    cfg: &SimConfig,
+    vm_ctx: &[ContextId],
+    source: &mut S,
+    hier: &mut MemoryHierarchy,
+    cores_state: &mut [CoreState],
+    mut occupancy: Option<&mut Vec<OccupancySample>>,
+    total_per_core: u64,
+    mut hooks: Option<&mut H>,
+) {
+    if total_per_core == 0 {
+        return;
+    }
+    let system = &cfg.system;
+    let cores = cores_state.len();
+    let vms = system.contexts_per_core;
+    let quantum = system.cs_interval_cycles;
+    let scan_every = cfg.occupancy_scan_interval;
+    let target_total = total_per_core * cores as u64;
+    let mut total_done: u64 = cores_state.iter().map(|c| c.accesses_done).sum();
+    let mut next_scan = match cores_state[0].accesses_done.checked_div(scan_every) {
+        Some(intervals) => (intervals + 1) * scan_every,
+        None => u64::MAX,
+    };
+    // With the `audit` feature, verify the conservation laws every
+    // time the phase's total access count crosses an epoch boundary —
+    // the moment the partitioner has just acted on those counters.
+    // Counters reset between phases, so the threshold is per-phase.
+    #[cfg(feature = "audit")]
+    let mut next_audit_at = total_done + system.epoch_accesses.max(1);
+    let mut remaining = cores_state
+        .iter()
+        .filter(|c| c.accesses_done < total_per_core)
+        .count();
+    while remaining > 0 {
+        for (core, state) in cores_state.iter_mut().enumerate() {
+            if state.accesses_done >= total_per_core {
+                continue;
+            }
+
+            // Context switch when the quantum expires.
+            if vms > 1 && state.cycles >= state.next_switch {
+                let from_vm = state.current_vm;
+                state.current_vm = (state.current_vm + 1) % vms;
+                state.cycles += cfg.switch_overhead_cycles;
+                state.next_switch = state.cycles + quantum;
+                state.switches += 1;
+                if let Some(h) = hooks.as_deref_mut() {
+                    h.on_context_switch(core, from_vm, state.current_vm, state.cycles);
+                }
+            }
+
+            let vm = state.current_vm as usize;
+            let staged = source.next(core, vm);
+            let acc = staged.acc;
+            let traced = hooks
+                .as_deref_mut()
+                .is_some_and(|h| h.wants_trace(total_done));
+            let charge = if traced {
+                let at_cycles = state.cycles;
+                let (charge, stages) = hier.access_traced(CoreId::new(core as u8), vm_ctx[vm], acc);
+                if let Some(h) = hooks.as_deref_mut() {
+                    h.on_traced(
+                        total_done, core, vm_ctx[vm], &acc, &charge, stages, at_cycles,
+                    );
+                }
+                charge
+            } else {
+                hier.access_hinted(CoreId::new(core as u8), vm_ctx[vm], acc, &staged.hint)
+            };
+            if let Some(h) = hooks.as_deref_mut() {
+                h.on_access(&charge);
+            }
+            total_done += 1;
+
+            // Cycle model: compute instructions + blocking
+            // translation + overlapped data stalls.
+            let compute = (acc.instructions() as f64 * system.base_cpi).ceil() as Cycle;
+            let data_stall = charge.data_cycles.saturating_sub(system.l1d.latency);
+            let overlapped = (data_stall as f64 / system.mlp).round() as Cycle;
+            state.cycles += compute + charge.translation_cycles + overlapped;
+            state.instructions += acc.instructions();
+            state.accesses_done += 1;
+            if state.accesses_done >= total_per_core {
+                remaining -= 1;
+            }
+        }
+
+        if let Some(h) = hooks.as_deref_mut() {
+            h.after_sweep(
+                hier,
+                cores_state,
+                total_done,
+                target_total,
+                source.progress(),
+            );
+        }
+
+        #[cfg(feature = "audit")]
+        {
+            let total: u64 = cores_state.iter().map(|c| c.accesses_done).sum();
+            if total >= next_audit_at {
+                next_audit_at = total + system.epoch_accesses.max(1);
+                let snap = hier.snapshot();
+                enforce_audit(
+                    &format!("epoch boundary ({total} accesses)"),
+                    &csalt_audit::conservation::audit_snapshot("epoch", &snap, &cfg.scheme),
+                );
+                let (l2_occ, l3_occ) = hier.occupancy();
+                enforce_audit(
+                    "epoch occupancy",
+                    &[
+                        csalt_audit::conservation::audit_occupancy("l2", &l2_occ),
+                        csalt_audit::conservation::audit_occupancy("l3", &l3_occ),
+                    ]
+                    .concat(),
+                );
+            }
+        }
+
+        // Periodic occupancy scan, keyed on core 0's progress.
+        if cores_state[0].accesses_done >= next_scan {
+            next_scan += scan_every;
+            if let Some(occ) = occupancy.as_deref_mut() {
+                let (l2, l3) = hier.occupancy();
+                occ.push(OccupancySample {
+                    progress: cores_state[0].accesses_done as f64 / total_per_core as f64,
+                    l2_tlb_fraction: l2.tlb_fraction(),
+                    l3_tlb_fraction: l3.tlb_fraction(),
+                });
+            }
+        }
+    }
+}
+
 /// The engine shared by [`run`] and the instrumented path, monomorphized
 /// over the hook set and the access source (inline vs pipelined).
 fn simulate<H: PhaseHooks, S: AccessSource>(
@@ -588,145 +851,40 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
         .collect();
 
     let mut occupancy = Vec::new();
-    let scan_every = cfg.occupancy_scan_interval;
 
-    // One scheduling phase: run every core to `total_per_core` accesses.
-    // `hooks` is `None` during warmup (warmup is never observed) and
-    // `Some` during the measured phase.
-    let mut phase = |cores_state: &mut Vec<CoreState>,
-                     hier: &mut MemoryHierarchy,
-                     occupancy: Option<&mut Vec<OccupancySample>>,
-                     total_per_core: u64,
-                     mut hooks: Option<&mut H>| {
-        if total_per_core == 0 {
-            return;
-        }
-        let target_total = total_per_core * cores as u64;
-        let mut total_done: u64 = 0;
-        let mut occupancy = occupancy;
-        let mut next_scan = if scan_every > 0 { scan_every } else { u64::MAX };
-        // With the `audit` feature, verify the conservation laws every
-        // time the phase's total access count crosses an epoch boundary —
-        // the moment the partitioner has just acted on those counters.
-        // Counters reset between phases, so the threshold is per-phase.
-        #[cfg(feature = "audit")]
-        let mut next_audit_at = system.epoch_accesses.max(1);
-        let mut remaining = cores_state
-            .iter()
-            .filter(|c| c.accesses_done < total_per_core)
-            .count();
-        while remaining > 0 {
-            for (core, state) in cores_state.iter_mut().enumerate() {
-                if state.accesses_done >= total_per_core {
-                    continue;
-                }
-
-                // Context switch when the quantum expires.
-                if vms > 1 && state.cycles >= state.next_switch {
-                    let from_vm = state.current_vm;
-                    state.current_vm = (state.current_vm + 1) % vms;
-                    state.cycles += cfg.switch_overhead_cycles;
-                    state.next_switch = state.cycles + quantum;
-                    state.switches += 1;
-                    if let Some(h) = hooks.as_deref_mut() {
-                        h.on_context_switch(core, from_vm, state.current_vm, state.cycles);
-                    }
-                }
-
-                let vm = state.current_vm as usize;
-                let staged = source.next(core, vm);
-                let acc = staged.acc;
-                let traced = hooks
-                    .as_deref_mut()
-                    .is_some_and(|h| h.wants_trace(total_done));
-                let charge = if traced {
-                    let at_cycles = state.cycles;
-                    let (charge, stages) =
-                        hier.access_traced(CoreId::new(core as u8), vm_ctx[vm], acc);
-                    if let Some(h) = hooks.as_deref_mut() {
-                        h.on_traced(
-                            total_done, core, vm_ctx[vm], &acc, &charge, stages, at_cycles,
-                        );
-                    }
-                    charge
-                } else {
-                    hier.access_hinted(CoreId::new(core as u8), vm_ctx[vm], acc, &staged.hint)
-                };
-                if let Some(h) = hooks.as_deref_mut() {
-                    h.on_access(&charge);
-                }
-                total_done += 1;
-
-                // Cycle model: compute instructions + blocking
-                // translation + overlapped data stalls.
-                let compute = (acc.instructions() as f64 * system.base_cpi).ceil() as Cycle;
-                let data_stall = charge.data_cycles.saturating_sub(system.l1d.latency);
-                let overlapped = (data_stall as f64 / system.mlp).round() as Cycle;
-                state.cycles += compute + charge.translation_cycles + overlapped;
-                state.instructions += acc.instructions();
-                state.accesses_done += 1;
-                if state.accesses_done >= total_per_core {
-                    remaining -= 1;
-                }
-            }
-
-            if let Some(h) = hooks.as_deref_mut() {
-                h.after_sweep(
-                    hier,
-                    cores_state,
-                    total_done,
-                    target_total,
-                    source.progress(),
-                );
-            }
-
-            #[cfg(feature = "audit")]
-            {
-                let total: u64 = cores_state.iter().map(|c| c.accesses_done).sum();
-                if total >= next_audit_at {
-                    next_audit_at = total + system.epoch_accesses.max(1);
-                    let snap = hier.snapshot();
-                    enforce_audit(
-                        &format!("epoch boundary ({total} accesses)"),
-                        &csalt_audit::conservation::audit_snapshot("epoch", &snap, &cfg.scheme),
-                    );
-                    let (l2_occ, l3_occ) = hier.occupancy();
-                    enforce_audit(
-                        "epoch occupancy",
-                        &[
-                            csalt_audit::conservation::audit_occupancy("l2", &l2_occ),
-                            csalt_audit::conservation::audit_occupancy("l3", &l3_occ),
-                        ]
-                        .concat(),
-                    );
-                }
-            }
-
-            // Periodic occupancy scan, keyed on core 0's progress.
-            if cores_state[0].accesses_done >= next_scan {
-                next_scan += scan_every;
-                if let Some(occ) = occupancy.as_deref_mut() {
-                    let (l2, l3) = hier.occupancy();
-                    occ.push(OccupancySample {
-                        progress: cores_state[0].accesses_done as f64 / total_per_core as f64,
-                        l2_tlb_fraction: l2.tlb_fraction(),
-                        l3_tlb_fraction: l3.tlb_fraction(),
-                    });
-                }
-            }
-        }
+    // The functional phases' context-switch schedule: the quantum's
+    // instruction equivalent, so the state-only loop (which has no
+    // cycle clock) churns ASIDs at the same stream cadence the timed
+    // loop would.
+    let sched = FunctionalSchedule {
+        instr_per_switch: ((quantum as f64 / system.base_cpi).ceil() as u64).max(1),
     };
 
     // Warmup: populate page tables, TLBs, caches and the POM-TLB, then
     // discard the counters. Scheduling state (cycle counters, switch
-    // phase) restarts cleanly for the measured phase.
-    phase(
-        &mut cores_state,
-        &mut hier,
-        None,
-        cfg.warmup_accesses_per_core,
-        None,
-    );
+    // phase) restarts cleanly for the measured phase; `current_vm`
+    // carries over in both modes, so the measured phase resumes from
+    // the schedule position warmup ended on.
+    match cfg.warmup_mode {
+        WarmupMode::Timed => timed_phase::<H, S>(
+            cfg,
+            &vm_ctx,
+            source,
+            &mut hier,
+            &mut cores_state,
+            None,
+            cfg.warmup_accesses_per_core,
+            None,
+        ),
+        WarmupMode::Functional => functional_phase(
+            &mut hier,
+            source,
+            &vm_ctx,
+            &mut cores_state,
+            cfg.warmup_accesses_per_core,
+            &sched,
+        ),
+    }
     hier.reset_stats();
     for s in &mut cores_state {
         s.cycles = 0;
@@ -736,13 +894,66 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
         s.switches = 0;
     }
 
-    phase(
-        &mut cores_state,
-        &mut hier,
-        Some(&mut occupancy),
-        cfg.accesses_per_core,
-        Some(hooks),
-    );
+    let snapshot = if cfg.sample_windows == 0 {
+        timed_phase(
+            cfg,
+            &vm_ctx,
+            source,
+            &mut hier,
+            &mut cores_state,
+            Some(&mut occupancy),
+            cfg.accesses_per_core,
+            Some(hooks),
+        );
+        hier.snapshot()
+    } else {
+        // SMARTS-style sampling: `sample_windows` timed windows spread
+        // over the `accesses_per_core` stream, the stream between them
+        // fast-forwarded functionally. The reported snapshot sums the
+        // windows' deltas, so the gaps' state churn (which still
+        // advances component hit/miss counters) never reaches the
+        // run's counters; cycles, instructions and switches accumulate
+        // in the timed windows only.
+        let windows = cfg.sample_windows;
+        let per_window = cfg.window_accesses;
+        let measured = windows
+            .checked_mul(per_window)
+            .expect("sample window volume overflows u64");
+        assert!(
+            per_window > 0,
+            "--sample-windows requires a nonzero --window-accesses"
+        );
+        assert!(
+            measured <= cfg.accesses_per_core,
+            "sample windows ({windows} x {per_window}) exceed accesses_per_core ({})",
+            cfg.accesses_per_core
+        );
+        let skip = cfg.accesses_per_core - measured;
+        let mut sum: Option<HierarchySnapshot> = None;
+        for w in 0..windows {
+            // Spread the fast-forward budget evenly, front-loading the
+            // remainder so every access of the stream is consumed.
+            let gap = skip / windows + u64::from(w < skip % windows);
+            functional_phase(&mut hier, source, &vm_ctx, &mut cores_state, gap, &sched);
+            let before = hier.snapshot();
+            timed_phase(
+                cfg,
+                &vm_ctx,
+                source,
+                &mut hier,
+                &mut cores_state,
+                Some(&mut occupancy),
+                (w + 1) * per_window,
+                Some(&mut *hooks),
+            );
+            let delta = hier.snapshot().delta_since(&before);
+            match sum.as_mut() {
+                Some(s) => s.accumulate(&delta),
+                None => sum = Some(delta),
+            }
+        }
+        sum.expect("sample_windows >= 1")
+    };
 
     let (l2_trace, l3_trace) = hier.partition_traces();
     let to_series = |t: &[PartitionSample]| {
@@ -771,7 +982,7 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
         instructions,
         core_cycles: cores_state.iter().map(|c| c.cycles).collect(),
         core_ipc,
-        snapshot: hier.snapshot(),
+        snapshot,
         occupancy,
         l2_partition_trace,
         l3_partition_trace,

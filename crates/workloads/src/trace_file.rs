@@ -6,37 +6,63 @@
 //! converted from real instrumentation tools (Pin, DynamoRIO, QEMU
 //! plugins) can be fed to the simulator by writing this format.
 //!
-//! # Format
+//! # Formats
 //!
-//! Little-endian binary: a 16-byte header (`magic "CSLT"`, `version:
-//! u32`, `record count: u64`) followed by 13-byte records of
-//! `(vaddr: u64, gap: u32, is_write: u8)`.
+//! Both versions are little-endian and start with the magic `"CSLT"`
+//! and a `version: u32`.
+//!
+//! **v1** — a 16-byte header (`magic`, `version = 1`, `record count:
+//! u64`) followed by 13-byte records of `(vaddr: u64, gap: u32,
+//! is_write: u8)`.
+//!
+//! **v2** — a 32-byte header (`magic`, `version = 2`, `record count:
+//! u64`, `asid: u16`, 14 reserved zero bytes) followed by fixed-width
+//! 32-byte records of four `u64` words: `vaddr`, `gap << 1 | is_write`,
+//! `packed_4k`, `packed_2m` — exactly the staged-access wire format the
+//! pipeline's SPSC rings carry. Replay pops records with **zero key
+//! packing**: the TLB lookup keys were precomputed at record time for
+//! the header's ASID (they are a pure function of `(vaddr, asid)`), and
+//! [`TraceFile::restage`] recomputes them in one bulk pass if a run
+//! replays under a different ASID. Records are 32-byte aligned so the
+//! whole-file read decodes at memory bandwidth.
+//!
+//! Files are written through a `BufWriter` and opened with one
+//! whole-file read (`mmap`-style: a single contiguous image, decoded in
+//! one pass). The header's record count is validated against the file
+//! length **before** any allocation, so a garbage header cannot trigger
+//! a huge reservation and a torn tail is rejected as `InvalidData`
+//! rather than a short-read surprise mid-parse.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use csalt_workloads::{BenchKind, TraceFile, TraceGenerator};
+//! use csalt_types::Asid;
 //!
 //! # fn main() -> std::io::Result<()> {
 //! let mut gups = BenchKind::Gups.build(1, 0.1);
-//! TraceFile::record("gups.trace", gups.as_mut(), 100_000)?;
+//! TraceFile::record_v2("gups.trace", gups.as_mut(), 100_000, Asid::new(1))?;
 //!
 //! let mut replay = TraceFile::open("gups.trace")?;
-//! let first = replay.next_access();
-//! # let _ = first;
+//! let (first, keys) = replay.next_staged();
+//! # let _ = (first, keys);
 //! # Ok(())
 //! # }
 //! ```
 
 use crate::gen::TraceGenerator;
-use csalt_types::{AccessType, MemAccess, VirtAddr};
+use csalt_types::{AccessType, Asid, MemAccess, TranslationHint, VirtAddr};
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CSLT";
-const VERSION: u32 = 1;
-const RECORD_BYTES: usize = 13;
+const V1: u32 = 1;
+const V2: u32 = 2;
+const V1_HEADER_BYTES: usize = 16;
+const V1_RECORD_BYTES: usize = 13;
+const V2_HEADER_BYTES: usize = 32;
+const V2_RECORD_BYTES: usize = 32;
 
 /// A recorded trace replayed as a [`TraceGenerator`].
 ///
@@ -45,13 +71,32 @@ const RECORD_BYTES: usize = 13;
 /// simulation (matching how the paper replays finite Pin traces).
 #[derive(Debug, Clone)]
 pub struct TraceFile {
-    records: Vec<(u64, u32, bool)>,
+    /// Wire words per record: `vaddr`, `gap << 1 | is_write`, and (for
+    /// staged traces) the two packed TLB keys.
+    records: Vec<[u64; 4]>,
+    /// Whether words 2/3 hold valid packed keys (v2 traces, or after
+    /// [`TraceFile::restage`]).
+    staged: bool,
+    /// The ASID the packed keys were computed under (meaningful only
+    /// when `staged`).
+    asid: u16,
+    /// Format version the trace was loaded from (in-memory traces built
+    /// by [`TraceFile::from_records`] report the version they would
+    /// save as).
+    version: u32,
     pos: usize,
     footprint: u64,
 }
 
+/// `InvalidData` error with a formatted message.
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 impl TraceFile {
-    /// Records `count` accesses from `generator` into `path`.
+    /// Records `count` accesses from `generator` into `path` in the v1
+    /// (13-byte, unstaged) format — kept as a writer so backward
+    /// compatibility stays an exercised path, not a frozen fixture.
     ///
     /// # Errors
     ///
@@ -63,7 +108,7 @@ impl TraceFile {
     ) -> io::Result<()> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&V1.to_le_bytes())?;
         w.write_all(&count.to_le_bytes())?;
         for _ in 0..count {
             let a = generator.next_access();
@@ -74,50 +119,140 @@ impl TraceFile {
         w.flush()
     }
 
-    /// Opens and fully loads a recorded trace.
+    /// Records `count` accesses from `generator` into `path` in the v2
+    /// (32-byte, staged) format: each record carries the packed TLB
+    /// keys for `asid`, so replay skips key packing entirely.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` if the header or record framing is wrong,
-    /// or any underlying I/O error.
-    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut header = [0u8; 16];
-        r.read_exact(&mut header)?;
-        if &header[0..4] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    /// Returns any I/O error from creating or writing the file.
+    pub fn record_v2<P: AsRef<Path>>(
+        path: P,
+        generator: &mut dyn TraceGenerator,
+        count: u64,
+        asid: Asid,
+    ) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_v2_header(&mut w, count, asid)?;
+        for _ in 0..count {
+            let a = generator.next_access();
+            let hint = TranslationHint::compute(a.vaddr, asid);
+            write_v2_record(&mut w, &encode_words(&a, Some(&hint)))?;
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
+        w.flush()
+    }
+
+    /// Writes this trace's records to `path` in the v2 format. The
+    /// trace must be staged first ([`TraceFile::restage`]): the v2
+    /// format's whole point is carrying the packed keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` if the trace is not staged, or any I/O
+    /// error from writing.
+    pub fn save_v2<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        if !self.staged {
             return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported trace version {version}"),
+                io::ErrorKind::InvalidInput,
+                "trace has no staged keys; call restage(asid) before save_v2",
             ));
         }
-        let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let mut records = Vec::with_capacity(count as usize);
-        let mut buf = [0u8; RECORD_BYTES];
-        let mut max_addr = 0u64;
-        for _ in 0..count {
-            r.read_exact(&mut buf)?;
-            let vaddr = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-            let gap = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
-            let is_write = buf[12] != 0;
-            max_addr = max_addr.max(vaddr);
-            records.push((vaddr, gap, is_write));
+        let mut w = BufWriter::new(File::create(path)?);
+        write_v2_header(&mut w, self.records.len() as u64, Asid::new(self.asid))?;
+        for rec in &self.records {
+            write_v2_record(&mut w, rec)?;
         }
-        if records.is_empty() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        w.flush()
+    }
+
+    /// Opens and fully loads a recorded trace, either version. The file
+    /// is read in one contiguous image and its length is validated
+    /// against the header's record count before anything is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the header or record framing is wrong
+    /// (bad magic, unknown version, length/count mismatch, torn tail),
+    /// or any underlying I/O error.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 8 || &bytes[0..4] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let (header_bytes, record_bytes) = match version {
+            V1 => (V1_HEADER_BYTES, V1_RECORD_BYTES),
+            V2 => (V2_HEADER_BYTES, V2_RECORD_BYTES),
+            other => return Err(bad(format!("unsupported trace version {other}"))),
+        };
+        if bytes.len() < header_bytes {
+            return Err(bad(format!(
+                "truncated v{version} header: {} bytes",
+                bytes.len()
+            )));
+        }
+        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        if count == 0 {
+            return Err(bad("empty trace"));
+        }
+        // Validate declared count against actual length before the
+        // records vector is sized from it: a corrupt count must not
+        // drive the allocator, and a torn tail must fail loudly.
+        let expected = count
+            .checked_mul(record_bytes as u64)
+            .and_then(|body| body.checked_add(header_bytes as u64));
+        if expected != Some(bytes.len() as u64) {
+            return Err(bad(format!(
+                "file length {} does not match header: {count} records of \
+                 {record_bytes} bytes after a {header_bytes}-byte header",
+                bytes.len()
+            )));
+        }
+        let (staged, asid) = if version == V2 {
+            let asid = u16::from_le_bytes(bytes[16..18].try_into().expect("2 bytes"));
+            if bytes[18..32].iter().any(|&b| b != 0) {
+                return Err(bad("reserved v2 header bytes must be zero"));
+            }
+            (true, asid)
+        } else {
+            (false, 0)
+        };
+
+        let mut records = Vec::with_capacity(count as usize);
+        let mut max_addr = 0u64;
+        let body = &bytes[header_bytes..];
+        if version == V1 {
+            for chunk in body.chunks_exact(V1_RECORD_BYTES) {
+                let vaddr = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes"));
+                let gap = u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes"));
+                let is_write = chunk[12] != 0;
+                max_addr = max_addr.max(vaddr);
+                records.push([vaddr, (u64::from(gap) << 1) | u64::from(is_write), 0, 0]);
+            }
+        } else {
+            for chunk in body.chunks_exact(V2_RECORD_BYTES) {
+                let word = |i: usize| {
+                    u64::from_le_bytes(chunk[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+                };
+                let rec = [word(0), word(1), word(2), word(3)];
+                max_addr = max_addr.max(rec[0]);
+                records.push(rec);
+            }
         }
         Ok(Self {
             records,
+            staged,
+            asid,
+            version,
             pos: 0,
             footprint: max_addr + 1,
         })
     }
 
     /// Builds a replay generator from in-memory records — accesses
-    /// captured by a harness or test rather than loaded from disk.
+    /// captured by a harness or test rather than loaded from disk. The
+    /// result is unstaged; call [`TraceFile::restage`] to precompute
+    /// keys.
     ///
     /// # Panics
     ///
@@ -126,18 +261,86 @@ impl TraceFile {
     pub fn from_records(records: Vec<MemAccess>) -> Self {
         assert!(!records.is_empty(), "replay needs at least one record");
         let mut max_addr = 0u64;
-        let records: Vec<(u64, u32, bool)> = records
+        let records: Vec<[u64; 4]> = records
             .into_iter()
             .map(|a| {
                 max_addr = max_addr.max(a.vaddr.raw());
-                (a.vaddr.raw(), a.gap, a.ty.is_write())
+                encode_words(&a, None)
             })
             .collect();
         Self {
             records,
+            staged: false,
+            asid: 0,
+            version: V1,
             pos: 0,
             footprint: max_addr + 1,
         }
+    }
+
+    /// Recomputes the packed TLB keys of every record for `asid` in one
+    /// bulk pass. Replay under a different ASID than the trace was
+    /// recorded for stays zero-repack per access: the cost is paid once
+    /// here, not in the hot loop.
+    pub fn restage(&mut self, asid: Asid) {
+        if self.staged && self.asid == asid.raw() {
+            return;
+        }
+        for rec in &mut self.records {
+            let hint = TranslationHint::compute(VirtAddr::new(rec[0]), asid);
+            rec[2] = hint.packed_4k;
+            rec[3] = hint.packed_2m;
+        }
+        self.staged = true;
+        self.asid = asid.raw();
+    }
+
+    /// Whether every record carries valid packed TLB keys.
+    #[must_use]
+    pub fn is_staged(&self) -> bool {
+        self.staged
+    }
+
+    /// Whether the records' packed keys were computed for `asid` — the
+    /// precondition for [`TraceFile::next_staged`] feeding a context
+    /// translating under that ASID.
+    #[must_use]
+    pub fn is_staged_for(&self, asid: Asid) -> bool {
+        self.staged && self.asid == asid.raw()
+    }
+
+    /// The ASID the staged keys were packed under, if staged.
+    #[must_use]
+    pub fn asid(&self) -> Option<Asid> {
+        self.staged.then(|| Asid::new(self.asid))
+    }
+
+    /// The format version this trace was loaded from (or would save as).
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The next record with its prepacked TLB keys — the zero-repack
+    /// replay path. Wraps like [`TraceGenerator::next_access`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the trace is not staged; release builds
+    /// would silently return empty keys, so callers must check
+    /// [`TraceFile::is_staged_for`] when planning replay.
+    #[inline]
+    pub fn next_staged(&mut self) -> (MemAccess, TranslationHint) {
+        debug_assert!(self.staged, "next_staged on an unstaged trace");
+        let rec = self.records[self.pos];
+        self.pos = (self.pos + 1) % self.records.len();
+        (
+            decode_access(&rec),
+            TranslationHint {
+                packed_4k: rec[2],
+                packed_2m: rec[3],
+            },
+        )
     }
 
     /// Number of recorded accesses.
@@ -151,19 +354,50 @@ impl TraceFile {
     }
 }
 
+/// Packs one access (and optionally its keys) into the four-word record.
+fn encode_words(a: &MemAccess, hint: Option<&TranslationHint>) -> [u64; 4] {
+    [
+        a.vaddr.raw(),
+        (u64::from(a.gap) << 1) | u64::from(a.ty.is_write()),
+        hint.map_or(0, |h| h.packed_4k),
+        hint.map_or(0, |h| h.packed_2m),
+    ]
+}
+
+/// Decodes the access half of a record (words 0 and 1).
+#[inline]
+fn decode_access(rec: &[u64; 4]) -> MemAccess {
+    MemAccess {
+        vaddr: VirtAddr::new(rec[0]),
+        ty: if rec[1] & 1 == 1 {
+            AccessType::Write
+        } else {
+            AccessType::Read
+        },
+        gap: (rec[1] >> 1) as u32,
+    }
+}
+
+fn write_v2_header<W: Write>(w: &mut W, count: u64, asid: Asid) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&V2.to_le_bytes())?;
+    w.write_all(&count.to_le_bytes())?;
+    w.write_all(&asid.raw().to_le_bytes())?;
+    w.write_all(&[0u8; 14])
+}
+
+fn write_v2_record<W: Write>(w: &mut W, rec: &[u64; 4]) -> io::Result<()> {
+    for word in rec {
+        w.write_all(&word.to_le_bytes())?;
+    }
+    Ok(())
+}
+
 impl TraceGenerator for TraceFile {
     fn next_access(&mut self) -> MemAccess {
-        let (vaddr, gap, is_write) = self.records[self.pos];
+        let rec = self.records[self.pos];
         self.pos = (self.pos + 1) % self.records.len();
-        MemAccess {
-            vaddr: VirtAddr::new(vaddr),
-            ty: if is_write {
-                AccessType::Write
-            } else {
-                AccessType::Read
-            },
-            gap,
-        }
+        decode_access(&rec)
     }
 
     fn name(&self) -> &'static str {
@@ -192,11 +426,88 @@ mod tests {
 
         let mut replay = TraceFile::open(&path).expect("open");
         assert_eq!(replay.len(), 5_000);
+        assert_eq!(replay.version(), 1);
+        assert!(!replay.is_staged());
         let mut gen_b = BenchKind::Gups.build(11, 0.05);
         for _ in 0..5_000 {
             assert_eq!(replay.next_access(), gen_b.next_access());
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_record_then_replay_matches_fields_and_keys() {
+        let path = tmp("v2-roundtrip");
+        let asid = Asid::new(3);
+        let mut gen_a = BenchKind::Graph500.build(5, 0.05);
+        TraceFile::record_v2(&path, gen_a.as_mut(), 3_000, asid).expect("record");
+
+        let mut replay = TraceFile::open(&path).expect("open");
+        assert_eq!(replay.len(), 3_000);
+        assert_eq!(replay.version(), 2);
+        assert!(replay.is_staged_for(asid));
+        assert_eq!(replay.asid(), Some(asid));
+        let mut gen_b = BenchKind::Graph500.build(5, 0.05);
+        for _ in 0..3_000 {
+            let (acc, hint) = replay.next_staged();
+            let want = gen_b.next_access();
+            assert_eq!(acc, want);
+            assert_eq!(hint, TranslationHint::compute(want.vaddr, asid));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_converts_to_v2_byte_faithfully() {
+        let v1_path = tmp("convert-v1");
+        let v2_path = tmp("convert-v2");
+        let mut g = BenchKind::Canneal.build(9, 0.05);
+        TraceFile::record(&v1_path, g.as_mut(), 1_000).expect("record");
+
+        let mut v1 = TraceFile::open(&v1_path).expect("open v1");
+        let asid = Asid::new(2);
+        v1.restage(asid);
+        v1.save_v2(&v2_path).expect("save v2");
+
+        let mut a = TraceFile::open(&v1_path).expect("reopen v1");
+        let mut b = TraceFile::open(&v2_path).expect("open v2");
+        assert_eq!(a.len(), b.len());
+        for _ in 0..1_000 {
+            let want = a.next_access();
+            let (acc, hint) = b.next_staged();
+            assert_eq!(acc, want, "conversion preserved the access stream");
+            assert_eq!(hint, TranslationHint::compute(want.vaddr, asid));
+        }
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    #[test]
+    fn save_v2_requires_staging() {
+        let t = TraceFile::from_records(vec![MemAccess {
+            vaddr: VirtAddr::new(0x1000),
+            ty: AccessType::Read,
+            gap: 0,
+        }]);
+        let err = t.save_v2(tmp("unstaged")).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn restage_changes_keys_with_asid() {
+        let mut t = TraceFile::from_records(vec![MemAccess {
+            vaddr: VirtAddr::new(0x7000_1000),
+            ty: AccessType::Write,
+            gap: 4,
+        }]);
+        t.restage(Asid::new(1));
+        let (_, k1) = t.next_staged();
+        t.restage(Asid::new(2));
+        let (acc, k2) = t.next_staged();
+        assert_ne!(k1, k2, "keys embed the ASID");
+        assert_eq!(k2, TranslationHint::compute(acc.vaddr, Asid::new(2)));
+        assert!(t.is_staged_for(Asid::new(2)));
+        assert!(!t.is_staged_for(Asid::new(1)));
     }
 
     #[test]
@@ -229,6 +540,95 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
         assert!(TraceFile::open(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_v2_tail_is_rejected_with_clear_error() {
+        let path = tmp("torn-v2");
+        let mut g = BenchKind::Gups.build(4, 0.05);
+        TraceFile::record_v2(&path, g.as_mut(), 50, Asid::new(1)).expect("record");
+        let bytes = std::fs::read(&path).expect("read");
+        // Tear the last record in half.
+        std::fs::write(&path, &bytes[..bytes.len() - 16]).expect("tear");
+        let err = TraceFile::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("does not match header"),
+            "explains the mismatch: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_count_does_not_drive_allocation() {
+        // A header declaring u64::MAX records must be rejected by the
+        // length check, never by an allocator blow-up.
+        let path = tmp("hugecount");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&V2.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).expect("write");
+        let err = TraceFile::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nonzero_reserved_header_bytes_are_rejected() {
+        let path = tmp("reserved");
+        let mut g = BenchKind::Gups.build(4, 0.05);
+        TraceFile::record_v2(&path, g.as_mut(), 5, Asid::new(1)).expect("record");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[25] = 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = TraceFile::open(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every field combination a record can carry — any vaddr whose
+        /// 4K VPN fits the packed TLB key (46 bits → addresses below
+        /// 2^58), full-width gap, either access type, any ASID —
+        /// survives the v2 save → open round-trip bit-exactly, keys
+        /// included.
+        #[test]
+        fn v2_roundtrip_preserves_arbitrary_records(
+            fields in prop::collection::vec(
+                (0u64..1 << 58, any::<u32>(), any::<bool>()),
+                1..64,
+            ),
+            asid_raw in 1u16..512,
+        ) {
+            let records: Vec<MemAccess> = fields
+                .iter()
+                .map(|&(va, gap, write)| MemAccess {
+                    vaddr: VirtAddr::new(va),
+                    ty: if write { AccessType::Write } else { AccessType::Read },
+                    gap,
+                })
+                .collect();
+            let asid = Asid::new(asid_raw);
+            let mut t = TraceFile::from_records(records.clone());
+            t.restage(asid);
+            let path = tmp("prop-v2");
+            t.save_v2(&path).expect("save");
+            let reopened = TraceFile::open(&path);
+            std::fs::remove_file(&path).ok();
+            let mut r = reopened.expect("open");
+            prop_assert_eq!(r.len(), records.len());
+            prop_assert_eq!(r.version(), V2);
+            prop_assert!(r.is_staged_for(asid));
+            for want in &records {
+                let (acc, hint) = r.next_staged();
+                prop_assert_eq!(acc, *want);
+                prop_assert_eq!(hint, TranslationHint::compute(want.vaddr, asid));
+            }
+        }
     }
 
     #[test]
