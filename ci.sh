@@ -33,6 +33,10 @@
 #   7. pipelined determinism: the determinism snapshot again with
 #      CSALT_PIPELINE=force, so the threaded producer path must hit the
 #      exact pinned counters of the inline engine
+#   7b. the same snapshot across CSALT_L0=off|on x CSALT_PIPELINE=force:
+#      the L0 hit-way memo force-disabled and force-enabled must both
+#      hit the pinned counters on the threaded path too (the inline
+#      off/on matrix runs inside the suite itself)
 #   8. pipeline-vs-inline equality at release length: the full
 #      (workload x scheme x virtualization) grid, longer runs than the
 #      debug suite (skipped with --quick; needs a release build)
@@ -119,6 +123,11 @@ cargo run -q -p csalt-sim --bin csalt-experiments -- \
 
 step "determinism snapshot under CSALT_PIPELINE=force (pinned counters, threaded path)"
 CSALT_PIPELINE=force cargo test -q --test determinism
+
+step "determinism snapshot under CSALT_L0=off|on x CSALT_PIPELINE=force (memo ablation)"
+for l0 in off on; do
+    CSALT_L0="$l0" CSALT_PIPELINE=force cargo test -q --test determinism
+done
 
 if [[ $quick -eq 0 ]]; then
     step "pipeline-vs-inline equality, release length (full workload x scheme grid)"

@@ -22,8 +22,8 @@ use csalt_ptw::{
 use csalt_telemetry::{ServedBy, StageSample, WalkStage};
 use csalt_tlb::{PomTlb, SramTlb, Tsb};
 use csalt_types::{
-    Asid, ContextId, CoreId, Cycle, EntryKind, HitMissStats, LineAddr, MemAccess, PhysAddr,
-    PhysFrame, SystemConfig, TranslationHint, TranslationScheme, VirtAddr,
+    Asid, ContextId, CoreId, Cycle, EntryKind, HitMissStats, L0Stats, LineAddr, MemAccess,
+    PhysAddr, PhysFrame, SystemConfig, TranslationHint, TranslationScheme, VirtAddr,
 };
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +47,23 @@ pub struct AccessCharge {
     pub l2_tlb_hit: bool,
     /// Whether a page walk was required.
     pub walked: bool,
+}
+
+/// One pre-staged access of a commit block: everything
+/// [`MemoryHierarchy::access_hinted`] needs, gathered ahead of time so
+/// the engines can commit a whole block back-to-back. Defined here
+/// (rather than reusing the pipeline crate's staged record) because the
+/// hierarchy is upstream of the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockAccess {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Scheduled context.
+    pub ctx: ContextId,
+    /// The program access.
+    pub acc: MemAccess,
+    /// Prepacked TLB keys for the access under `ctx`'s ASID.
+    pub hint: TranslationHint,
 }
 
 /// Access-counter readings of every level a request can touch, used to
@@ -468,6 +485,112 @@ impl MemoryHierarchy {
         let _ = self.access_inner::<false>(core, ctx, acc, hint);
     }
 
+    /// Commits a gathered block of accesses through the timed path,
+    /// appending one [`AccessCharge`] per record to `charges` in block
+    /// order. Exactly equivalent to calling
+    /// [`MemoryHierarchy::access_hinted`] per record — the batching
+    /// exists so the engines touch their bookkeeping (and the pipeline
+    /// ring its atomics) once per block instead of once per access.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemoryHierarchy::access_hinted`], per record.
+    pub fn access_block_hinted(&mut self, block: &[BlockAccess], charges: &mut Vec<AccessCharge>) {
+        for b in block {
+            charges.push(self.access_inner::<true>(b.core, b.ctx, b.acc, &b.hint));
+        }
+    }
+
+    /// Commits a gathered block through the functional (state-only)
+    /// path; the block-order equivalent of
+    /// [`MemoryHierarchy::access_functional`] per record.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemoryHierarchy::access_functional`], per record.
+    pub fn access_block_functional(&mut self, block: &[BlockAccess]) {
+        for b in block {
+            let _ = self.access_inner::<false>(b.core, b.ctx, b.acc, &b.hint);
+        }
+    }
+
+    /// Enables or disables every component's L0 hit-way memo. Results
+    /// are bit-identical either way — the memo only skips set scans on
+    /// repeat hits — so this is a pure performance switch.
+    pub fn set_l0_memo(&mut self, enabled: bool) {
+        for c in &mut self.l1d {
+            c.set_l0_enabled(enabled);
+        }
+        for c in &mut self.l2 {
+            c.set_l0_enabled(enabled);
+        }
+        self.l3.set_l0_enabled(enabled);
+        for t in self
+            .l1_tlb_4k
+            .iter_mut()
+            .chain(self.l1_tlb_2m.iter_mut())
+            .chain(self.l2_tlb.iter_mut())
+        {
+            t.set_l0_enabled(enabled);
+        }
+        if let Some(p) = &mut self.pom {
+            p.set_l0_enabled(enabled);
+        }
+        if let Some(t) = &mut self.tsb {
+            t.set_l0_enabled(enabled);
+        }
+    }
+
+    /// Summed L0 memo counters over every component (telemetry /
+    /// progress reporting; reset together with the other statistics by
+    /// [`MemoryHierarchy::reset_stats`]).
+    pub fn l0_stats(&self) -> L0Stats {
+        let mut s = L0Stats::default();
+        for c in &self.l1d {
+            s = s.merged(c.l0_stats());
+        }
+        for c in &self.l2 {
+            s = s.merged(c.l0_stats());
+        }
+        s = s.merged(self.l3.l0_stats());
+        for t in self
+            .l1_tlb_4k
+            .iter()
+            .chain(self.l1_tlb_2m.iter())
+            .chain(self.l2_tlb.iter())
+        {
+            s = s.merged(t.l0_stats());
+        }
+        if let Some(p) = &self.pom {
+            s = s.merged(p.l0_stats());
+        }
+        if let Some(t) = &self.tsb {
+            s = s.merged(t.l0_stats());
+        }
+        s
+    }
+
+    /// Context-switch hook: drops the switching core's private memos and
+    /// the shared components' memos. CSALT's premise is that switches
+    /// destroy translation locality, and the memo keys the paper's ASID
+    /// recycling could alias are exactly the ones dropped here — the
+    /// keys themselves are ASID-tagged, so this is hygiene, not a
+    /// correctness requirement for live ASIDs.
+    pub fn l0_note_context_switch(&mut self, core: usize) {
+        self.l1d[core].l0_invalidate();
+        self.l2[core].l0_invalidate();
+        self.l3.l0_invalidate();
+        self.l1_tlb_4k[core].l0_invalidate();
+        self.l1_tlb_2m[core].l0_invalidate();
+        self.l2_tlb[core].l0_invalidate();
+        if let Some(p) = &mut self.pom {
+            p.l0_invalidate();
+        }
+        if let Some(t) = &mut self.tsb {
+            t.l0_invalidate();
+        }
+    }
+
     /// The single implementation behind the timed and functional access
     /// paths, monomorphized on `TIMED` so the functional instantiation
     /// compiles with every cycle account, DRAM call and criticality
@@ -659,12 +782,14 @@ impl MemoryHierarchy {
                 (page, frame, true)
             }
             TranslationScheme::Tsb | TranslationScheme::TsbCsalt => {
-                let (page, frame, tsb_cycles, walked) = self.tsb_translate::<TIMED>(core, ctx, va);
+                let (page, frame, tsb_cycles, walked) =
+                    self.tsb_translate::<TIMED>(core, ctx, va, hint);
                 cycles += tsb_cycles;
                 (page, frame, walked)
             }
             _ => {
-                let (page, frame, pom_cycles, walked) = self.pom_translate::<TIMED>(core, ctx, va);
+                let (page, frame, pom_cycles, walked) =
+                    self.pom_translate::<TIMED>(core, ctx, va, hint);
                 cycles += pom_cycles;
                 (page, frame, walked)
             }
@@ -688,27 +813,33 @@ impl MemoryHierarchy {
     }
 
     /// POM-TLB translation: one cacheable access to the entry's home
-    /// line; on an array miss, a page walk followed by an insert.
+    /// line; on an array miss, a page walk followed by an insert. The
+    /// array is probed through `hint`'s prepacked keys, same as the SRAM
+    /// levels.
     fn pom_translate<const TIMED: bool>(
         &mut self,
         core: CoreId,
         ctx: ContextId,
         va: VirtAddr,
+        hint: &TranslationHint,
     ) -> (csalt_types::VirtPage, PhysFrame, Cycle, bool) {
         let asid = self.asid_of(ctx);
         let probe_2m = self.huge.fraction_2m > 0.0;
         let mut cycles = 0;
 
-        let sizes: &[csalt_types::PageSize] = if probe_2m {
-            &[csalt_types::PageSize::Size4K, csalt_types::PageSize::Size2M]
+        let sizes: &[(csalt_types::PageSize, u64)] = if probe_2m {
+            &[
+                (csalt_types::PageSize::Size4K, hint.packed_4k),
+                (csalt_types::PageSize::Size2M, hint.packed_2m),
+            ]
         } else {
-            &[csalt_types::PageSize::Size4K]
+            &[(csalt_types::PageSize::Size4K, hint.packed_4k)]
         };
-        for (i, &size) in sizes.iter().enumerate() {
+        for (i, &(size, packed)) in sizes.iter().enumerate() {
             let page = va.page(size);
             let (lookup_line, found) = {
                 let pom = self.pom.as_mut().expect("POM scheme has a POM-TLB");
-                let r = pom.lookup(page, asid);
+                let r = pom.lookup_prepacked(packed);
                 (r.line, r.frame)
             };
             // The lookup is one memory access to the home line; the data
@@ -756,14 +887,16 @@ impl MemoryHierarchy {
         core: CoreId,
         ctx: ContextId,
         va: VirtAddr,
+        hint: &TranslationHint,
     ) -> (csalt_types::VirtPage, PhysFrame, Cycle, bool) {
         let asid = self.asid_of(ctx);
         // The TSB stores entries at the terminal page size; probe 4K
-        // (the dominant size; a 2M-policy miss simply walks).
+        // (the dominant size; a 2M-policy miss simply walks). The probe
+        // goes through the hint's prepacked 4K key.
         let page = va.page(csalt_types::PageSize::Size4K);
         let (frame, accesses) = {
             let tsb = self.tsb.as_mut().expect("TSB scheme has a TSB");
-            let r = tsb.lookup(page, asid);
+            let r = tsb.lookup_prepacked(hint.packed_4k);
             (r.frame, r.accesses)
         };
         let mut cycles = 0;

@@ -41,7 +41,7 @@
 mod hierarchy;
 mod managed;
 
-pub use hierarchy::{AccessCharge, HierarchySnapshot, MemoryHierarchy};
+pub use hierarchy::{AccessCharge, BlockAccess, HierarchySnapshot, MemoryHierarchy};
 pub use managed::{CacheManagement, ManagedCache, PartitionSample};
 
 // Re-export the stage-trace vocabulary so downstream consumers of

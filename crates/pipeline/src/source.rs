@@ -35,6 +35,12 @@ const SPINS_PER_YIELD: u32 = 64;
 /// Sample ring occupancy every this many pops.
 const OCCUPANCY_SAMPLE_EVERY: u64 = 1024;
 
+/// Records drained from a ring per `pop_block` call — one Acquire/
+/// Release round trip on the shared indices amortized over this many
+/// records. Sized below [`BATCH`] so a drain never starves the commit
+/// stage waiting on a whole producer batch.
+const DRAIN_BLOCK: usize = 64;
+
 /// Point-in-time pipeline progress, readable from the commit-stage
 /// thread while producers are still running (progress lines, trace
 /// events). Monotonic between reads; never feeds simulated results.
@@ -49,6 +55,10 @@ pub struct PipelineProgress {
     pub producer_stalls: u64,
     /// Consumer stall spins so far (ring empty when commit wanted one).
     pub consumer_stalls: u64,
+    /// Block drains the commit stage has taken so far.
+    pub block_drains: u64,
+    /// Records handed over by those block drains.
+    pub block_drained_records: u64,
 }
 
 /// One producer thread's end-of-run contribution, for per-thread
@@ -83,6 +93,13 @@ pub struct PipelineStats {
     pub occupancy_sum: u64,
     /// Number of occupancy samples taken.
     pub occupancy_samples: u64,
+    /// `pop_block` calls the commit stage took (each is one shared-line
+    /// round trip, however many records it drained).
+    pub block_drains: u64,
+    /// Records delivered by block drains. At least `records_committed`
+    /// (every committed record arrives via a block; the local buffers
+    /// may still hold a drained-but-uncommitted tail at finish).
+    pub block_drained_records: u64,
     /// Per-producer-thread staging/stall breakdown, indexed by thread.
     pub per_producer: Vec<ProducerPerf>,
 }
@@ -96,6 +113,16 @@ impl PipelineStats {
             return 0.0;
         }
         self.occupancy_sum as f64 / self.occupancy_samples as f64 / self.ring_capacity as f64
+    }
+
+    /// Mean records per block drain — the achieved amortization factor
+    /// (1.0 would mean the batching bought nothing).
+    #[must_use]
+    pub fn mean_drain_block(&self) -> f64 {
+        if self.block_drains == 0 {
+            return 0.0;
+        }
+        self.block_drained_records as f64 / self.block_drains as f64
     }
 }
 
@@ -122,11 +149,24 @@ struct Slot {
     out: Producer<StagedAccess>,
 }
 
+/// Commit-side local buffer over one `(core, VM)` ring: `pop_block`
+/// refills it wholesale, `next` hands records out one at a time. A
+/// plain `Vec` plus cursor (no `VecDeque`) — the buffer is always
+/// drained to empty before the next refill, so the front never moves.
+#[derive(Default)]
+struct DrainBuf {
+    buf: Vec<StagedAccess>,
+    cursor: usize,
+}
+
 /// The consumer-side façade over all `(core, VM)` rings, plus the
 /// handles of the producer threads filling them.
 pub struct StagedStreams {
     /// `rings[core][vm]`.
     rings: Vec<Vec<Consumer<StagedAccess>>>,
+    /// `bufs[core][vm]`: the local block each ring was last drained
+    /// into.
+    bufs: Vec<Vec<DrainBuf>>,
     stop: Arc<AtomicBool>,
     handles: Vec<JoinHandle<ProducerReport>>,
     producers: usize,
@@ -135,6 +175,8 @@ pub struct StagedStreams {
     consumer_stalls: u64,
     occupancy_sum: u64,
     occupancy_samples: u64,
+    block_drains: u64,
+    block_drained_records: u64,
     staged_total: u64,
     producer_stalls_total: u64,
     per_producer: Vec<ProducerPerf>,
@@ -209,6 +251,9 @@ impl StagedStreams {
             .collect();
 
         Self {
+            bufs: (0..consumers.len())
+                .map(|_| (0..vms).map(|_| DrainBuf::default()).collect())
+                .collect(),
             rings: consumers,
             stop,
             handles,
@@ -218,6 +263,8 @@ impl StagedStreams {
             consumer_stalls: 0,
             occupancy_sum: 0,
             occupancy_samples: 0,
+            block_drains: 0,
+            block_drained_records: 0,
             staged_total: 0,
             producer_stalls_total: 0,
             per_producer: Vec::new(),
@@ -235,6 +282,8 @@ impl StagedStreams {
             records_committed: self.pops,
             producer_stalls: self.live.stalls.load(Ordering::Relaxed),
             consumer_stalls: self.consumer_stalls,
+            block_drains: self.block_drains,
+            block_drained_records: self.block_drained_records,
         }
     }
 
@@ -249,27 +298,44 @@ impl StagedStreams {
     /// Pops the next access of `(core, vm)`, spinning (with periodic
     /// yields) until the producer has staged it. This is the commit
     /// stage's only hot-path call.
+    ///
+    /// Records are drained from the ring in blocks of up to
+    /// [`DRAIN_BLOCK`] (one shared-index round trip per block, see
+    /// [`Consumer::pop_block`]) and handed out one at a time from a
+    /// local buffer, so the per-`(core, vm)` FIFO order is exactly that
+    /// of single pops.
     #[inline]
     pub fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
-        let ring = &mut self.rings[core][vm];
-        let mut spins: u32 = 0;
-        loop {
-            if let Some(rec) = ring.pop() {
-                self.pops += 1;
-                if self.pops.is_multiple_of(OCCUPANCY_SAMPLE_EVERY) {
-                    self.occupancy_sum += ring.occupancy() as u64;
-                    self.occupancy_samples += 1;
+        let buf = &mut self.bufs[core][vm];
+        if buf.cursor == buf.buf.len() {
+            buf.buf.clear();
+            buf.cursor = 0;
+            let ring = &mut self.rings[core][vm];
+            let mut spins: u32 = 0;
+            loop {
+                let n = ring.pop_block(&mut buf.buf, DRAIN_BLOCK);
+                if n > 0 {
+                    self.block_drains += 1;
+                    self.block_drained_records += n as u64;
+                    break;
                 }
-                return rec;
-            }
-            self.consumer_stalls += 1;
-            spins += 1;
-            if spins.is_multiple_of(SPINS_PER_YIELD) {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
+                self.consumer_stalls += 1;
+                spins += 1;
+                if spins.is_multiple_of(SPINS_PER_YIELD) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
             }
         }
+        let rec = buf.buf[buf.cursor];
+        buf.cursor += 1;
+        self.pops += 1;
+        if self.pops.is_multiple_of(OCCUPANCY_SAMPLE_EVERY) {
+            self.occupancy_sum += self.rings[core][vm].occupancy() as u64;
+            self.occupancy_samples += 1;
+        }
+        rec
     }
 
     /// Stops and joins the producers, returning the run's pipeline
@@ -294,6 +360,8 @@ impl StagedStreams {
             ring_capacity: self.ring_capacity,
             occupancy_sum: self.occupancy_sum,
             occupancy_samples: self.occupancy_samples,
+            block_drains: self.block_drains,
+            block_drained_records: self.block_drained_records,
             per_producer: self.per_producer.clone(),
         }
     }
@@ -395,6 +463,14 @@ mod tests {
         assert_eq!(stats.records_committed, 2_000);
         assert!(stats.records_staged >= 2_000);
         assert_eq!(stats.producers, 2);
+        assert!(
+            stats.block_drained_records >= stats.records_committed,
+            "every committed record arrived via a block drain"
+        );
+        assert!(
+            stats.block_drains <= stats.block_drained_records,
+            "a drain delivers at least one record"
+        );
     }
 
     #[test]
@@ -448,6 +524,8 @@ mod tests {
         let p = streams.progress();
         assert_eq!(p.records_committed, 500);
         assert!(p.records_staged >= 1, "producer has staged something");
+        assert!(p.block_drains >= 1, "commit went through the block path");
+        assert!(p.block_drained_records >= p.records_committed);
         let stats = streams.finish();
         assert_eq!(stats.records_committed, 500);
         assert!(stats.records_staged >= p.records_staged);

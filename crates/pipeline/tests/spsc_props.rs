@@ -51,6 +51,64 @@ proptest! {
         prop_assert_eq!(next_pop, next_push, "drain lost records");
     }
 
+    /// Block drains observe exactly the FIFO order of single pops: a
+    /// randomized mix of `pop` and `pop_block` calls (randomized block
+    /// caps included) yields the same sequence single pops would,
+    /// with nothing lost, invented, or duplicated.
+    #[test]
+    fn pop_block_matches_single_pop_order(
+        capacity in 1usize..64,
+        ops in prop::collection::vec((0u8..3, 1usize..40), 1..200),
+    ) {
+        let (mut tx, mut rx) = ring::<u64>(capacity);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        let mut block = Vec::new();
+        for (kind, amount) in ops {
+            match kind {
+                0 => {
+                    let batch: Vec<u64> = (next_push..next_push + amount as u64).collect();
+                    next_push += tx.push_batch(&batch) as u64;
+                }
+                1 => {
+                    for _ in 0..amount {
+                        match rx.pop() {
+                            Some(v) => {
+                                prop_assert_eq!(v, next_pop, "single pop out of order");
+                                next_pop += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                _ => {
+                    block.clear();
+                    let n = rx.pop_block(&mut block, amount);
+                    prop_assert_eq!(n, block.len());
+                    prop_assert!(n <= amount, "block exceeded its cap");
+                    for &v in &block {
+                        prop_assert_eq!(v, next_pop, "block drain out of order");
+                        next_pop += 1;
+                    }
+                }
+            }
+            prop_assert!(next_pop <= next_push, "popped a record never pushed");
+        }
+        // Drain with maximal blocks: exactly the outstanding records.
+        loop {
+            block.clear();
+            if rx.pop_block(&mut block, usize::MAX) == 0 {
+                break;
+            }
+            for &v in &block {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+        }
+        prop_assert_eq!(next_pop, next_push, "drain lost records");
+        prop_assert_eq!(rx.pop(), None);
+    }
+
     /// A full ring truncates the batch rather than overwriting: the
     /// pushed prefix survives verbatim.
     #[test]

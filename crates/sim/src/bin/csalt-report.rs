@@ -68,6 +68,32 @@ fn telemetry_report(path: &PathBuf, check: bool) {
             emit(&table);
         }
     }
+    // L0 memo and pipeline block-drain gauges from the stream's
+    // instruments record, when the run recorded them.
+    {
+        use csalt_telemetry::{l0_metrics, pipeline_metrics};
+        if let (Some(hits), Some(inv)) = (
+            summary.counter(l0_metrics::HITS),
+            summary.counter(l0_metrics::INVALIDATIONS),
+        ) {
+            emit(&format!(
+                "l0 memo: {hits} scan-skipping hits, {inv} invalidations\n"
+            ));
+        }
+        if let (Some(drains), Some(records)) = (
+            summary.counter(pipeline_metrics::BLOCK_DRAINS),
+            summary.counter(pipeline_metrics::BLOCK_DRAINED_RECORDS),
+        ) {
+            let mean = if drains == 0 {
+                0.0
+            } else {
+                records as f64 / drains as f64
+            };
+            emit(&format!(
+                "pipeline block drains: {drains} ({records} records, mean {mean:.1} per drain)\n"
+            ));
+        }
+    }
     if check && !summary.is_clean() {
         eprintln!(
             "telemetry check FAILED: {} parse errors, {} stage-sum violations",

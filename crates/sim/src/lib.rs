@@ -35,7 +35,7 @@ pub mod sweep;
 
 pub use csalt_pipeline::{PipelineStats, ThreadBudget};
 pub use simulator::{
-    build_threads, run, run_inline, run_pipelined, run_with_generators, run_with_stats,
+    build_threads, run, run_inline, run_pipelined, run_with_generators, run_with_stats, L0Request,
     OccupancySample, PipelineRequest, SimConfig, SimResult, WarmupMode,
 };
 pub use sweep::{Sweep, SweepOptions, SweepStats};

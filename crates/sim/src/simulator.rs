@@ -21,7 +21,9 @@
 //! misses overlap through MSHRs; translations do not).
 
 use crate::fastforward::{functional_phase, FunctionalSchedule};
-use csalt_core::{AccessCharge, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample};
+use csalt_core::{
+    AccessCharge, BlockAccess, HierarchySnapshot, MemoryHierarchy, PartitionSample, StageSample,
+};
 use csalt_pipeline::{
     PipelineProgress, PipelineStats, Reservation, StagedAccess, StagedStreams, ThreadBudget,
 };
@@ -403,6 +405,42 @@ impl PipelineRequest {
     }
 }
 
+/// Whether the L0 hit-way memos run (the `CSALT_L0` env var). The memo
+/// is a pure scan-skip — both settings are bit-identical on every
+/// simulated counter — so it defaults on; the switch exists for the
+/// determinism gates and the bench's ablation row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L0Request {
+    /// Disable the memos: every lookup scans its set.
+    Off,
+    /// Run with the memos in front of the set scans (the default).
+    On,
+}
+
+impl L0Request {
+    /// Parses a `CSALT_L0` value. `0`/`off`/`false` (any case) disable;
+    /// everything else — including unset — enables.
+    #[must_use]
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.map(str::to_ascii_lowercase).as_deref() {
+            Some("0" | "off" | "false") => L0Request::Off,
+            _ => L0Request::On,
+        }
+    }
+
+    /// The request selected by the `CSALT_L0` environment variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("CSALT_L0").ok().as_deref())
+    }
+
+    /// Whether the memos should be enabled.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        self == L0Request::On
+    }
+}
+
 /// Builds the per-(VM, core) generator matrix (`[vm][core]`) a run of
 /// `cfg` executes: one hierarchy context per VM, one seeded generator
 /// per (VM, core) — the VM's per-core thread. Public so callers can
@@ -701,7 +739,21 @@ fn timed_phase<H: PhaseHooks, S: AccessSource>(
         .iter()
         .filter(|c| c.accesses_done < total_per_core)
         .count();
+    // Sweep scratch, reused so the hot loop never allocates: the
+    // gathered block, its `(core, vm, traced)` metadata, and the
+    // commit charges.
+    let mut block: Vec<BlockAccess> = Vec::with_capacity(cores);
+    let mut block_meta: Vec<(usize, usize, bool)> = Vec::with_capacity(cores);
+    let mut charges: Vec<AccessCharge> = Vec::with_capacity(cores);
     while remaining > 0 {
+        // Gather: run every active core's scheduling step (quantum
+        // check, stream pop) and stage the sweep's accesses as one
+        // block. Each core's schedule reads only its own state, which
+        // this sweep's commits have not touched yet, so deciding all
+        // switches before any commit sees exactly the values the
+        // historical interleaved loop saw.
+        block.clear();
+        block_meta.clear();
         for (core, state) in cores_state.iter_mut().enumerate() {
             if state.accesses_done >= total_per_core {
                 continue;
@@ -717,33 +769,76 @@ fn timed_phase<H: PhaseHooks, S: AccessSource>(
                 if let Some(h) = hooks.as_deref_mut() {
                     h.on_context_switch(core, from_vm, state.current_vm, state.cycles);
                 }
+                // The memoized hit-ways belong to the outgoing VM's
+                // working set; drop them. Stats-only — the memo never
+                // holds simulated state.
+                hier.l0_note_context_switch(core);
             }
 
             let vm = state.current_vm as usize;
             let staged = source.next(core, vm);
-            let acc = staged.acc;
             let traced = hooks
                 .as_deref_mut()
-                .is_some_and(|h| h.wants_trace(total_done));
-            let charge = if traced {
-                let at_cycles = state.cycles;
-                let (charge, stages) = hier.access_traced(CoreId::new(core as u8), vm_ctx[vm], acc);
+                .is_some_and(|h| h.wants_trace(total_done + block.len() as u64));
+            block.push(BlockAccess {
+                core: CoreId::new(core as u8),
+                ctx: vm_ctx[vm],
+                acc: staged.acc,
+                hint: staged.hint,
+            });
+            block_meta.push((core, vm, traced));
+        }
+
+        // Commit: contiguous untraced runs flow through the batched
+        // entry point (one call per run); traced accesses commit
+        // individually for their stage attribution. Hierarchy mutation
+        // order is the gather order — the historical per-core order —
+        // so results stay bit-identical.
+        charges.clear();
+        let mut i = 0;
+        while i < block.len() {
+            if block_meta[i].2 {
+                let (core, vm, _) = block_meta[i];
+                let b = block[i];
+                let at_cycles = cores_state[core].cycles;
+                let (charge, stages) = hier.access_traced(b.core, b.ctx, b.acc);
                 if let Some(h) = hooks.as_deref_mut() {
                     h.on_traced(
-                        total_done, core, vm_ctx[vm], &acc, &charge, stages, at_cycles,
+                        total_done + i as u64,
+                        core,
+                        vm_ctx[vm],
+                        &b.acc,
+                        &charge,
+                        stages,
+                        at_cycles,
                     );
                 }
-                charge
+                charges.push(charge);
+                i += 1;
             } else {
-                hier.access_hinted(CoreId::new(core as u8), vm_ctx[vm], acc, &staged.hint)
-            };
+                let start = i;
+                while i < block.len() && !block_meta[i].2 {
+                    i += 1;
+                }
+                hier.access_block_hinted(&block[start..i], &mut charges);
+            }
+        }
+
+        // Retire: per-access cycle model and bookkeeping, in commit
+        // order. Core cycle counters were untouched since gather, so
+        // every access charges against exactly the state it would
+        // have seen interleaved.
+        for (k, &(core, _vm, _traced)) in block_meta.iter().enumerate() {
+            let charge = &charges[k];
             if let Some(h) = hooks.as_deref_mut() {
-                h.on_access(&charge);
+                h.on_access(charge);
             }
             total_done += 1;
 
             // Cycle model: compute instructions + blocking
             // translation + overlapped data stalls.
+            let acc = block[k].acc;
+            let state = &mut cores_state[core];
             let compute = (acc.instructions() as f64 * system.base_cpi).ceil() as Cycle;
             let data_stall = charge.data_cycles.saturating_sub(system.l1d.latency);
             let overlapped = (data_stall as f64 / system.mlp).round() as Cycle;
@@ -825,6 +920,11 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
         huge,
         cfg.profiler_interval,
     );
+    // The L0 hit-way memos are on by default; `CSALT_L0=off` scans
+    // every set instead. Both settings are bit-identical (the memo
+    // replays the exact state mutations of the scan it skips), which
+    // the determinism gates pin.
+    hier.set_l0_memo(L0Request::from_env().enabled());
     if cfg.trace_partitions {
         hier.enable_partition_trace();
     }
@@ -1108,6 +1208,7 @@ pub fn run_instrumented_with_stats(
         l3_decisions_seen: 0,
         last_commit_wall: wall_start.unwrap_or(0),
         last_progress: PipelineProgress::default(),
+        last_l0: csalt_types::L0Stats::default(),
     };
     let (result, pipeline) = execute(
         cfg,
@@ -1124,9 +1225,12 @@ pub fn run_instrumented_with_stats(
         rec.counter(m::RECORDS_COMMITTED, p.records_committed);
         rec.counter(m::PRODUCER_STALLS, p.producer_stalls);
         rec.counter(m::CONSUMER_STALLS, p.consumer_stalls);
+        rec.counter(m::BLOCK_DRAINS, p.block_drains);
+        rec.counter(m::BLOCK_DRAINED_RECORDS, p.block_drained_records);
         rec.gauge(m::PRODUCERS, p.producers as f64);
         rec.gauge(m::RING_CAPACITY, p.ring_capacity as f64);
         rec.gauge(m::MEAN_RING_OCCUPANCY, p.mean_occupancy());
+        rec.gauge(m::MEAN_DRAIN_BLOCK, p.mean_drain_block());
         // One wall-domain span per producer thread: the session the
         // thread spent staging records, with its totals attached.
         if let Some(t) = hooks.inst.trace.as_deref_mut() {
@@ -1148,6 +1252,16 @@ pub fn run_instrumented_with_stats(
                 t.end(Domain::Wall, tid, end, "produce");
             }
         }
+    }
+    {
+        // The L0 memo counters ride the same end-of-stream instruments
+        // record. `last_l0` is the final epoch's reading, i.e. the
+        // measured phase's totals (warmup resets them with the rest).
+        use csalt_telemetry::l0_metrics as l0m;
+        let l0 = hooks.last_l0;
+        let rec = &mut *hooks.inst.recorder;
+        rec.counter(l0m::HITS, l0.hits);
+        rec.counter(l0m::INVALIDATIONS, l0.invalidations);
     }
     hooks.finish();
     (result, pipeline)
@@ -1182,6 +1296,10 @@ struct LiveHooks<'a, 'b> {
     /// Wall timestamp where the current commit span began.
     last_commit_wall: u64,
     last_progress: PipelineProgress,
+    /// Hierarchy-wide L0 memo counters as of the last emitted epoch,
+    /// so the end-of-run instruments can report them after the
+    /// hierarchy is gone.
+    last_l0: csalt_types::L0Stats,
 }
 
 /// Cycles-domain track id of a core (`tid` 0 is the partitioner).
@@ -1355,6 +1473,7 @@ impl LiveHooks<'_, '_> {
         if self.inst.trace.is_some() {
             self.trace_epoch(hier, cores, total, progress);
         }
+        self.last_l0 = hier.l0_stats();
         let snap = hier.snapshot();
         let delta = match &self.prev {
             Some(p) => snap.delta_since(p),
@@ -1565,14 +1684,17 @@ impl PhaseHooks for LiveHooks<'_, '_> {
                         p.records_staged, p.records_committed, p.producer_stalls, p.consumer_stalls,
                     )
                 });
+                let l0 = self.last_l0;
                 eprintln!(
-                    "[csalt] {} / {}: epoch {}, {total} of {target} accesses retired ({} remaining), data ways l2/l3 {}/{}{}",
+                    "[csalt] {} / {}: epoch {}, {total} of {target} accesses retired ({} remaining), data ways l2/l3 {}/{}, l0 memo {} hits / {} inv{}",
                     self.workload,
                     self.scheme,
                     self.epoch,
                     target.saturating_sub(total),
                     ways(l2_ways),
                     ways(l3_ways),
+                    l0.hits,
+                    l0.invalidations,
                     pipe,
                 );
             }
@@ -1734,6 +1856,39 @@ mod tests {
         }
         assert_eq!(PipelineRequest::parse(Some("force")), Force);
         assert_eq!(PipelineRequest::parse(Some("FORCE")), Force);
+    }
+
+    #[test]
+    fn l0_request_parses_every_spelling() {
+        use L0Request::{Off, On};
+        for off in [Some("0"), Some("off"), Some("false"), Some("OFF")] {
+            assert_eq!(L0Request::parse(off), Off, "{off:?}");
+        }
+        for on in [None, Some(""), Some("1"), Some("on"), Some("true")] {
+            assert_eq!(L0Request::parse(on), On, "{on:?}");
+        }
+        assert!(On.enabled());
+        assert!(!Off.enabled());
+    }
+
+    #[test]
+    fn l0_memo_off_matches_on_bit_for_bit() {
+        // The memo is a scan-skip, not a model change: disabling it via
+        // the env var must not move any simulated counter. (Parallel
+        // tests racing on the var are harmless for exactly that
+        // reason.)
+        let mut cfg = quick(TranslationScheme::CsaltCd);
+        cfg.accesses_per_core = 5_000;
+        cfg.warmup_accesses_per_core = 2_000;
+        std::env::set_var("CSALT_L0", "off");
+        let off = run_inline(&cfg);
+        std::env::set_var("CSALT_L0", "on");
+        let on = run_inline(&cfg);
+        std::env::remove_var("CSALT_L0");
+        assert_eq!(
+            serde_json::to_string(&off).expect("serialize"),
+            serde_json::to_string(&on).expect("serialize"),
+        );
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub mod report;
 
 pub use histogram::{Log2Histogram, BUCKETS};
 pub use record::{
-    pipeline_metrics, EpochRecord, HistogramRecord, InstrumentsRecord, ProvenanceRecord, ServedBy,
-    StageSample, TelemetryRecord, WalkStage, WalkTraceRecord, FORMAT_VERSION,
+    l0_metrics, pipeline_metrics, EpochRecord, HistogramRecord, InstrumentsRecord,
+    ProvenanceRecord, ServedBy, StageSample, TelemetryRecord, WalkStage, WalkTraceRecord,
+    FORMAT_VERSION,
 };
 pub use recorder::{
     MemoryRecorder, NullRecorder, Recorder, SharedRecorder, StreamFormat, StreamRecorder,

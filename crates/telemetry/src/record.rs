@@ -302,6 +302,28 @@ pub mod pipeline_metrics {
     /// Gauge: mean sampled occupancy of the ring being popped, as a
     /// fraction of capacity.
     pub const MEAN_RING_OCCUPANCY: &str = "pipeline.mean_ring_occupancy";
+    /// Counter: `pop_block` drains the commit stage took (each is one
+    /// shared-index round trip, however many records it delivered).
+    pub const BLOCK_DRAINS: &str = "pipeline.block_drains";
+    /// Counter: records delivered by block drains.
+    pub const BLOCK_DRAINED_RECORDS: &str = "pipeline.block_drained_records";
+    /// Gauge: mean records per block drain — the achieved shared-line
+    /// amortization factor.
+    pub const MEAN_DRAIN_BLOCK: &str = "pipeline.mean_drain_block";
+}
+
+/// Instrument names for the L0 hit-way memo in front of the TLB/cache
+/// set scans (they land in the stream's final [`InstrumentsRecord`]):
+/// how often the last-hit fast path fired and how often its entries
+/// were dropped by the invalidation discipline (inserts into the
+/// memoized set, flushes, repartitions, context switches).
+pub mod l0_metrics {
+    /// Counter: set scans skipped by a memo hit, summed over every
+    /// memoized component (SRAM TLBs, POM-TLB, TSB, caches, all cores).
+    pub const HITS: &str = "l0.hits";
+    /// Counter: live memo entries dropped by invalidation, summed the
+    /// same way.
+    pub const INVALIDATIONS: &str = "l0.invalidations";
 }
 
 /// End-of-stream integrity footer.

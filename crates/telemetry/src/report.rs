@@ -30,6 +30,11 @@ pub struct StreamSummary {
     pub histograms: u64,
     /// Instruments records seen.
     pub instruments: u64,
+    /// Stream-wide counters merged (summed) across instruments records,
+    /// keyed by instrument name.
+    pub counter_values: BTreeMap<String, u64>,
+    /// Last-written gauges across instruments records, keyed by name.
+    pub gauge_values: BTreeMap<String, f64>,
     /// Stream footer, present only on truncated/erroring streams.
     pub footer: Option<FooterRecord>,
     /// Epoch records in stream order, kept whole for timeline rendering.
@@ -68,6 +73,13 @@ impl StreamSummary {
     #[must_use]
     pub fn histogram(&self, instrument: &str, scheme: &str) -> Option<&Log2Histogram> {
         self.merged.get(&(instrument.to_owned(), scheme.to_owned()))
+    }
+
+    /// A stream-wide counter by instrument name, when any instruments
+    /// record carried it.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counter_values.get(name).copied()
     }
 
     /// Renders a markdown percentile table for one instrument, one row
@@ -129,7 +141,15 @@ impl StreamSummary {
                     .or_default()
                     .merge(&record.to_histogram());
             }
-            TelemetryRecord::Instruments { .. } => self.instruments += 1,
+            TelemetryRecord::Instruments { record } => {
+                self.instruments += 1;
+                for (name, value) in &record.counters {
+                    *self.counter_values.entry(name.clone()).or_default() += value;
+                }
+                for (name, value) in &record.gauges {
+                    self.gauge_values.insert(name.clone(), *value);
+                }
+            }
             TelemetryRecord::Footer { record } => self.footer = Some(*record),
         }
     }

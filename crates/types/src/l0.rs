@@ -1,0 +1,211 @@
+//! L0 hit-way memoization: a one-entry "level zero" cache in front of
+//! an associative lookup structure.
+//!
+//! Real access streams are overwhelmingly page- and line-local, so the
+//! most common lookup is a repeat of the previous one. An [`L0Memo`]
+//! remembers the last *hit*'s `(packed key → set, way)` plus a small
+//! copyable payload (typically the frame that hit); on a repeat access
+//! to the same key the owner skips the associative set scan and replays
+//! exactly the state mutations the scan's hit path would have performed
+//! (replacement stamp, hit counter). The memo therefore never changes
+//! *what* happens — only how the hit is found — and results stay
+//! bit-identical with the memo on, off, or flapping.
+//!
+//! The contract that keeps that true is the invalidation discipline,
+//! owned by the embedding structure:
+//!
+//! * any insert/eviction touching the memoized set invalidates,
+//! * structural moves (epoch repartition, flush, ASID flush, table
+//!   materialization) invalidate,
+//! * the hierarchy invalidates every memo on a context switch — the
+//!   event the paper identifies as destroying translation locality —
+//!   which also covers ASID recycling.
+//!
+//! This module is integer-only by policy (srclint `float-deny`): memos
+//! sit on counter-bearing hot paths.
+
+/// Sentinel meaning "no entry memoized". Shared with the TLB packing
+/// convention ([`crate::hint::PACKED_TLB_EMPTY`]): no real packed key —
+/// or cache line number — is all-ones.
+const L0_EMPTY: u64 = u64::MAX;
+
+/// Hit/invalidation counters of one memo, cheap enough to sum across a
+/// whole hierarchy every sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L0Stats {
+    /// Lookups served by the memo (set scan skipped).
+    pub hits: u64,
+    /// Times the memoized entry was dropped by an invalidation rule.
+    pub invalidations: u64,
+}
+
+impl L0Stats {
+    /// Component-wise sum, for aggregating per-component memos.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            hits: self.hits + other.hits,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+}
+
+/// A one-entry hit-way memo. `P` is whatever the owner needs back on a
+/// repeat hit without re-reading its arrays (a frame, a precomputed
+/// line list, or `()` when `(set, way)` alone suffices).
+#[derive(Debug, Clone)]
+pub struct L0Memo<P: Copy> {
+    key: u64,
+    set: u64,
+    way: u32,
+    payload: Option<P>,
+    enabled: bool,
+    stats: L0Stats,
+}
+
+impl<P: Copy> Default for L0Memo<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Copy> L0Memo<P> {
+    /// An empty, enabled memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            key: L0_EMPTY,
+            set: 0,
+            way: 0,
+            payload: None,
+            enabled: true,
+            stats: L0Stats::default(),
+        }
+    }
+
+    /// Enables or disables the memo. Disabling drops the entry (not
+    /// counted as an invalidation: nothing structural happened) so a
+    /// later re-enable can never serve stale state.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.key = L0_EMPTY;
+            self.payload = None;
+        }
+    }
+
+    /// Whether lookups may be served from the memo.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Serves a repeat lookup: `Some((set, way, payload))` when `key`
+    /// is the memoized key. The caller must replay the hit path's state
+    /// mutations itself — the memo only locates the entry.
+    #[inline]
+    #[must_use]
+    pub fn hit(&mut self, key: u64) -> Option<(u64, u32, P)> {
+        if self.key == key {
+            if let Some(p) = self.payload {
+                self.stats.hits += 1;
+                return Some((self.set, self.way, p));
+            }
+        }
+        None
+    }
+
+    /// Memoizes the latest hit. No-op while disabled.
+    #[inline]
+    pub fn remember(&mut self, key: u64, set: u64, way: u32, payload: P) {
+        if self.enabled {
+            self.key = key;
+            self.set = set;
+            self.way = way;
+            self.payload = Some(payload);
+        }
+    }
+
+    /// Drops the entry unconditionally (flush, repartition, context
+    /// switch…). Counted only when an entry was actually live.
+    #[inline]
+    pub fn invalidate(&mut self) {
+        if self.payload.is_some() {
+            self.stats.invalidations += 1;
+        }
+        self.key = L0_EMPTY;
+        self.payload = None;
+    }
+
+    /// Drops the entry iff it lives in `set` — the insert/eviction
+    /// rule: any mutation of the memoized set may have moved or
+    /// replaced the entry (or changed what the scan would find first).
+    #[inline]
+    pub fn invalidate_set(&mut self, set: u64) {
+        if self.payload.is_some() && self.set == set {
+            self.invalidate();
+        }
+    }
+
+    /// Counter readings.
+    #[must_use]
+    pub fn stats(&self) -> L0Stats {
+        self.stats
+    }
+
+    /// Zeroes the counters (measured-phase reset). The entry survives:
+    /// resetting statistics must not change lookup behaviour.
+    pub fn reset_stats(&mut self) {
+        self.stats = L0Stats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_and_replays_the_last_hit() {
+        let mut m = L0Memo::new();
+        assert_eq!(m.hit(7), None);
+        m.remember(7, 3, 2, 42u64);
+        assert_eq!(m.hit(7), Some((3, 2, 42)));
+        assert_eq!(m.hit(8), None);
+        assert_eq!(m.stats().hits, 1);
+    }
+
+    #[test]
+    fn set_invalidation_only_drops_matching_sets() {
+        let mut m = L0Memo::new();
+        m.remember(7, 3, 0, ());
+        m.invalidate_set(4);
+        assert_eq!(m.hit(7), Some((3, 0, ())));
+        m.invalidate_set(3);
+        assert_eq!(m.hit(7), None);
+        assert_eq!(m.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn disabling_drops_the_entry_without_counting() {
+        let mut m = L0Memo::new();
+        m.remember(7, 3, 0, ());
+        m.set_enabled(false);
+        assert_eq!(m.hit(7), None);
+        assert_eq!(m.stats().invalidations, 0);
+        m.remember(9, 1, 0, ());
+        assert_eq!(m.hit(9), None, "disabled memo must not remember");
+        m.set_enabled(true);
+        m.remember(9, 1, 0, ());
+        assert_eq!(m.hit(9), Some((1, 0, ())));
+    }
+
+    #[test]
+    fn stats_reset_keeps_the_entry() {
+        let mut m = L0Memo::new();
+        m.remember(7, 3, 0, ());
+        assert!(m.hit(7).is_some());
+        m.reset_stats();
+        assert_eq!(m.stats(), L0Stats::default());
+        assert!(m.hit(7).is_some(), "reset must not change behaviour");
+    }
+}

@@ -138,6 +138,27 @@ fn every_scheme_matches_its_pinned_fingerprint() {
     }
 }
 
+/// The L0 hit-way memo is a scan-skip, not a model change: the pinned
+/// table must hold byte-for-byte with the memo force-disabled and
+/// force-enabled. (Tests racing on the env var in parallel are
+/// unaffected for exactly the reason this test exists — both settings
+/// produce identical counters.)
+#[test]
+fn pinned_fingerprints_hold_with_l0_memo_off_and_on() {
+    for setting in ["off", "on"] {
+        std::env::set_var("CSALT_L0", setting);
+        for scheme in schemes() {
+            let r = run(&config(scheme));
+            assert_eq!(
+                fingerprint(&r),
+                expected(scheme),
+                "scheme {scheme:?} diverged from its pinned counters with CSALT_L0={setting}"
+            );
+        }
+    }
+    std::env::remove_var("CSALT_L0");
+}
+
 /// The same fixed-seed run with functional (state-only) warmup and
 /// SMARTS-style sampled measurement windows — the fast-forward path's
 /// own pinned table. The access stream is identical to the timed run;
