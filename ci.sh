@@ -23,6 +23,11 @@
 #      cache, then warm from it — the warm pass must simulate nothing
 #      and reproduce byte-identical results, and cross-figure duplicate
 #      configs must be simulated exactly once
+#   6d. checkpoint gate: a smoke suite whose configs share warmup
+#      prefixes runs with checkpointed warmup + shared staged traces
+#      off and then on, both into fresh caches — the enabled pass must
+#      be byte-identical to the disabled one and restore at least one
+#      warmup snapshot (the fork-from-snapshot path provably ran)
 #   6b. functional fast-forward smoke: a `--warmup-mode functional`
 #      sampled-window run with the audit feature live (conservation
 #      laws checked at every epoch boundary), run twice — the two
@@ -37,6 +42,10 @@
 #      the L0 hit-way memo force-disabled and force-enabled must both
 #      hit the pinned counters on the threaded path too (the inline
 #      off/on matrix runs inside the suite itself)
+#   7c. the same snapshot across CSALT_CKPT=off|on x CSALT_PIPELINE=force:
+#      restored runs must hit the pinned counters bit-for-bit on the
+#      threaded path too (the inline off/on matrix runs inside the
+#      suite itself)
 #   8. pipeline-vs-inline equality at release length: the full
 #      (workload x scheme x virtualization) grid, longer runs than the
 #      debug suite (skipped with --quick; needs a release build)
@@ -99,6 +108,9 @@ cargo run -q -p csalt-sim --bin csalt-report -- bench-diff
 step "sweep cache gate (warm re-run simulates nothing, results byte-identical)"
 cargo run -q -p csalt-sim --bin csalt-experiments -- cache-gate
 
+step "checkpoint gate (fork-from-snapshot byte-identical, >=1 restore)"
+cargo run -q -p csalt-sim --bin csalt-experiments -- ckpt-gate
+
 step "functional fast-forward smoke (audit laws live, bit-deterministic)"
 tmp_ff_a="$(mktemp -t csalt-ff-a-XXXXXX.txt)"
 tmp_ff_b="$(mktemp -t csalt-ff-b-XXXXXX.txt)"
@@ -127,6 +139,11 @@ CSALT_PIPELINE=force cargo test -q --test determinism
 step "determinism snapshot under CSALT_L0=off|on x CSALT_PIPELINE=force (memo ablation)"
 for l0 in off on; do
     CSALT_L0="$l0" CSALT_PIPELINE=force cargo test -q --test determinism
+done
+
+step "determinism snapshot under CSALT_CKPT=off|on x CSALT_PIPELINE=force (restore ablation)"
+for ckpt in off on; do
+    CSALT_CKPT="$ckpt" CSALT_PIPELINE=force cargo test -q --test determinism
 done
 
 if [[ $quick -eq 0 ]]; then

@@ -44,12 +44,26 @@ struct SweepRecord {
     configs_unique: usize,
     /// Per-core accesses (measured phase) of each config.
     accesses_per_core: u64,
-    /// Cold pass: fresh cache directory, every unique config simulated.
+    /// Cold pass with checkpointing and the shared trace store
+    /// disabled: fresh cache directory, every unique config simulated
+    /// straight through (the pre-checkpoint baseline).
     cold_secs: f64,
+    /// Ablation cell: checkpointed warmup on, shared trace store off.
+    cold_ckpt_only_secs: f64,
+    /// Ablation cell: shared trace store on, checkpointed warmup off.
+    cold_store_only_secs: f64,
+    /// Cold pass with checkpointed warmup + shared staged traces
+    /// enabled: same suite, fresh directory, byte-identical results.
+    cold_ckpt_secs: f64,
+    /// `cold_secs / cold_ckpt_secs` — the fork-from-snapshot speedup.
+    ckpt_speedup: f64,
     /// Warm pass: same cache, zero simulations.
     warm_secs: f64,
-    /// Cold-pass sweep counters.
+    /// Cold-baseline sweep counters.
     cold: SweepStats,
+    /// Checkpointed-cold sweep counters (`restored` > 0 proves the
+    /// fork path ran).
+    cold_ckpt: SweepStats,
     /// Warm-pass sweep counters.
     warm: SweepStats,
 }
@@ -60,16 +74,25 @@ fn repo_root() -> PathBuf {
 
 /// A figure-suite stand-in with genuine cross-figure overlap: the
 /// fig07 grid (4 schemes × workloads) plus fig08/fig13-style
-/// re-submissions of its baselines.
-fn suite(accesses: u64) -> Vec<SimConfig> {
+/// re-submissions of its baselines, plus — like the real figure
+/// harnesses — per-config measured-phase variants (an occupancy-scan
+/// figure, a half-length zoom and a quarter-length convergence row)
+/// that share the base config's warmup prefix exactly. Warmup equals
+/// the measured length, matching `experiments::default_config`.
+///
+/// Full mode runs the real per-figure system parameters
+/// (`scaled::QUANTUM_10MS` / `scaled::EPOCH_256K` / full scale) so the
+/// warmup share of each run is what the actual figure suite pays;
+/// smoke mode shrinks them along with the access count to stay fast.
+fn suite(accesses: u64, smoke: bool) -> Vec<SimConfig> {
     let mk = |w: &WorkloadSpec, s: TranslationScheme| {
         let mut c = SimConfig::new(w.clone(), s);
         c.system.cores = 2;
-        c.system.cs_interval_cycles = 40_000;
-        c.system.epoch_accesses = 10_000;
+        c.system.cs_interval_cycles = if smoke { 40_000 } else { 400_000 };
+        c.system.epoch_accesses = if smoke { 10_000 } else { 32_000 };
         c.accesses_per_core = accesses;
-        c.warmup_accesses_per_core = accesses / 2;
-        c.scale = 0.1;
+        c.warmup_accesses_per_core = accesses;
+        c.scale = if smoke { 0.1 } else { 1.0 };
         c
     };
     let workloads = [
@@ -96,6 +119,23 @@ fn suite(accesses: u64) -> Vec<SimConfig> {
         }
         for s in [TranslationScheme::PomTlb, TranslationScheme::CsaltCd] {
             configs.push(mk(w, s));
+        }
+    }
+    // Measured-phase variants of every fig07 config: an occupancy-scan
+    // figure, a half-length zoom and a quarter-length convergence row.
+    // All share their base's warmup prefix — the fork-from-snapshot
+    // groups a cold suite restores in.
+    for w in &workloads {
+        for s in fig07 {
+            let mut occ = mk(w, s);
+            occ.occupancy_scan_interval = accesses / 32;
+            configs.push(occ);
+            let mut zoom = mk(w, s);
+            zoom.accesses_per_core = accesses / 2;
+            configs.push(zoom);
+            let mut quarter = mk(w, s);
+            quarter.accesses_per_core = accesses / 4;
+            configs.push(quarter);
         }
     }
     configs
@@ -138,17 +178,27 @@ fn refuse_dirty_overwrite(path: &Path, rev: &str, dirty: bool) {
 
 fn main() {
     let smoke = std::env::var_os("CSALT_SMOKE").is_some();
-    let accesses: u64 = if smoke { 6_000 } else { 30_000 };
-    let configs = suite(accesses);
+    // Full mode runs the real per-figure scale (`scaled::ACCESSES_PER_CORE`
+    // with warmup = accesses): at smaller sizes the timed warmup is a
+    // trivial fraction of a run and a warmup checkpoint has nothing to
+    // save, which would understate — not overstate — the suite effect.
+    let accesses: u64 = if smoke { 6_000 } else { 120_000 };
+    let configs = suite(accesses, smoke);
     let unique = configs
         .iter()
         .map(csalt_sim::sweep::config_key)
         .collect::<std::collections::HashSet<_>>()
         .len();
 
+    // Pass 1 — cold baseline: checkpointing and the shared trace store
+    // disabled, fresh cache directory. (Both layers resolve their
+    // directory from the environment, so the env is pointed at the
+    // pass's own directory throughout.)
     let dir = std::env::temp_dir().join(format!("csalt-bench-sweep-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-
+    std::env::set_var("CSALT_CACHE_DIR", &dir);
+    std::env::set_var("CSALT_CKPT", "off");
+    std::env::set_var("CSALT_TRACE_STORE", "off");
     let t = Instant::now();
     let cold_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
     let cold_results = cold_sweep.run_batch(configs.clone());
@@ -163,7 +213,58 @@ fn main() {
         configs.len() - unique,
         "cross-figure duplicates must be folded"
     );
+    let _ = std::fs::remove_dir_all(&dir);
 
+    // Ablation cells — each layer alone, fresh directory each time,
+    // byte-identical to the baseline. These two timings plus the
+    // baseline and pass 2 fill the EXPERIMENTS.md cold-suite ablation
+    // table.
+    let ablation = |ckpt: &str, store: &str| {
+        std::env::set_var("CSALT_CKPT", ckpt);
+        std::env::set_var("CSALT_TRACE_STORE", store);
+        csalt_sim::trace_store::clear_resident();
+        let t = Instant::now();
+        let sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+        let results = sweep.run_batch(configs.clone());
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            json(&cold_results),
+            json(&results),
+            "ablation pass (ckpt={ckpt}, store={store}) must be byte-identical to the baseline"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        secs
+    };
+    let cold_ckpt_only_secs = ablation("on", "off");
+    let cold_store_only_secs = ablation("off", "on");
+
+    // Pass 2 — checkpointed cold: same suite, fresh directory,
+    // checkpointed warmup + shared staged traces on. Must reproduce
+    // the baseline byte-for-byte and actually fork from snapshots.
+    std::env::set_var("CSALT_CKPT", "on");
+    std::env::set_var("CSALT_TRACE_STORE", "on");
+    csalt_sim::trace_store::clear_resident();
+    let t = Instant::now();
+    let ckpt_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+    let ckpt_results = ckpt_sweep.run_batch(configs.clone());
+    let cold_ckpt_secs = t.elapsed().as_secs_f64();
+    let cold_ckpt = ckpt_sweep.stats();
+    assert_eq!(
+        cold_ckpt.simulated as usize, unique,
+        "checkpointed cold pass must still simulate each unique config"
+    );
+    assert_eq!(
+        json(&cold_results),
+        json(&ckpt_results),
+        "checkpointed cold results must be byte-identical to the baseline"
+    );
+    assert!(
+        cold_ckpt.restored > 0,
+        "checkpointed cold pass must restore at least one warmup snapshot"
+    );
+    let ckpt_speedup = cold_secs / cold_ckpt_secs.max(f64::MIN_POSITIVE);
+
+    // Pass 3 — warm: same cache as pass 2, zero simulations.
     let t = Instant::now();
     let warm_sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
     let warm_results = warm_sweep.run_batch(configs.clone());
@@ -176,6 +277,9 @@ fn main() {
         "warm results must be byte-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
+    std::env::remove_var("CSALT_CACHE_DIR");
+    std::env::remove_var("CSALT_CKPT");
+    std::env::remove_var("CSALT_TRACE_STORE");
 
     let record = SweepRecord {
         git_rev: git_rev(),
@@ -185,22 +289,48 @@ fn main() {
         configs_unique: unique,
         accesses_per_core: accesses,
         cold_secs,
+        cold_ckpt_only_secs,
+        cold_store_only_secs,
+        cold_ckpt_secs,
+        ckpt_speedup,
         warm_secs,
         cold,
+        cold_ckpt,
         warm,
     };
     println!(
-        "sweep [{}]: {} configs ({} unique, {} deduped) cold {:.2}s -> warm {:.3}s \
-         ({} cache hits, 0 simulations){}",
+        "sweep [{}]: {} configs ({} unique, {} deduped) cold {:.2}s \
+         [ckpt-only {:.2}s, store-only {:.2}s] -> ckpt cold {:.2}s \
+         ({:.2}x, {} restored) -> warm {:.3}s ({} cache hits, 0 simulations){}",
         record.engine_fingerprint,
         record.configs_submitted,
         record.configs_unique,
         record.cold.deduped,
         record.cold_secs,
+        record.cold_ckpt_only_secs,
+        record.cold_store_only_secs,
+        record.cold_ckpt_secs,
+        record.ckpt_speedup,
+        record.cold_ckpt.restored,
         record.warm_secs,
         record.warm.cache_hits,
         if smoke { " [smoke]" } else { "" },
     );
+
+    // The acceptance bar: a checkpointed cold suite ≥1.5× the
+    // baseline (full mode; smoke sizes are dominated by fixed
+    // per-checkpoint costs and only report). Below 2× is a warning.
+    // Checked after the summary line so a failure still prints every
+    // pass timing, but before the record is written.
+    if !smoke {
+        assert!(
+            ckpt_speedup >= 1.5,
+            "checkpointed cold suite speedup {ckpt_speedup:.2}x is below the 1.5x bar"
+        );
+        if ckpt_speedup < 2.0 {
+            eprintln!("warning: checkpointed cold speedup {ckpt_speedup:.2}x is below 2x");
+        }
+    }
 
     if !smoke {
         let path = repo_root().join("BENCH_sweep.json");
@@ -213,6 +343,7 @@ fn main() {
             "sweep",
             &[
                 ("cold_secs".to_owned(), record.cold_secs, "lower"),
+                ("cold_ckpt_secs".to_owned(), record.cold_ckpt_secs, "lower"),
                 ("warm_secs".to_owned(), record.warm_secs, "lower"),
             ],
         );

@@ -14,7 +14,10 @@
 //!   by address range and costs no metadata.
 
 use crate::replacement::{way_range_mask, SetReplacement, WayMask};
-use csalt_types::{EntryKind, HitMissStats, L0Memo, L0Stats, LineAddr, ReplacementKind};
+use csalt_types::{
+    CkptError, CkptReader, CkptWriter, EntryKind, HitMissStats, L0Memo, L0Stats, LineAddr,
+    ReplacementKind,
+};
 use serde::{Deserialize, Serialize};
 
 /// Where an incoming line is placed in the recency stack on a fill.
@@ -476,6 +479,105 @@ impl Cache {
             EntryKind::Data => &mut self.stats.data,
             EntryKind::Tlb => &mut self.stats.tlb,
         }
+    }
+
+    /// Serializes the full result-affecting cache state: geometry guard
+    /// words, tag/kind/dirty arrays, partition, per-kind statistics and
+    /// per-set replacement state. The L0 memo is *not* serialized (it
+    /// is a behaviour-invisible accelerator; restore invalidates it).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.sets);
+        w.u32(self.ways);
+        // Tags are stored XOR [`INVALID_TAG`] so invalid lines (all of
+        // them in a freshly-warmed large cache) serialize as zero and
+        // the sparse streaming encode collapses them.
+        w.iter_u64(self.tags.len(), self.tags.iter().map(|&t| t ^ INVALID_TAG));
+        w.iter_u8(
+            self.kinds.len(),
+            self.kinds.iter().map(|k| match k {
+                EntryKind::Data => 0u8,
+                EntryKind::Tlb => 1u8,
+            }),
+        );
+        w.iter_u8(self.dirty.len(), self.dirty.iter().map(|&d| u8::from(d)));
+        match self.data_ways {
+            Some(n) => {
+                w.bool(true);
+                w.u32(n);
+            }
+            None => {
+                w.bool(false);
+                w.u32(0);
+            }
+        }
+        w.u64(self.stats.data.hits);
+        w.u64(self.stats.data.misses);
+        w.u64(self.stats.tlb.hits);
+        w.u64(self.stats.tlb.misses);
+        w.u64(self.stats.fills);
+        w.u64(self.stats.evictions);
+        w.u64(self.stats.writebacks);
+        for set in &self.repl {
+            set.ckpt_save(w);
+        }
+    }
+
+    /// Restores state written by [`Cache::ckpt_save`] into this
+    /// (config-constructed) cache. Geometry must match; the L0 memo is
+    /// invalidated so the first post-restore access rescans.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.sets || r.u32()? != self.ways {
+            return Err(CkptError::Mismatch("cache geometry"));
+        }
+        let tags: Vec<u64> = r.vec_u64()?.into_iter().map(|t| t ^ INVALID_TAG).collect();
+        if tags.len() != self.tags.len() {
+            return Err(CkptError::Mismatch("cache tag array length"));
+        }
+        let kinds = r.vec_u8()?;
+        if kinds.len() != self.kinds.len() {
+            return Err(CkptError::Mismatch("cache kind array length"));
+        }
+        let dirty = r.vec_u8()?;
+        if dirty.len() != self.dirty.len() {
+            return Err(CkptError::Mismatch("cache dirty array length"));
+        }
+        self.tags = tags;
+        for (dst, &b) in self.kinds.iter_mut().zip(kinds.iter()) {
+            *dst = match b {
+                0 => EntryKind::Data,
+                1 => EntryKind::Tlb,
+                _ => return Err(CkptError::Corrupt("entry kind byte")),
+            };
+        }
+        for (dst, &b) in self.dirty.iter_mut().zip(dirty.iter()) {
+            *dst = match b {
+                0 => false,
+                1 => true,
+                _ => return Err(CkptError::Corrupt("dirty byte")),
+            };
+        }
+        let partitioned = r.bool()?;
+        let n = r.u32()?;
+        self.data_ways = if partitioned {
+            if !(1..self.ways).contains(&n) {
+                return Err(CkptError::Corrupt("partition out of range"));
+            }
+            Some(n)
+        } else {
+            None
+        };
+        self.stats.data.hits = r.u64()?;
+        self.stats.data.misses = r.u64()?;
+        self.stats.tlb.hits = r.u64()?;
+        self.stats.tlb.misses = r.u64()?;
+        self.stats.fills = r.u64()?;
+        self.stats.evictions = r.u64()?;
+        self.stats.writebacks = r.u64()?;
+        for set in &mut self.repl {
+            set.ckpt_load(r)?;
+        }
+        self.l0.invalidate();
+        Ok(())
     }
 }
 

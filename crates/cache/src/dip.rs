@@ -11,6 +11,7 @@
 //! and all *follower sets* use whichever policy PSEL currently favours.
 
 use crate::cache::InsertPos;
+use csalt_types::{CkptError, CkptReader, CkptWriter};
 use serde::{Deserialize, Serialize};
 
 /// Which insertion policy a set follows this access.
@@ -103,6 +104,44 @@ impl DipController {
         } else {
             InsertPos::Lru
         }
+    }
+
+    /// Serializes the duel state (PSEL and BIP ε-counter) plus the
+    /// config-derived fields as guard words.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.sets);
+        w.u32(self.psel);
+        w.u32(self.psel_max);
+        w.u64(self.leader_stride);
+        w.u32(self.bip_epsilon);
+        w.u32(self.bip_counter);
+    }
+
+    /// Restores state written by [`DipController::ckpt_save`]; the
+    /// config-derived fields must match this controller's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.sets {
+            return Err(CkptError::Mismatch("dip set count"));
+        }
+        let psel = r.u32()?;
+        let psel_max = r.u32()?;
+        if psel_max != self.psel_max || psel > psel_max {
+            return Err(CkptError::Mismatch("dip psel range"));
+        }
+        if r.u64()? != self.leader_stride {
+            return Err(CkptError::Mismatch("dip leader stride"));
+        }
+        let eps = r.u32()?;
+        if eps != self.bip_epsilon {
+            return Err(CkptError::Mismatch("dip epsilon"));
+        }
+        let ctr = r.u32()?;
+        if ctr >= eps {
+            return Err(CkptError::Corrupt("dip bip counter out of range"));
+        }
+        self.psel = psel;
+        self.bip_counter = ctr;
+        Ok(())
     }
 }
 

@@ -13,7 +13,7 @@
 //! [`SetReplacement`] provides both operations behind one interface so the
 //! cache proper is policy-agnostic.
 
-use csalt_types::ReplacementKind;
+use csalt_types::{CkptError, CkptReader, CkptWriter, ReplacementKind};
 
 /// Bitmask of candidate ways (bit *i* set ⇒ way *i* may be chosen).
 pub type WayMask = u64;
@@ -322,6 +322,75 @@ impl SetReplacement {
                 (v * k / 4 + rank).min(k - 1)
             }
         }
+    }
+    /// Serializes this set's replacement state: a one-byte variant tag
+    /// followed by the variant's fields, fixed-width.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        match self {
+            SetReplacement::TrueLru { stamps, clock } => {
+                w.u8(0);
+                w.slice_u64(stamps);
+                w.u64(*clock);
+            }
+            SetReplacement::Nru { bits, ways } => {
+                w.u8(1);
+                w.u64(*bits);
+                w.u32(*ways);
+            }
+            SetReplacement::BtPlru { tree, ways } => {
+                w.u8(2);
+                w.u64(*tree);
+                w.u32(*ways);
+            }
+            SetReplacement::Rrip { rrpv } => {
+                w.u8(3);
+                w.bytes(rrpv);
+            }
+        }
+    }
+
+    /// Restores state written by [`SetReplacement::ckpt_save`] into this
+    /// (config-constructed) instance. The stored variant and way count
+    /// must match the receiver's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let tag = r.u8()?;
+        match (tag, &mut *self) {
+            (0, SetReplacement::TrueLru { stamps, clock }) => {
+                let got = r.vec_u64()?;
+                if got.len() != stamps.len() {
+                    return Err(CkptError::Mismatch("true-lru way count"));
+                }
+                *stamps = got;
+                *clock = r.u64()?;
+            }
+            (1, SetReplacement::Nru { bits, ways }) => {
+                let b = r.u64()?;
+                let k = r.u32()?;
+                if k != *ways {
+                    return Err(CkptError::Mismatch("nru way count"));
+                }
+                *bits = b;
+                *ways = k;
+            }
+            (2, SetReplacement::BtPlru { tree, ways }) => {
+                let t = r.u64()?;
+                let k = r.u32()?;
+                if k != *ways {
+                    return Err(CkptError::Mismatch("bt-plru way count"));
+                }
+                *tree = t;
+                *ways = k;
+            }
+            (3, SetReplacement::Rrip { rrpv }) => {
+                let got = r.bytes()?;
+                if got.len() != rrpv.len() {
+                    return Err(CkptError::Mismatch("rrip way count"));
+                }
+                rrpv.copy_from_slice(got);
+            }
+            _ => return Err(CkptError::Mismatch("replacement policy variant")),
+        }
+        Ok(())
     }
 }
 

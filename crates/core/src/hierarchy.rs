@@ -22,8 +22,9 @@ use csalt_ptw::{
 use csalt_telemetry::{ServedBy, StageSample, WalkStage};
 use csalt_tlb::{PomTlb, SramTlb, Tsb};
 use csalt_types::{
-    Asid, ContextId, CoreId, Cycle, EntryKind, HitMissStats, L0Stats, LineAddr, MemAccess,
-    PhysAddr, PhysFrame, SystemConfig, TranslationHint, TranslationScheme, VirtAddr,
+    Asid, CkptError, CkptReader, CkptWriter, ContextId, CoreId, Cycle, EntryKind, HitMissStats,
+    L0Stats, LineAddr, MemAccess, PhysAddr, PhysFrame, SystemConfig, TranslationHint,
+    TranslationScheme, VirtAddr,
 };
 use serde::{Deserialize, Serialize};
 
@@ -1298,6 +1299,132 @@ impl MemoryHierarchy {
     /// The configuration in force.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Serializes every result-affecting component of the hierarchy —
+    /// cache/TLB contents and replacement state, POM-TLB/TSB tables,
+    /// page tables and frame allocators, PSC prefixes, DRAM open rows,
+    /// partitioner and criticality state, and the aggregate counters.
+    /// Transients (the walk scratch buffer, the per-access trace sink,
+    /// L0 memos) carry no observable state and are skipped; L0 memos
+    /// are dropped on restore.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.len64(self.l1d.len());
+        w.bool(self.virtualized);
+        w.bool(self.pom.is_some());
+        w.bool(self.tsb.is_some());
+        for c in &self.l1d {
+            c.ckpt_save(w);
+        }
+        for c in &self.l2 {
+            c.ckpt_save(w);
+        }
+        self.l3.ckpt_save(w);
+        for t in self
+            .l1_tlb_4k
+            .iter()
+            .chain(self.l1_tlb_2m.iter())
+            .chain(self.l2_tlb.iter())
+        {
+            t.ckpt_save(w);
+        }
+        if let Some(p) = &self.pom {
+            p.ckpt_save(w);
+        }
+        if let Some(t) = &self.tsb {
+            t.ckpt_save(w);
+        }
+        self.nested.ckpt_save(w);
+        w.len64(self.contexts.len());
+        for ctx in &self.contexts {
+            match ctx {
+                Translator::Virtualized(space) => {
+                    w.u8(0);
+                    space.ckpt_save(w);
+                }
+                Translator::Native(walker) => {
+                    w.u8(1);
+                    walker.ckpt_save(w);
+                }
+            }
+        }
+        self.host_alloc.ckpt_save(w);
+        self.ddr.ckpt_save(w);
+        self.stacked.ckpt_save(w);
+        self.crit_l2.ckpt_save(w);
+        self.crit_l3.ckpt_save(w);
+        w.u64(self.accesses);
+        w.u64(self.crit_samples);
+        w.u64(self.translation_cycles);
+        w.u64(self.data_cycles);
+        w.u64(self.page_walks);
+        w.u64(self.page_walk_cycles);
+    }
+
+    /// Restores state written by [`MemoryHierarchy::ckpt_save`] into a
+    /// hierarchy built from the *same* configuration with the same
+    /// contexts added. Guard words (core count, virtualization mode,
+    /// component presence, per-component geometry) reject a mismatched
+    /// target with [`CkptError::Mismatch`] and leave partially-written
+    /// state behind — callers must discard the hierarchy on error and
+    /// fall back to a cold run.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.len64()? != self.l1d.len() {
+            return Err(CkptError::Mismatch("core count"));
+        }
+        if r.bool()? != self.virtualized {
+            return Err(CkptError::Mismatch("virtualization mode"));
+        }
+        if r.bool()? != self.pom.is_some() || r.bool()? != self.tsb.is_some() {
+            return Err(CkptError::Mismatch("translation component presence"));
+        }
+        for c in &mut self.l1d {
+            c.ckpt_load(r)?;
+        }
+        for c in &mut self.l2 {
+            c.ckpt_load(r)?;
+        }
+        self.l3.ckpt_load(r)?;
+        for t in self
+            .l1_tlb_4k
+            .iter_mut()
+            .chain(self.l1_tlb_2m.iter_mut())
+            .chain(self.l2_tlb.iter_mut())
+        {
+            t.ckpt_load(r)?;
+        }
+        if let Some(p) = &mut self.pom {
+            p.ckpt_load(r)?;
+        }
+        if let Some(t) = &mut self.tsb {
+            t.ckpt_load(r)?;
+        }
+        self.nested.ckpt_load(r)?;
+        if r.len64()? != self.contexts.len() {
+            return Err(CkptError::Mismatch("context count"));
+        }
+        for ctx in &mut self.contexts {
+            let tag = r.u8()?;
+            match (tag, &mut *ctx) {
+                (0, Translator::Virtualized(space)) => space.ckpt_load(r)?,
+                (1, Translator::Native(walker)) => walker.ckpt_load(r)?,
+                _ => return Err(CkptError::Mismatch("context translator kind")),
+            }
+        }
+        self.host_alloc.ckpt_load(r)?;
+        self.ddr.ckpt_load(r)?;
+        self.stacked.ckpt_load(r)?;
+        self.crit_l2.ckpt_load(r)?;
+        self.crit_l3.ckpt_load(r)?;
+        self.accesses = r.u64()?;
+        self.crit_samples = r.u64()?;
+        self.translation_cycles = r.u64()?;
+        self.data_cycles = r.u64()?;
+        self.page_walks = r.u64()?;
+        self.page_walk_cycles = r.u64()?;
+        self.walk_scratch.clear();
+        self.trace = None;
+        Ok(())
     }
 }
 

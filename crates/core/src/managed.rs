@@ -10,7 +10,7 @@ use csalt_profiler::{
     choose_partition, utility_curve, EpochController, PartitionDecision, StackDistanceProfiler,
     Weights,
 };
-use csalt_types::{EntryKind, LineAddr, ReplacementKind};
+use csalt_types::{CkptError, CkptReader, CkptWriter, EntryKind, LineAddr, ReplacementKind};
 
 /// How a managed cache decides its partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -229,6 +229,94 @@ impl ManagedCache {
     /// Current ways reserved for data, if partitioned.
     pub fn data_ways(&self) -> Option<u32> {
         self.cache.data_ways()
+    }
+
+    /// Serializes the cache, profiler, epoch, DIP and decision state.
+    /// Floats (utilities, curve points) are stored as IEEE-754 bit
+    /// patterns for an exact round trip.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.cache.ckpt_save(w);
+        self.profiler.ckpt_save(w);
+        self.epoch.ckpt_save(w);
+        w.bool(self.dip.is_some());
+        if let Some(dip) = &self.dip {
+            dip.ckpt_save(w);
+        }
+        w.u64(self.accesses);
+        w.len64(self.partition_trace.len());
+        for s in &self.partition_trace {
+            w.u64(s.at_access);
+            w.u32(s.tlb_ways);
+            w.u32(s.total_ways);
+        }
+        w.bool(self.trace_enabled);
+        w.u64(self.decisions);
+        w.bool(self.last_decision.is_some());
+        if let Some(d) = &self.last_decision {
+            w.u32(d.data_ways);
+            w.u32(d.tlb_ways);
+            w.u64(d.utility.to_bits());
+        }
+        w.len64(self.last_curve.len());
+        for (ways, utility) in &self.last_curve {
+            w.u32(*ways);
+            w.u64(utility.to_bits());
+        }
+    }
+
+    /// Restores state written by [`ManagedCache::ckpt_save`]; geometry
+    /// and management mode (via the DIP presence flag) must match.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.cache.ckpt_load(r)?;
+        self.profiler.ckpt_load(r)?;
+        self.epoch.ckpt_load(r)?;
+        if r.bool()? != self.dip.is_some() {
+            return Err(CkptError::Mismatch("dip controller presence"));
+        }
+        if let Some(dip) = &mut self.dip {
+            dip.ckpt_load(r)?;
+        }
+        self.accesses = r.u64()?;
+        let trace_len = r.len64()?;
+        if trace_len
+            .checked_mul(16)
+            .is_none_or(|bytes| bytes > r.remaining())
+        {
+            return Err(CkptError::Corrupt("partition trace length"));
+        }
+        self.partition_trace.clear();
+        for _ in 0..trace_len {
+            self.partition_trace.push(PartitionSample {
+                at_access: r.u64()?,
+                tlb_ways: r.u32()?,
+                total_ways: r.u32()?,
+            });
+        }
+        self.trace_enabled = r.bool()?;
+        self.decisions = r.u64()?;
+        self.last_decision = if r.bool()? {
+            Some(PartitionDecision {
+                data_ways: r.u32()?,
+                tlb_ways: r.u32()?,
+                utility: f64::from_bits(r.u64()?),
+            })
+        } else {
+            None
+        };
+        let curve_len = r.len64()?;
+        if curve_len
+            .checked_mul(12)
+            .is_none_or(|bytes| bytes > r.remaining())
+        {
+            return Err(CkptError::Corrupt("utility curve length"));
+        }
+        self.last_curve.clear();
+        for _ in 0..curve_len {
+            let ways = r.u32()?;
+            let utility = f64::from_bits(r.u64()?);
+            self.last_curve.push((ways, utility));
+        }
+        Ok(())
     }
 }
 

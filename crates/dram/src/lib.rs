@@ -27,7 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use csalt_types::{Cycle, DramTimings, PhysAddr, LINE_BYTES};
+use csalt_types::{CkptError, CkptReader, CkptWriter, Cycle, DramTimings, PhysAddr, LINE_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of an access with respect to the row buffer.
@@ -274,6 +274,55 @@ impl DramModel {
             + self.burst_cycles())
         .round() as Cycle
             + self.controller_overhead
+    }
+
+    /// Serializes the per-bank open-row registers and statistics. Timing
+    /// parameters are config-derived; only the bank count is written as a
+    /// guard word.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.len64(self.banks.len());
+        for bank in &self.banks {
+            match bank.open_row {
+                Some(row) => {
+                    w.u8(1);
+                    w.u64(row);
+                }
+                None => {
+                    w.u8(0);
+                    w.u64(0);
+                }
+            }
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.row_hits);
+        w.u64(self.stats.row_closed);
+        w.u64(self.stats.row_conflicts);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.total_latency);
+    }
+
+    /// Restores state written by [`DramModel::ckpt_save`]; the bank count
+    /// must match this model's geometry.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.len64()? != self.banks.len() {
+            return Err(CkptError::Mismatch("dram bank count"));
+        }
+        for bank in &mut self.banks {
+            let flag = r.u8()?;
+            let row = r.u64()?;
+            bank.open_row = match flag {
+                0 => None,
+                1 => Some(row),
+                _ => return Err(CkptError::Corrupt("dram open-row flag")),
+            };
+        }
+        self.stats.accesses = r.u64()?;
+        self.stats.row_hits = r.u64()?;
+        self.stats.row_closed = r.u64()?;
+        self.stats.row_conflicts = r.u64()?;
+        self.stats.writes = r.u64()?;
+        self.stats.total_latency = r.u64()?;
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@
 //! phase changes across epochs.
 
 use crate::partition::Weights;
-use csalt_types::Cycle;
+use csalt_types::{CkptError, CkptReader, CkptWriter, Cycle};
 use serde::{Deserialize, Serialize};
 
 /// Accumulates observed memory-system latencies and derives the
@@ -104,6 +104,35 @@ impl CriticalityEstimator {
         self.dram_samples /= 2.0;
         self.pom_latency_sum /= 2.0;
         self.pom_samples /= 2.0;
+    }
+
+    /// Serializes the latency accumulators. The floats are written as
+    /// IEEE-754 bit patterns, so a round trip is exact; the construction
+    /// parameters serve as guard words.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.cache_latency.to_bits());
+        w.u64(self.default_dram.to_bits());
+        w.u64(self.default_pom.to_bits());
+        w.u64(self.dram_latency_sum.to_bits());
+        w.u64(self.dram_samples.to_bits());
+        w.u64(self.pom_latency_sum.to_bits());
+        w.u64(self.pom_samples.to_bits());
+    }
+
+    /// Restores state written by [`CriticalityEstimator::ckpt_save`];
+    /// construction parameters must match this estimator's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.cache_latency.to_bits()
+            || r.u64()? != self.default_dram.to_bits()
+            || r.u64()? != self.default_pom.to_bits()
+        {
+            return Err(CkptError::Mismatch("criticality estimator config"));
+        }
+        self.dram_latency_sum = f64::from_bits(r.u64()?);
+        self.dram_samples = f64::from_bits(r.u64()?);
+        self.pom_latency_sum = f64::from_bits(r.u64()?);
+        self.pom_samples = f64::from_bits(r.u64()?);
+        Ok(())
     }
 
     /// Point-in-time telemetry gauges: the §3.2 inputs (average observed

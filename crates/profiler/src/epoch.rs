@@ -1,6 +1,7 @@
 //! Epoch bookkeeping: CSALT repartitions each cache at fixed access-count
 //! intervals (256 K accesses by default; Figure 15 sweeps 128 K–512 K).
 
+use csalt_types::{CkptError, CkptReader, CkptWriter};
 use serde::{Deserialize, Serialize};
 
 /// Counts cache accesses and signals epoch boundaries.
@@ -53,6 +54,29 @@ impl EpochController {
         } else {
             false
         }
+    }
+
+    /// Serializes the access count and completed-epoch counter, with the
+    /// configured length as a guard word.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.length);
+        w.u64(self.count);
+        w.u64(self.epochs_completed);
+    }
+
+    /// Restores state written by [`EpochController::ckpt_save`]; the
+    /// epoch length must match this controller's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.length {
+            return Err(CkptError::Mismatch("epoch length"));
+        }
+        let count = r.u64()?;
+        if count >= self.length {
+            return Err(CkptError::Corrupt("epoch count past boundary"));
+        }
+        self.count = count;
+        self.epochs_completed = r.u64()?;
+        Ok(())
     }
 }
 

@@ -12,7 +12,7 @@
 //! The shadow directory can sample every `interval`-th set to bound cost,
 //! exactly like hardware auxiliary tag directories.
 
-use csalt_types::EntryKind;
+use csalt_types::{CkptError, CkptReader, CkptWriter, EntryKind};
 use serde::{Deserialize, Serialize};
 
 /// Stack-distance profiler for one cache: two shadow LRU tag directories
@@ -172,6 +172,56 @@ impl StackDistanceProfiler {
         for c in &mut self.counters {
             c.iter_mut().for_each(|v| *v = 0);
         }
+    }
+
+    /// Serializes the shadow tag directories and stack counters, with
+    /// the profiled geometry as guard words.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u32(self.ways);
+        w.u64(self.sets);
+        w.u64(self.interval);
+        for kind in &self.shadow {
+            w.len64(kind.len());
+            for stack in kind {
+                w.len64(stack.len());
+                w.slice_u64(stack);
+            }
+        }
+        for counters in &self.counters {
+            w.slice_u64(counters);
+        }
+    }
+
+    /// Restores state written by [`StackDistanceProfiler::ckpt_save`];
+    /// geometry must match this profiler's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u32()? != self.ways || r.u64()? != self.sets || r.u64()? != self.interval {
+            return Err(CkptError::Mismatch("stack profiler geometry"));
+        }
+        for kind in &mut self.shadow {
+            if r.len64()? != kind.len() {
+                return Err(CkptError::Mismatch("stack profiler sampled sets"));
+            }
+            for stack in kind.iter_mut() {
+                let len = r.len64()?;
+                if len > self.ways as usize {
+                    return Err(CkptError::Corrupt("shadow stack deeper than ways"));
+                }
+                let tags = r.vec_u64()?;
+                if tags.len() != len {
+                    return Err(CkptError::Corrupt("shadow stack length"));
+                }
+                *stack = tags;
+            }
+        }
+        for counters in &mut self.counters {
+            let loaded = r.vec_u64()?;
+            if loaded.len() != counters.len() {
+                return Err(CkptError::Mismatch("stack counter width"));
+            }
+            *counters = loaded;
+        }
+        Ok(())
     }
 }
 

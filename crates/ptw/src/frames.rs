@@ -6,7 +6,7 @@
 //! scramble so that consecutively-allocated pages do not all land in the
 //! same DRAM bank/row pattern (real allocators interleave similarly).
 
-use csalt_types::{PageSize, PhysAddr, PhysFrame};
+use csalt_types::{CkptError, CkptReader, CkptWriter, PageSize, PhysAddr, PhysFrame};
 
 /// A bump allocator over a physical region, with 4 KiB and 2 MiB frame
 /// support.
@@ -99,6 +99,36 @@ impl FrameAllocator {
             aligned
         };
         PhysAddr::new(addr).frame(size)
+    }
+
+    /// Serializes the bump pointer and allocation counters, with the
+    /// region bounds and scramble flag as guard words.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.base);
+        w.u64(self.size);
+        w.u64(self.next);
+        w.bool(self.scramble);
+        w.u64(self.allocated_4k);
+        w.u64(self.allocated_2m);
+    }
+
+    /// Restores state written by [`FrameAllocator::ckpt_save`]; the
+    /// region bounds and scramble flag must match this allocator's.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.base || r.u64()? != self.size {
+            return Err(CkptError::Mismatch("frame allocator region"));
+        }
+        let next = r.u64()?;
+        if next < self.base || next > self.base + self.size {
+            return Err(CkptError::Corrupt("frame allocator bump pointer"));
+        }
+        if r.bool()? != self.scramble {
+            return Err(CkptError::Mismatch("frame allocator scramble flag"));
+        }
+        self.next = next;
+        self.allocated_4k = r.u64()?;
+        self.allocated_2m = r.u64()?;
+        Ok(())
     }
 
     /// Permutes a 4 KiB frame within its 2 MiB super-frame with an

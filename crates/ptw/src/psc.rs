@@ -6,7 +6,7 @@
 //! virtual-address prefix (the indices of levels 4..L+1) to the physical
 //! base of the level-*L* table, letting the walker start reading there.
 
-use csalt_types::{Asid, Cycle, PhysAddr, PscConfig, VirtAddr};
+use csalt_types::{Asid, CkptError, CkptReader, CkptWriter, Cycle, PhysAddr, PscConfig, VirtAddr};
 
 /// One fully-associative LRU cache of prefix → table-base mappings.
 ///
@@ -118,6 +118,36 @@ impl PrefixCache {
         self.keys.clear();
         self.tables.clear();
         self.stamps.clear();
+    }
+
+    fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.len64(self.capacity);
+        w.slice_u64(&self.keys);
+        let tables: Vec<u64> = self.tables.iter().map(|t| t.raw()).collect();
+        w.slice_u64(&tables);
+        w.slice_u64(&self.stamps);
+        w.u64(self.clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.len64()? != self.capacity {
+            return Err(CkptError::Mismatch("psc capacity"));
+        }
+        let keys = r.vec_u64()?;
+        let tables = r.vec_u64()?;
+        let stamps = r.vec_u64()?;
+        if keys.len() > self.capacity || tables.len() != keys.len() || stamps.len() != keys.len() {
+            return Err(CkptError::Corrupt("psc entry arrays"));
+        }
+        self.keys = keys;
+        self.tables = tables.into_iter().map(PhysAddr::new).collect();
+        self.stamps = stamps;
+        self.clock = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
     }
 }
 
@@ -254,6 +284,27 @@ impl PagingStructureCache {
         self.pml4.clear();
         self.pdp.clear();
         self.pde.clear();
+    }
+
+    /// Serializes all three prefix caches (keys, table bases, LRU
+    /// stamps, clock and hit/miss counters) plus the depth guard.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u8(self.root_level);
+        self.pml4.ckpt_save(w);
+        self.pdp.ckpt_save(w);
+        self.pde.ckpt_save(w);
+    }
+
+    /// Restores state written by [`PagingStructureCache::ckpt_save`];
+    /// capacities and depth must match this (config-constructed) PSC.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u8()? != self.root_level {
+            return Err(CkptError::Mismatch("psc root level"));
+        }
+        self.pml4.ckpt_load(r)?;
+        self.pdp.ckpt_load(r)?;
+        self.pde.ckpt_load(r)?;
+        Ok(())
     }
 }
 

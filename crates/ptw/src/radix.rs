@@ -13,7 +13,9 @@
 //! walks it (several times per access when virtualized).
 
 use crate::frames::FrameAllocator;
-use csalt_types::{PageSize, PhysAddr, PhysFrame, VirtAddr, VirtPage};
+use csalt_types::{
+    CkptError, CkptReader, CkptWriter, PageSize, PhysAddr, PhysFrame, VirtAddr, VirtPage,
+};
 use std::ops::Deref;
 
 /// Entries per radix node (9 index bits per level).
@@ -303,6 +305,112 @@ impl RadixPageTable {
             PageSize::Size4K
         };
         va.page(size)
+    }
+
+    /// Serializes the node arena, the table depth guard and the
+    /// mapped-page counter. Each node writes its base, a 512-byte slot
+    /// tag array, and then fields only for the non-empty slots — empty
+    /// slots (most of every sparsely-populated node) cost one byte.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u8(self.levels);
+        w.u64(self.mapped_pages);
+        w.len64(self.nodes.len());
+        for node in &self.nodes {
+            w.u64(node.base.raw());
+            w.iter_u8(
+                NODE_ENTRIES,
+                node.slots.iter().map(|slot| match slot {
+                    PtEntry::Empty => 0u8,
+                    PtEntry::Table { .. } => 1u8,
+                    PtEntry::Leaf(_) => 2u8,
+                }),
+            );
+            for slot in node.slots.iter() {
+                match slot {
+                    PtEntry::Empty => {}
+                    PtEntry::Table { node, pa } => {
+                        w.u64(u64::from(*node));
+                        w.u64(pa.raw());
+                    }
+                    PtEntry::Leaf(frame) => {
+                        w.u64(frame.pfn());
+                        w.u8(match frame.size() {
+                            PageSize::Size4K => 0,
+                            PageSize::Size2M => 1,
+                            PageSize::Size1G => 2,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`RadixPageTable::ckpt_save`],
+    /// replacing this table's arena wholesale. The node count is
+    /// validated against the remaining payload before any allocation.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u8()? != self.levels {
+            return Err(CkptError::Mismatch("page table depth"));
+        }
+        let mapped_pages = r.u64()?;
+        let count = r.len64()?;
+        if count == 0 {
+            return Err(CkptError::Corrupt("page table has no root"));
+        }
+        // Each node is at least 8 bytes of base + a sparse tag array's
+        // count word and presence bitmap; bound the arena allocation on
+        // that floor before reserving anything (slot fields validate
+        // incrementally as they are read).
+        let node_floor = 8u64 + 8 + (NODE_ENTRIES as u64).div_ceil(8);
+        let need = (count as u64)
+            .checked_mul(node_floor)
+            .ok_or(CkptError::Truncated)?;
+        if need > r.remaining() as u64 {
+            return Err(CkptError::Truncated);
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let base = PhysAddr::new(r.u64()?);
+            let tags = r.vec_u8()?;
+            if tags.len() != NODE_ENTRIES {
+                return Err(CkptError::Mismatch("node slot count"));
+            }
+            let mut node = NodeFrame::new(base);
+            for (slot, &tag) in node.slots.iter_mut().zip(tags.iter()) {
+                *slot = match tag {
+                    0 => PtEntry::Empty,
+                    1 => {
+                        let a = r.u64()?;
+                        let pa = r.u64()?;
+                        let idx = u32::try_from(a).map_err(|_| CkptError::Corrupt("node index"))?;
+                        if idx as usize >= count {
+                            return Err(CkptError::Corrupt("node index out of range"));
+                        }
+                        PtEntry::Table {
+                            node: idx,
+                            pa: PhysAddr::new(pa),
+                        }
+                    }
+                    2 => {
+                        let pfn = r.u64()?;
+                        PtEntry::Leaf(PhysFrame::from_pfn(
+                            pfn,
+                            match r.u8()? {
+                                0 => PageSize::Size4K,
+                                1 => PageSize::Size2M,
+                                2 => PageSize::Size1G,
+                                _ => return Err(CkptError::Corrupt("leaf page size")),
+                            },
+                        ))
+                    }
+                    _ => return Err(CkptError::Corrupt("pte slot tag")),
+                };
+            }
+            nodes.push(node);
+        }
+        self.nodes = nodes;
+        self.mapped_pages = mapped_pages;
+        Ok(())
     }
 }
 

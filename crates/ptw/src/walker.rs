@@ -13,7 +13,9 @@
 use crate::frames::FrameAllocator;
 use crate::psc::PagingStructureCache;
 use crate::radix::{HugePagePolicy, RadixPageTable, WalkPath};
-use csalt_types::{Asid, PhysAddr, PhysFrame, PscConfig, VirtAddr, VirtPage};
+use csalt_types::{
+    Asid, CkptError, CkptReader, CkptWriter, PhysAddr, PhysFrame, PscConfig, VirtAddr, VirtPage,
+};
 
 /// Counters shared by both walkers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +36,21 @@ impl WalkStats {
         } else {
             self.memory_accesses as f64 / self.walks as f64
         }
+    }
+
+    /// Serializes the three counters.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.walks);
+        w.u64(self.memory_accesses);
+        w.u64(self.psc_skipped);
+    }
+
+    /// Restores counters written by [`WalkStats::ckpt_save`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.walks = r.u64()?;
+        self.memory_accesses = r.u64()?;
+        self.psc_skipped = r.u64()?;
+        Ok(())
     }
 }
 
@@ -192,6 +209,24 @@ impl NativeWalker {
             }
         }
     }
+
+    /// Serializes the page table, PSC and walk counters.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u16(self.asid.raw());
+        self.table.ckpt_save(w);
+        self.psc.ckpt_save(w);
+        self.stats.ckpt_save(w);
+    }
+
+    /// Restores state written by [`NativeWalker::ckpt_save`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u16()? != self.asid.raw() {
+            return Err(CkptError::Mismatch("native walker asid"));
+        }
+        self.table.ckpt_load(r)?;
+        self.psc.ckpt_load(r)?;
+        self.stats.ckpt_load(r)
+    }
 }
 
 /// One VM's paired address spaces: the guest's page table (gVA → gPA,
@@ -264,6 +299,25 @@ impl GuestAddressSpace {
     /// Guest pages mapped so far.
     pub fn guest_mapped_pages(&self) -> u64 {
         self.guest.mapped_pages()
+    }
+
+    /// Serializes both dimensions' page tables and the guest-physical
+    /// allocator.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u16(self.asid.raw());
+        self.guest.ckpt_save(w);
+        self.guest_alloc.ckpt_save(w);
+        self.host.ckpt_save(w);
+    }
+
+    /// Restores state written by [`GuestAddressSpace::ckpt_save`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u16()? != self.asid.raw() {
+            return Err(CkptError::Mismatch("guest address space asid"));
+        }
+        self.guest.ckpt_load(r)?;
+        self.guest_alloc.ckpt_load(r)?;
+        self.host.ckpt_load(r)
     }
 }
 
@@ -429,6 +483,20 @@ impl NestedWalker {
             page: eff_page,
             frame,
         }
+    }
+
+    /// Serializes both dimension PSCs and the walk counters.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        self.guest_psc.ckpt_save(w);
+        self.host_psc.ckpt_save(w);
+        self.stats.ckpt_save(w);
+    }
+
+    /// Restores state written by [`NestedWalker::ckpt_save`].
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        self.guest_psc.ckpt_load(r)?;
+        self.host_psc.ckpt_load(r)?;
+        self.stats.ckpt_load(r)
     }
 }
 

@@ -645,12 +645,204 @@ fn cache_gate() {
     );
 }
 
+/// `csalt-experiments ckpt-gate`: proof of the fork-from-snapshot
+/// contract. Runs a suite whose configs share warmup prefixes twice
+/// into fresh cache directories — once with checkpointing and the
+/// shared trace store disabled, once with both enabled — and fails
+/// (exit 1) unless the enabled pass produced byte-identical results
+/// AND restored at least one checkpoint.
+fn ckpt_gate() {
+    // Base suite plus, per unique config, a variant that differs only
+    // in measured-phase length — same warmup prefix, different config
+    // key — so every prefix group has a leader and a follower.
+    let mut configs = gate_configs();
+    let variants: Vec<SimConfig> = {
+        let mut seen = std::collections::BTreeSet::new();
+        configs
+            .iter()
+            .filter(|c| seen.insert(sweep::config_key(c)))
+            .map(|c| {
+                let mut v = c.clone();
+                v.accesses_per_core *= 2;
+                v
+            })
+            .collect()
+    };
+    configs.extend(variants);
+
+    let json = |results: &[csalt_sim::SimResult]| {
+        serde_json::to_string(results).expect("results serialize")
+    };
+    let fail = |msg: &str| -> ! {
+        eprintln!("ckpt gate FAILED: {msg}");
+        std::process::exit(1);
+    };
+    let pass = |tag: &str, ckpt: &str| -> (String, f64, csalt_sim::SweepStats) {
+        let dir =
+            std::env::temp_dir().join(format!("csalt-ckpt-gate-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The checkpoint and trace-store layers resolve their
+        // directory from the environment, independently of the
+        // sweep's; point everything at this pass's fresh dir.
+        std::env::set_var("CSALT_CACHE_DIR", &dir);
+        std::env::set_var("CSALT_CKPT", ckpt);
+        std::env::set_var("CSALT_TRACE_STORE", ckpt);
+        let t = std::time::Instant::now();
+        let sweep = Sweep::new(SweepOptions::with_dir(dir.clone()));
+        let results = sweep.run_batch(configs.clone());
+        let secs = t.elapsed().as_secs_f64();
+        let stats = sweep.stats();
+        let _ = std::fs::remove_dir_all(&dir);
+        (json(&results), secs, stats)
+    };
+
+    let (off_json, off_secs, off_stats) = pass("off", "off");
+    if off_stats.restored != 0 {
+        fail("disabled pass restored a checkpoint");
+    }
+    let before = csalt_sim::checkpoint::stats();
+    let (on_json, on_secs, on_stats) = pass("on", "on");
+    let after = csalt_sim::checkpoint::stats();
+    std::env::remove_var("CSALT_CKPT");
+    std::env::remove_var("CSALT_TRACE_STORE");
+
+    if on_json != off_json {
+        fail("checkpointed results are not byte-identical to the disabled run");
+    }
+    let restores = after.restores.saturating_sub(before.restores);
+    if restores == 0 || on_stats.restored == 0 {
+        fail("enabled pass restored no checkpoint — the fork-from-snapshot path never ran");
+    }
+    let saves = after.saves.saturating_sub(before.saves);
+    let fallbacks = after.fallbacks.saturating_sub(before.fallbacks);
+    println!(
+        "ckpt gate OK [{}]: {} sims; disabled {off_secs:.2}s, enabled {on_secs:.2}s \
+         ({saves} saves, {restores} restores, {fallbacks} fallbacks); results byte-identical",
+        sweep::engine_fingerprint(),
+        on_stats.simulated,
+    );
+}
+
+/// Every GC-eligible artifact in the cache dir: regenerable,
+/// fingerprint-scoped (or content-keyed) files only. `costs.jsonl` is
+/// exempt — it is tiny, append-only, and useful across fingerprints.
+fn cache_artifacts(dir: &std::path::Path) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let eligible =
+            name.starts_with("results-") || name.starts_with("ckpt-") || name.starts_with("trace-");
+        if !eligible {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            if meta.is_file() {
+                let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                files.push((entry.path(), meta.len(), modified));
+            }
+        }
+    }
+    files
+}
+
+/// `csalt-experiments cache-gc [--max-bytes N]`: bounds the cache
+/// directory's artifact footprint by deleting oldest-modified files
+/// first until the total fits (default cap 1 GiB). Everything removed
+/// is regenerable — at worst the next sweep re-simulates or re-warms.
+fn cache_gc(args: &[String]) {
+    let mut cap: u64 = 1 << 30;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-bytes" {
+            cap = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--max-bytes needs an integer byte count");
+                    std::process::exit(2);
+                });
+            i += 2;
+        } else {
+            eprintln!("cache-gc: unknown argument '{}'", args[i]);
+            std::process::exit(2);
+        }
+    }
+    let Some(dir) = SweepOptions::from_env().cache_dir else {
+        println!("cache-gc: caching disabled (CSALT_NO_CACHE), nothing to do");
+        return;
+    };
+    let mut files = cache_artifacts(&dir);
+    let mut total: u64 = files.iter().map(|(_, len, _)| len).sum();
+    if total <= cap {
+        println!(
+            "cache-gc: {} files, {total} bytes <= cap {cap} — nothing evicted",
+            files.len()
+        );
+        return;
+    }
+    files.sort_by_key(|&(_, _, modified)| modified);
+    let mut evicted = 0u64;
+    let mut freed = 0u64;
+    for (path, len, _) in files {
+        if total <= cap {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+            freed += len;
+            evicted += 1;
+        }
+    }
+    println!("cache-gc: evicted {evicted} files ({freed} bytes), {total} bytes retained");
+}
+
+/// `csalt-experiments cache-stats`: what the cache directory holds —
+/// per-artifact-class counts and sizes, plus the cost model's line
+/// count — so `cache-gc` caps can be chosen from facts.
+fn cache_stats() {
+    let Some(dir) = SweepOptions::from_env().cache_dir else {
+        println!("cache-stats: caching disabled (CSALT_NO_CACHE)");
+        return;
+    };
+    let files = cache_artifacts(&dir);
+    let class = |prefix: &str| -> (usize, u64) {
+        files
+            .iter()
+            .filter(|(p, _, _)| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().starts_with(prefix))
+                    .unwrap_or(false)
+            })
+            .fold((0, 0), |(n, b), (_, len, _)| (n + 1, b + len))
+    };
+    let (res_n, res_b) = class("results-");
+    let (ckpt_n, ckpt_b) = class("ckpt-");
+    let (trace_n, trace_b) = class("trace-");
+    let costs = std::fs::metadata(dir.join("costs.jsonl"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    println!("cache dir: {}", dir.display());
+    println!("  results:     {res_n:>5} files  {res_b:>12} bytes");
+    println!("  checkpoints: {ckpt_n:>5} files  {ckpt_b:>12} bytes");
+    println!("  traces:      {trace_n:>5} files  {trace_b:>12} bytes");
+    println!("  cost model:  {:>5} file   {costs:>12} bytes", 1);
+    println!(
+        "  total:       {:>5} files  {:>12} bytes (gc-eligible)",
+        res_n + ckpt_n + trace_n,
+        res_b + ckpt_b + trace_b
+    );
+    println!("current fingerprint: {}", sweep::engine_fingerprint());
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     extract_sweep_flags(&mut args);
     let registry = registry();
     if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: csalt-experiments <name>... | all | list | cache-gate | run <workload> [scheme] [--telemetry <path>] | trace-record <bench> <out> | trace-convert <in> <out>\n");
+        println!("usage: csalt-experiments <name>... | all | list | cache-gate | ckpt-gate | cache-gc [--max-bytes N] | cache-stats | run <workload> [scheme] [--telemetry <path>] | trace-record <bench> <out> | trace-convert <in> <out>\n");
         for e in &registry {
             println!("  {:<22} {}", e.name, e.about);
         }
@@ -662,6 +854,18 @@ fn main() {
         println!(
             "  {:<22} prove the result cache: cold run, warm run, 0 re-simulations",
             "cache-gate"
+        );
+        println!(
+            "  {:<22} prove checkpointed warmup: ckpt on vs off byte-identical, >=1 restore",
+            "ckpt-gate"
+        );
+        println!(
+            "  {:<22} bound the cache dir: evict oldest artifacts past --max-bytes",
+            "cache-gc"
+        );
+        println!(
+            "  {:<22} show cache dir contents by artifact class",
+            "cache-stats"
         );
         println!(
             "  {:<22} record a benchmark stream to a v2 (staged) trace file",
@@ -679,6 +883,18 @@ fn main() {
     }
     if args[0] == "cache-gate" {
         cache_gate();
+        return;
+    }
+    if args[0] == "ckpt-gate" {
+        ckpt_gate();
+        return;
+    }
+    if args[0] == "cache-gc" {
+        cache_gc(&args[1..]);
+        return;
+    }
+    if args[0] == "cache-stats" {
+        cache_stats();
         return;
     }
     if args[0] == "trace-record" {

@@ -1,0 +1,406 @@
+//! Checkpointed warmup: fork-from-snapshot cold runs.
+//!
+//! A run's warmup phase is a pure function of the *warmup-determining*
+//! subset of its [`SimConfig`] — the machine, scheme, workload, seed
+//! and warmup length, but **not** the measured-phase knobs (access
+//! budget, sample windows, occupancy scans). Two configs that agree on
+//! that subset land in byte-identical post-warmup state, so the first
+//! one to run can serialize the whole simulator ([`HierarchyCheckpoint`])
+//! and every sibling can restore it and run only its measured phase.
+//!
+//! Images live under the sweep cache directory
+//! (`target/csalt-cache/`, `CSALT_CACHE_DIR`, disabled by
+//! `CSALT_NO_CACHE`), named `ckpt-<engine-fingerprint>-<warmup-key>.bin`
+//! and framed by the [`csalt_types::ckpt`] envelope: magic, version,
+//! fingerprint, length-validated payload, trailing checksum. A torn,
+//! stale or corrupt image is *never* an error — the run falls back to a
+//! cold warmup and the rejection is counted ([`stats`]).
+//!
+//! The hard contract — a restored run is bit-identical to a
+//! straight-through run — is pinned by `tests/determinism.rs` across
+//! every scheme, both virtualization modes and the pipelined commit
+//! path, and re-proven by the `ckpt-gate` CI step. `CSALT_CKPT=off` is
+//! the escape hatch that disables the whole layer.
+//!
+//! This module is integer-only (the envelope stores `f64` state as bit
+//! patterns) and never reads a clock; `srclint` pins both properties.
+
+use crate::simulator::SimConfig;
+use crate::sweep::{canonical_json, engine_fingerprint, SweepOptions};
+use csalt_core::MemoryHierarchy;
+use csalt_types::ckpt::fnv1a_bytes;
+use csalt_types::{CkptError, CkptReader, CkptWriter};
+use serde::Serialize;
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether checkpointed warmup runs (the `CSALT_CKPT` env var). The
+/// restore path is bit-identical to a cold run by contract, so it
+/// defaults on; the switch exists for the determinism gates and the
+/// bench's ablation rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptRequest {
+    /// Never save or restore warmup checkpoints.
+    Off,
+    /// Save after a cold warmup, restore when an image exists (default).
+    On,
+}
+
+impl CkptRequest {
+    /// Parses a `CSALT_CKPT` value. `0`/`off`/`false` (any case)
+    /// disable; everything else — including unset — enables.
+    #[must_use]
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.map(str::to_ascii_lowercase).as_deref() {
+            Some("0" | "off" | "false") => CkptRequest::Off,
+            _ => CkptRequest::On,
+        }
+    }
+
+    /// The request selected by the `CSALT_CKPT` environment variable.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("CSALT_CKPT").ok().as_deref())
+    }
+
+    /// Whether checkpointing should be enabled.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        self == CkptRequest::On
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry counters.
+// ---------------------------------------------------------------------
+
+static SAVES: AtomicU64 = AtomicU64::new(0);
+static RESTORES: AtomicU64 = AtomicU64::new(0);
+static FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide checkpoint activity (monotonic counters): what the
+/// sweep's telemetry records and the CI gate asserts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CkptStats {
+    /// Images written after a cold warmup.
+    pub saves: u64,
+    /// Runs that skipped warmup by restoring an image.
+    pub restores: u64,
+    /// Images that existed but were rejected (torn tail, bad checksum,
+    /// stale fingerprint, geometry mismatch) — each fell back to a cold
+    /// warmup.
+    pub fallbacks: u64,
+}
+
+/// Snapshot of the process-wide checkpoint counters.
+#[must_use]
+pub fn stats() -> CkptStats {
+    CkptStats {
+        saves: SAVES.load(Ordering::Relaxed),
+        restores: RESTORES.load(Ordering::Relaxed),
+        fallbacks: FALLBACKS.load(Ordering::Relaxed),
+    }
+}
+
+thread_local! {
+    static LAST_RUN_RESTORED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the most recent `run` on *this thread* restored its warmup
+/// from a checkpoint. The sweep's workers read this right after each
+/// job to keep restored-job wall-clock out of the cold-cost model.
+#[must_use]
+pub fn last_run_restored() -> bool {
+    LAST_RUN_RESTORED.with(Cell::get)
+}
+
+pub(crate) fn set_last_run_restored(restored: bool) {
+    LAST_RUN_RESTORED.with(|c| c.set(restored));
+}
+
+// ---------------------------------------------------------------------
+// The warmup-prefix key.
+// ---------------------------------------------------------------------
+
+/// The [`SimConfig`] fields (by serde name) that determine post-warmup
+/// state. Everything else — `accesses_per_core`, `sample_windows`,
+/// `window_accesses`, `occupancy_scan_interval` — only shapes the
+/// measured phase, which runs *after* the checkpoint capture point.
+const WARMUP_FIELDS: [&str; 12] = [
+    "huge_fraction",
+    "profiler_interval",
+    "scale",
+    "scheme",
+    "seed",
+    "switch_overhead_cycles",
+    "system",
+    "trace_partitions",
+    "virtualized",
+    "warmup_accesses_per_core",
+    "warmup_mode",
+    "workload",
+];
+
+/// Canonical JSON of the warmup-determining subset of `cfg` (sorted
+/// keys, shortest-round-trip floats — same canonical form as the sweep
+/// result cache).
+fn warmup_prefix_json(cfg: &SimConfig) -> String {
+    use serde_json::Value;
+    let mut keep: Vec<(String, Value)> = Vec::with_capacity(WARMUP_FIELDS.len());
+    if let Value::Map(entries) = cfg.to_content() {
+        for (k, v) in entries {
+            if WARMUP_FIELDS.contains(&k.as_str()) {
+                keep.push((k, v));
+            }
+        }
+    }
+    canonical_json(&Value::Map(keep))
+}
+
+/// The warmup-prefix key of a config: 16 hex digits of FNV-1a over the
+/// canonical warmup-subset JSON. Configs with equal keys share
+/// post-warmup state (and therefore a checkpoint image); the sweep
+/// groups jobs by this key to run one warmup materializer per group.
+#[must_use]
+pub fn warmup_key(cfg: &SimConfig) -> String {
+    format!("{:016x}", fnv1a_bytes(warmup_prefix_json(cfg).as_bytes()))
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint image.
+// ---------------------------------------------------------------------
+
+/// Section tag for the scheduling/stream metadata.
+const SECTION_META: u32 = 0x4d45_5441; // "META"
+/// Section tag for the serialized hierarchy.
+const SECTION_HIER: u32 = 0x4849_4552; // "HIER"
+
+/// Everything a restored run needs beyond the hierarchy itself: where
+/// each core's round-robin schedule stood, and how many records each
+/// `(vm, core)` generator stream had popped — the restore path
+/// fast-forwards the streams by those counts instead of serializing
+/// generator internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyCheckpoint {
+    /// Per-core VM the scheduler had resident at the capture point.
+    pub current_vms: Vec<u32>,
+    /// Warmup pops per `[vm][core]` stream.
+    pub pops: Vec<Vec<u64>>,
+}
+
+impl HierarchyCheckpoint {
+    /// Serializes scheduling metadata plus the full hierarchy into a
+    /// framed image scoped to `fingerprint`.
+    #[must_use]
+    pub fn encode(&self, hier: &MemoryHierarchy, fingerprint: &str) -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        let m = w.begin_section(SECTION_META);
+        w.len64(self.current_vms.len());
+        for &vm in &self.current_vms {
+            w.u32(vm);
+        }
+        w.len64(self.pops.len());
+        for row in &self.pops {
+            w.slice_u64(row);
+        }
+        w.end_section(m);
+        let m = w.begin_section(SECTION_HIER);
+        hier.ckpt_save(&mut w);
+        w.end_section(m);
+        w.finish(fingerprint)
+    }
+
+    /// Validates `data` against `fingerprint` and restores it into
+    /// `hier`, returning the scheduling metadata. `cores`/`vms` guard
+    /// the metadata's shape against the receiving config.
+    ///
+    /// On *any* error the caller must discard `hier` — the hierarchy
+    /// may be partially overwritten — and run cold.
+    pub fn decode_into(
+        data: &[u8],
+        fingerprint: &str,
+        hier: &mut MemoryHierarchy,
+        cores: usize,
+        vms: usize,
+    ) -> Result<Self, CkptError> {
+        let mut r = CkptReader::open(data, fingerprint)?;
+        let end = r.begin_section(SECTION_META)?;
+        let n_cores = r.len64()?;
+        if n_cores != cores {
+            return Err(CkptError::Mismatch("checkpoint core count"));
+        }
+        let mut current_vms = Vec::with_capacity(n_cores);
+        for _ in 0..n_cores {
+            let vm = r.u32()?;
+            if vm as usize >= vms {
+                return Err(CkptError::Corrupt("resident vm out of range"));
+            }
+            current_vms.push(vm);
+        }
+        let n_vms = r.len64()?;
+        if n_vms != vms {
+            return Err(CkptError::Mismatch("checkpoint vm count"));
+        }
+        let mut pops = Vec::with_capacity(n_vms);
+        for _ in 0..n_vms {
+            let row = r.vec_u64()?;
+            if row.len() != cores {
+                return Err(CkptError::Mismatch("pop-count row width"));
+            }
+            pops.push(row);
+        }
+        r.end_section(end)?;
+        let end = r.begin_section(SECTION_HIER)?;
+        hier.ckpt_load(&mut r)?;
+        r.end_section(end)?;
+        r.finish()?;
+        Ok(Self { current_vms, pops })
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk plumbing.
+// ---------------------------------------------------------------------
+
+/// One run's checkpoint plan: resolved once before warmup. `None`
+/// (from [`plan`]) means the layer is off for this run.
+#[derive(Debug, Clone)]
+pub(crate) struct CkptPlan {
+    path: PathBuf,
+    fingerprint: String,
+}
+
+/// Decides whether (and where) this run checkpoints: requires
+/// `CSALT_CKPT` on, a cache directory, and a nonzero warmup (a
+/// zero-warmup checkpoint would save nothing).
+pub(crate) fn plan(cfg: &SimConfig) -> Option<CkptPlan> {
+    if !CkptRequest::from_env().enabled() || cfg.warmup_accesses_per_core == 0 {
+        return None;
+    }
+    let dir = SweepOptions::from_env().cache_dir?;
+    let fingerprint = engine_fingerprint();
+    let path = dir.join(format!("ckpt-{}-{}.bin", fingerprint, warmup_key(cfg)));
+    Some(CkptPlan { path, fingerprint })
+}
+
+impl CkptPlan {
+    /// Attempts to restore this plan's image into `hier`.
+    ///
+    /// * `Ok(Some(meta))` — restored; counted.
+    /// * `Ok(None)` — no image on disk; run cold (not a fallback).
+    /// * `Err(_)` — image present but rejected; counted as a fallback.
+    ///   `hier` may be partially overwritten: rebuild it before use.
+    pub(crate) fn try_restore(
+        &self,
+        hier: &mut MemoryHierarchy,
+        cores: usize,
+        vms: usize,
+    ) -> Result<Option<HierarchyCheckpoint>, CkptError> {
+        let Ok(data) = std::fs::read(&self.path) else {
+            return Ok(None);
+        };
+        match HierarchyCheckpoint::decode_into(&data, &self.fingerprint, hier, cores, vms) {
+            Ok(meta) => {
+                RESTORES.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(meta))
+            }
+            Err(e) => {
+                FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes the image atomically (unique temp file + rename), so a
+    /// concurrent reader sees either no file or a complete one. Write
+    /// failures are swallowed — the checkpoint layer must never break a
+    /// run — and simply leave the next sibling to warm up cold.
+    pub(crate) fn save(&self, hier: &MemoryHierarchy, meta: &HierarchyCheckpoint) {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        if let Some(dir) = self.path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let image = meta.encode(hier, &self.fingerprint);
+        let tmp = self.path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, &image).is_ok() {
+            if std::fs::rename(&tmp, &self.path).is_ok() {
+                SAVES.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csalt_types::TranslationScheme;
+    use csalt_workloads::{BenchKind, WorkloadSpec};
+
+    fn cfg() -> SimConfig {
+        let mut c = SimConfig::new(
+            WorkloadSpec::homogeneous("gups", BenchKind::Gups),
+            TranslationScheme::CsaltCd,
+        );
+        c.system.cores = 2;
+        c.accesses_per_core = 4_000;
+        c.warmup_accesses_per_core = 2_000;
+        c
+    }
+
+    #[test]
+    fn parse_matches_l0_conventions() {
+        assert_eq!(CkptRequest::parse(None), CkptRequest::On);
+        assert_eq!(CkptRequest::parse(Some("off")), CkptRequest::Off);
+        assert_eq!(CkptRequest::parse(Some("0")), CkptRequest::Off);
+        assert_eq!(CkptRequest::parse(Some("FALSE")), CkptRequest::Off);
+        assert_eq!(CkptRequest::parse(Some("on")), CkptRequest::On);
+        assert_eq!(CkptRequest::parse(Some("1")), CkptRequest::On);
+    }
+
+    #[test]
+    fn warmup_key_ignores_measured_phase_knobs() {
+        let a = cfg();
+        let mut b = a.clone();
+        b.accesses_per_core *= 3;
+        b.sample_windows = 2;
+        b.window_accesses = 1_000;
+        b.occupancy_scan_interval = 500;
+        assert_eq!(warmup_key(&a), warmup_key(&b));
+    }
+
+    #[test]
+    fn warmup_key_tracks_warmup_determining_fields() {
+        let base = cfg();
+        let mut seed = base.clone();
+        seed.seed ^= 1;
+        assert_ne!(warmup_key(&base), warmup_key(&seed));
+        let mut scheme = base.clone();
+        scheme.scheme = TranslationScheme::Tsb;
+        assert_ne!(warmup_key(&base), warmup_key(&scheme));
+        let mut warm = base.clone();
+        warm.warmup_accesses_per_core += 1;
+        assert_ne!(warmup_key(&base), warmup_key(&warm));
+        let mut native = base.clone();
+        native.virtualized = false;
+        assert_ne!(warmup_key(&base), warmup_key(&native));
+    }
+
+    #[test]
+    fn warmup_prefix_json_keeps_every_listed_field() {
+        let text = warmup_prefix_json(&cfg());
+        for field in WARMUP_FIELDS {
+            assert!(
+                text.contains(&format!("\"{field}\"")),
+                "warmup prefix JSON lost field {field}"
+            );
+        }
+        assert!(!text.contains("accesses_per_core\":4000"));
+    }
+}

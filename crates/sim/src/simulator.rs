@@ -314,6 +314,41 @@ pub(crate) trait AccessSource {
     fn progress(&self) -> Option<PipelineProgress> {
         None
     }
+
+    /// Advances `(core, vm)`'s stream by `n` accesses without
+    /// committing them. Checkpoint restore uses this to fast-forward
+    /// every stream past the warmup prefix a restored hierarchy
+    /// already consumed, keeping the measured phase's records
+    /// bit-identical to a straight-through run. The default pops and
+    /// discards (generators regenerate the prefix deterministically);
+    /// sources with a random-access cursor override with an O(1) seek.
+    fn skip(&mut self, core: usize, vm: usize, n: u64) {
+        for _ in 0..n {
+            let _ = self.next(core, vm);
+        }
+    }
+}
+
+/// Wraps a source during a cold checkpointed warmup to count how many
+/// records each `(vm, core)` stream yielded — exactly what a restore
+/// must later [`AccessSource::skip`] to resume the streams where the
+/// snapshot left them.
+struct CountingSource<'a, S: AccessSource> {
+    inner: &'a mut S,
+    /// Pop counts, `[vm][core]`.
+    pops: Vec<Vec<u64>>,
+}
+
+impl<S: AccessSource> AccessSource for CountingSource<'_, S> {
+    #[inline]
+    fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
+        self.pops[vm][core] += 1;
+        self.inner.next(core, vm)
+    }
+
+    fn progress(&self) -> Option<PipelineProgress> {
+        self.inner.progress()
+    }
 }
 
 /// Single-threaded source: drives the generators at commit time, on the
@@ -364,6 +399,10 @@ impl AccessSource for StagedReplaySource {
     fn next(&mut self, core: usize, vm: usize) -> StagedAccess {
         let (acc, hint) = self.threads[vm][core].next_staged();
         StagedAccess { acc, hint }
+    }
+
+    fn skip(&mut self, core: usize, vm: usize, n: u64) {
+        self.threads[vm][core].skip(n);
     }
 }
 
@@ -897,6 +936,40 @@ fn timed_phase<H: PhaseHooks, S: AccessSource>(
     }
 }
 
+/// One warmup pass in the config's warmup mode: timed (full cycle
+/// accounting, counters discarded after) or functional (state-only
+/// fast-forward). Factored out of [`simulate`] so the checkpointed
+/// cold path can run it through a [`CountingSource`] wrapper.
+fn warmup_phase<H: PhaseHooks, S: AccessSource>(
+    cfg: &SimConfig,
+    vm_ctx: &[ContextId],
+    source: &mut S,
+    hier: &mut MemoryHierarchy,
+    cores_state: &mut [CoreState],
+    sched: &FunctionalSchedule,
+) {
+    match cfg.warmup_mode {
+        WarmupMode::Timed => timed_phase::<H, S>(
+            cfg,
+            vm_ctx,
+            source,
+            hier,
+            cores_state,
+            None,
+            cfg.warmup_accesses_per_core,
+            None,
+        ),
+        WarmupMode::Functional => functional_phase(
+            hier,
+            source,
+            vm_ctx,
+            cores_state,
+            cfg.warmup_accesses_per_core,
+            sched,
+        ),
+    }
+}
+
 /// The engine shared by [`run`] and the instrumented path, monomorphized
 /// over the hook set and the access source (inline vs pipelined).
 fn simulate<H: PhaseHooks, S: AccessSource>(
@@ -965,33 +1038,94 @@ fn simulate<H: PhaseHooks, S: AccessSource>(
     // phase) restarts cleanly for the measured phase; `current_vm`
     // carries over in both modes, so the measured phase resumes from
     // the schedule position warmup ended on.
-    match cfg.warmup_mode {
-        WarmupMode::Timed => timed_phase::<H, S>(
-            cfg,
-            &vm_ctx,
-            source,
-            &mut hier,
-            &mut cores_state,
-            None,
-            cfg.warmup_accesses_per_core,
-            None,
-        ),
-        WarmupMode::Functional => functional_phase(
-            &mut hier,
-            source,
-            &vm_ctx,
-            &mut cores_state,
-            cfg.warmup_accesses_per_core,
-            &sched,
-        ),
+    //
+    // With checkpointing on (`CSALT_CKPT`, default on), the
+    // post-warmup state is content-addressed by the config's
+    // warmup-prefix key: the first run of a prefix simulates warmup
+    // and snapshots `(hierarchy, per-core VM, per-stream pop counts)`;
+    // every later run restores the snapshot, fast-forwards its access
+    // streams past the recorded pop counts, and enters the measured
+    // phase directly — bit-identical to the straight-through run,
+    // which `tests/determinism.rs` pins.
+    let ckpt_plan = crate::checkpoint::plan(cfg);
+    crate::checkpoint::set_last_run_restored(false);
+    let mut restored = false;
+    if let Some(plan) = &ckpt_plan {
+        match plan.try_restore(&mut hier, cores, vms as usize) {
+            Ok(Some(meta)) => {
+                // Freshly-initialized cores already equal the
+                // post-warmup reset state; only the schedule position
+                // (which VM each core was running) carries over.
+                for (s, vm) in cores_state.iter_mut().zip(&meta.current_vms) {
+                    s.current_vm = *vm;
+                }
+                for (vm, row) in meta.pops.iter().enumerate() {
+                    for (core, &n) in row.iter().enumerate() {
+                        if n > 0 {
+                            source.skip(core, vm, n);
+                        }
+                    }
+                }
+                restored = true;
+                crate::checkpoint::set_last_run_restored(true);
+            }
+            Ok(None) => {}
+            Err(_) => {
+                // A rejected image may have part-written the
+                // hierarchy mid-decode; rebuild it and run cold (the
+                // fallback counter already recorded the event).
+                hier = MemoryHierarchy::new(
+                    system,
+                    cfg.scheme,
+                    cfg.virtualized,
+                    huge,
+                    cfg.profiler_interval,
+                );
+                hier.set_l0_memo(L0Request::from_env().enabled());
+                if cfg.trace_partitions {
+                    hier.enable_partition_trace();
+                }
+                let rebuilt: Vec<ContextId> = (0..vms).map(|_| hier.add_context()).collect();
+                debug_assert_eq!(rebuilt, vm_ctx);
+            }
+        }
     }
-    hier.reset_stats();
-    for s in &mut cores_state {
-        s.cycles = 0;
-        s.instructions = 0;
-        s.accesses_done = 0;
-        s.next_switch = quantum;
-        s.switches = 0;
+    if !restored {
+        let pops = if ckpt_plan.is_some() {
+            let mut counting = CountingSource {
+                inner: source,
+                pops: vec![vec![0; cores]; vms as usize],
+            };
+            warmup_phase::<H, _>(
+                cfg,
+                &vm_ctx,
+                &mut counting,
+                &mut hier,
+                &mut cores_state,
+                &sched,
+            );
+            Some(counting.pops)
+        } else {
+            warmup_phase::<H, S>(cfg, &vm_ctx, source, &mut hier, &mut cores_state, &sched);
+            None
+        };
+        hier.reset_stats();
+        for s in &mut cores_state {
+            s.cycles = 0;
+            s.instructions = 0;
+            s.accesses_done = 0;
+            s.next_switch = quantum;
+            s.switches = 0;
+        }
+        // Snapshot *after* the reset so a restore reproduces exactly
+        // this state: zeroed counters, fresh schedule, carried VMs.
+        if let (Some(plan), Some(pops)) = (&ckpt_plan, pops) {
+            let meta = crate::checkpoint::HierarchyCheckpoint {
+                current_vms: cores_state.iter().map(|s| s.current_vm).collect(),
+                pops,
+            };
+            plan.save(&hier, &meta);
+        }
     }
 
     let snapshot = if cfg.sample_windows == 0 {

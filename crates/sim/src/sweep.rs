@@ -232,6 +232,9 @@ pub struct SweepStats {
     /// Corrupt or mismatched cache lines skipped (each falls back to
     /// simulation).
     pub cache_errors: u64,
+    /// Simulations that restored a warmup checkpoint instead of
+    /// simulating their warmup prefix (a subset of `simulated`).
+    pub restored: u64,
 }
 
 #[derive(Debug, Default)]
@@ -241,6 +244,7 @@ struct Counters {
     deduped: AtomicU64,
     persisted_loaded: AtomicU64,
     cache_errors: AtomicU64,
+    restored: AtomicU64,
 }
 
 // ---------------------------------------------------------------------
@@ -263,7 +267,7 @@ struct CacheEntry {
 /// One persisted cost observation in `costs.jsonl` (append-only, later
 /// lines win; deliberately *not* fingerprint-scoped — stale timings
 /// still sort a fresh engine's jobs far better than the heuristic).
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct CostEntry {
     /// [`config_key`] of the config.
     key: String,
@@ -272,6 +276,39 @@ struct CostEntry {
     /// Total simulated accesses (warmup + measured, all cores), for
     /// calibrating the fallback estimate.
     accesses: u64,
+    /// Whether the run restored a warmup checkpoint. Restored timings
+    /// are recorded but kept out of the *cold* cost model — a restored
+    /// wall-clock would make the scheduler (and the fallback
+    /// throughput calibration) systematically underestimate cold runs.
+    restored: bool,
+}
+
+// Manual serde: the vendored derive has no `default` attribute, and
+// `costs.jsonl` lines written before the `restored` field existed must
+// keep loading (missing field ⇒ `false`, i.e. a cold observation).
+impl Serialize for CostEntry {
+    fn to_content(&self) -> serde_json::Value {
+        serde_json::Value::Map(vec![
+            ("key".to_owned(), self.key.to_content()),
+            ("wall_secs".to_owned(), self.wall_secs.to_content()),
+            ("accesses".to_owned(), self.accesses.to_content()),
+            ("restored".to_owned(), self.restored.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for CostEntry {
+    fn from_content(content: &serde_json::Value) -> Result<Self, serde::DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("object for struct CostEntry", content))?;
+        Ok(CostEntry {
+            key: serde::field(entries, "key", "CostEntry")?,
+            wall_secs: serde::field(entries, "wall_secs", "CostEntry")?,
+            accesses: serde::field(entries, "accesses", "CostEntry")?,
+            restored: serde::field(entries, "restored", "CostEntry").unwrap_or(false),
+        })
+    }
 }
 
 /// Warmup + measured accesses across all cores: the cost heuristic's
@@ -307,6 +344,9 @@ pub struct Sweep {
     trace: Mutex<Option<TraceBuffer>>,
     counters: Counters,
 }
+
+/// One traced job: `(worker, job index, begin µs, end µs, restored)`.
+type JobSpan = (usize, usize, u64, u64, bool);
 
 impl Sweep {
     /// Builds a sweep, loading any persisted results for the current
@@ -351,6 +391,7 @@ impl Sweep {
             deduped: self.counters.deduped.load(Ordering::Relaxed),
             persisted_loaded: self.counters.persisted_loaded.load(Ordering::Relaxed),
             cache_errors: self.counters.cache_errors.load(Ordering::Relaxed),
+            restored: self.counters.restored.load(Ordering::Relaxed),
         }
     }
 
@@ -426,7 +467,11 @@ impl Sweep {
         let costs = self.costs.get_mut().unwrap_or_else(PoisonError::into_inner);
         for line in text.lines() {
             if let Ok(entry) = serde_json::from_str::<CostEntry>(line) {
-                costs.insert(entry.key, (entry.wall_secs, entry.accesses));
+                // Restored timings never enter the cold model (see
+                // `CostEntry::restored`).
+                if !entry.restored {
+                    costs.insert(entry.key, (entry.wall_secs, entry.accesses));
+                }
             }
         }
     }
@@ -469,6 +514,10 @@ impl Sweep {
     pub fn run_batch(&self, configs: Vec<SimConfig>) -> Vec<SimResult> {
         let canon: Vec<String> = configs.iter().map(canonical_json).collect();
         let mut out: Vec<Option<SimResult>> = vec![None; configs.len()];
+        // Checkpoint activity over the batch (saves/restores/fallbacks
+        // are process-wide monotonic counters; the delta is this
+        // batch's contribution, reported as trace instants below).
+        let ckpt_before = crate::checkpoint::stats();
 
         // Layer 1+2a: resolve against the in-memory store (persisted
         // hits and earlier batches).
@@ -517,9 +566,38 @@ impl Sweep {
             order.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             let schedule: Vec<usize> = order.into_iter().map(|(_, j)| j).collect();
 
-            let slots: Vec<OnceLock<(SimResult, f64)>> =
+            // Fork-from-snapshot scheduling: jobs sharing a canonical
+            // warmup prefix run in two waves. The first job of each
+            // prefix group in predicted-longest-first order leads — it
+            // simulates the warmup and saves the checkpoint; the
+            // group's remaining jobs (the followers) run in the second
+            // wave, restore the snapshot, and simulate only their
+            // measured phase. With checkpointing off (or warmup-free /
+            // cache-less configs) every job leads and the schedule is
+            // exactly the classic single wave.
+            let ckpt_grouping = crate::checkpoint::CkptRequest::from_env().enabled()
+                && SweepOptions::from_env().cache_dir.is_some();
+            let mut leaders: Vec<usize> = Vec::new();
+            let mut followers: Vec<usize> = Vec::new();
+            let mut lead_of: BTreeMap<String, usize> = BTreeMap::new();
+            for &j in &schedule {
+                let cfg = jobs[j].1;
+                if ckpt_grouping && cfg.warmup_accesses_per_core > 0 {
+                    use std::collections::btree_map::Entry;
+                    match lead_of.entry(crate::checkpoint::warmup_key(cfg)) {
+                        Entry::Vacant(e) => {
+                            e.insert(j);
+                            leaders.push(j);
+                        }
+                        Entry::Occupied(_) => followers.push(j),
+                    }
+                } else {
+                    leaders.push(j);
+                }
+            }
+
+            let slots: Vec<OnceLock<(SimResult, f64, bool)>> =
                 (0..jobs.len()).map(|_| OnceLock::new()).collect();
-            let next = AtomicUsize::new(0);
             // Reserve the workers from the shared thread budget for the
             // batch's duration, so pipelined runs nested inside a worker
             // see no free capacity and auto-fall back to inline — sweep
@@ -531,36 +609,56 @@ impl Sweep {
             let floor = if self.jobs.is_some() { want } else { 1 };
             let reservation = ThreadBudget::global().reserve_at_least(want, floor);
             let workers = reservation.granted();
-            // (worker, job, begin us, end us) for traced runs; workers
-            // push after each job, so contention is one lock per job.
+            // Workers push one span after each job, so contention is
+            // one lock per job.
             let tracing = lock(&self.trace, "trace").is_some();
-            let job_spans: Mutex<Vec<(usize, usize, u64, u64)>> = Mutex::new(Vec::new());
-            std::thread::scope(|s| {
-                let (next, schedule, jobs, slots, spans) =
-                    (&next, &schedule, &jobs, &slots, &job_spans);
-                for w in 0..workers {
-                    s.spawn(move || loop {
-                        let pos = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&j) = schedule.get(pos) else {
-                            break;
-                        };
-                        let begin = if tracing {
-                            csalt_trace::timing::wall_micros()
-                        } else {
-                            0
-                        };
-                        let t = Instant::now();
-                        let r = run(jobs[j].1);
-                        let secs = t.elapsed().as_secs_f64();
-                        self.counters.simulated.fetch_add(1, Ordering::Relaxed);
-                        if tracing {
-                            let end = csalt_trace::timing::wall_micros();
-                            lock(spans, "job spans").push((w, j, begin, end));
-                        }
-                        assert!(slots[j].set((r, secs)).is_ok(), "disjoint job slots");
-                    });
-                }
-            });
+            let job_spans: Mutex<Vec<JobSpan>> = Mutex::new(Vec::new());
+            let run_wave = |wave: &[usize]| {
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    let (next, jobs, slots, spans) = (&next, &jobs, &slots, &job_spans);
+                    for w in 0..workers {
+                        s.spawn(move || loop {
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&j) = wave.get(pos) else {
+                                break;
+                            };
+                            let begin = if tracing {
+                                csalt_trace::timing::wall_micros()
+                            } else {
+                                0
+                            };
+                            let t = Instant::now();
+                            let cfg = jobs[j].1;
+                            // The shared staged-trace store serves every
+                            // job of a workload tuple one materialized
+                            // zero-repack replay matrix; configs it
+                            // declines fall back to plain `run`.
+                            let r = crate::trace_store::staged_threads(cfg)
+                                .map(|threads| crate::simulator::run_with_generators(cfg, threads))
+                                .unwrap_or_else(|| run(cfg));
+                            let restored = crate::checkpoint::last_run_restored();
+                            let secs = t.elapsed().as_secs_f64();
+                            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                            if restored {
+                                self.counters.restored.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if tracing {
+                                let end = csalt_trace::timing::wall_micros();
+                                lock(spans, "job spans").push((w, j, begin, end, restored));
+                            }
+                            assert!(
+                                slots[j].set((r, secs, restored)).is_ok(),
+                                "disjoint job slots"
+                            );
+                        });
+                    }
+                });
+            };
+            run_wave(&leaders);
+            if !followers.is_empty() {
+                run_wave(&followers);
+            }
             self.trace_jobs(
                 job_spans
                     .into_inner()
@@ -573,12 +671,15 @@ impl Sweep {
             let mut mem = lock(&self.results, "results");
             let mut recorder = lock(&self.recorder, "recorder");
             for (slot, (text, cfg)) in slots.into_iter().zip(&jobs) {
-                let (result, secs) = slot.into_inner().expect("every claimed job completed");
+                let (result, secs, restored) =
+                    slot.into_inner().expect("every claimed job completed");
                 let key = format!("{:016x}", fnv1a(text.as_bytes()));
                 let accesses = total_accesses(cfg);
                 self.persist_result(&key, text, secs, &result);
-                self.persist_cost(&key, secs, accesses);
-                lock(&self.costs, "costs").insert(key, (secs, accesses));
+                self.persist_cost(&key, secs, accesses, restored);
+                if !restored {
+                    lock(&self.costs, "costs").insert(key, (secs, accesses));
+                }
                 if recorder.is_enabled() {
                     recorder.counter("sweep.jobs_simulated", 1);
                     recorder.observe("sweep.job_wall_us", (secs * 1.0e6) as u64);
@@ -590,6 +691,26 @@ impl Sweep {
                 let stats = self.stats();
                 recorder.gauge("sweep.cache_hits", stats.cache_hits as f64);
                 recorder.gauge("sweep.deduped", stats.deduped as f64);
+                recorder.gauge("sweep.restored", stats.restored as f64);
+                let ckpt = crate::checkpoint::stats();
+                for (name, delta) in [
+                    (
+                        "checkpoint.save",
+                        ckpt.saves.saturating_sub(ckpt_before.saves),
+                    ),
+                    (
+                        "checkpoint.restore",
+                        ckpt.restores.saturating_sub(ckpt_before.restores),
+                    ),
+                    (
+                        "checkpoint.fallback",
+                        ckpt.fallbacks.saturating_sub(ckpt_before.fallbacks),
+                    ),
+                ] {
+                    if delta > 0 {
+                        recorder.counter(name, delta);
+                    }
+                }
                 if let Some(h) = recorder.take_histogram("sweep.job_wall_us") {
                     if let Some(record) = HistogramRecord::from_histogram(
                         "sweep.job_wall_us",
@@ -628,6 +749,31 @@ impl Sweep {
                     vec![("count", ArgValue::U64(batch_deduped))],
                 );
             }
+            let ckpt = crate::checkpoint::stats();
+            for (name, delta) in [
+                (
+                    "checkpoint.save",
+                    ckpt.saves.saturating_sub(ckpt_before.saves),
+                ),
+                (
+                    "checkpoint.restore",
+                    ckpt.restores.saturating_sub(ckpt_before.restores),
+                ),
+                (
+                    "checkpoint.fallback",
+                    ckpt.fallbacks.saturating_sub(ckpt_before.fallbacks),
+                ),
+            ] {
+                if delta > 0 {
+                    t.instant(
+                        Domain::Wall,
+                        0,
+                        now,
+                        name,
+                        vec![("count", ArgValue::U64(delta))],
+                    );
+                }
+            }
         }
 
         // Fill every unresolved slot from the store (its own run for
@@ -646,14 +792,14 @@ impl Sweep {
     /// emission: each worker ran its jobs serially, so the sort makes
     /// every track's event order monotonic regardless of the order the
     /// workers' pushes interleaved in.
-    fn trace_jobs(&self, mut spans: Vec<(usize, usize, u64, u64)>, jobs: &[(&str, &SimConfig)]) {
+    fn trace_jobs(&self, mut spans: Vec<JobSpan>, jobs: &[(&str, &SimConfig)]) {
         if spans.is_empty() {
             return;
         }
         let mut trace = lock(&self.trace, "trace");
         let Some(t) = trace.as_mut() else { return };
-        spans.sort_unstable_by_key(|&(w, _, begin, _)| (w, begin));
-        for (w, j, begin, end) in spans {
+        spans.sort_unstable_by_key(|&(w, _, begin, _, _)| (w, begin));
+        for (w, j, begin, end, restored) in spans {
             let tid = 1 + w as u32;
             t.set_track_name(Domain::Wall, tid, format!("sweep worker {w}"));
             let cfg = jobs[j].1;
@@ -666,6 +812,7 @@ impl Sweep {
                     ("workload", ArgValue::from(cfg.workload.name.clone())),
                     ("scheme", ArgValue::from(cfg.scheme.label())),
                     ("accesses", ArgValue::U64(total_accesses(cfg))),
+                    ("restored", ArgValue::U64(u64::from(restored))),
                 ],
             );
             t.end(Domain::Wall, tid, end.max(begin), "simulate");
@@ -693,13 +840,14 @@ impl Sweep {
         }
     }
 
-    fn persist_cost(&self, key: &str, wall_secs: f64, accesses: u64) {
+    fn persist_cost(&self, key: &str, wall_secs: f64, accesses: u64, restored: bool) {
         let mut file = lock(&self.costs_file, "costs file");
         if let Some(f) = file.as_mut() {
             let entry = CostEntry {
                 key: key.to_owned(),
                 wall_secs,
                 accesses,
+                restored,
             };
             if let Ok(mut line) = serde_json::to_string(&entry) {
                 line.push('\n');

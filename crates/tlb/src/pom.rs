@@ -15,10 +15,10 @@
 //! set) and exposes each operation's home [`LineAddr`]; the caller routes
 //! that address through the cache hierarchy and DRAM timing model.
 
-use crate::sram::{pack, TlbKey, EMPTY};
+use crate::sram::{pack, size_code, size_from_code, TlbKey, EMPTY};
 use csalt_types::{
-    Asid, HitMissStats, L0Memo, L0Stats, LineAddr, PageSize, PhysAddr, PhysFrame, PomTlbConfig,
-    VirtPage,
+    Asid, CkptError, CkptReader, CkptWriter, HitMissStats, L0Memo, L0Stats, LineAddr, PageSize,
+    PhysAddr, PhysFrame, PomTlbConfig, VirtPage,
 };
 
 /// Result of a POM-TLB lookup: the translation (if resident) and the
@@ -244,6 +244,51 @@ impl PomTlb {
         } else {
             self.valid_entries() as f64 / capacity as f64
         }
+    }
+
+    /// Serializes geometry guards, packed keys in positional (MRU-first)
+    /// order, frames and hit/miss counters. The L0 memo is not
+    /// serialized (restore invalidates it).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.sets);
+        w.u32(self.ways);
+        // Keys are stored XOR [`EMPTY`] so untouched slots (the vast
+        // majority after a short warmup) serialize as zero and the
+        // sparse streaming encodes collapse them.
+        w.iter_u64(self.keys.len(), self.keys.iter().map(|&k| k ^ EMPTY));
+        w.iter_u64(self.frames.len(), self.frames.iter().map(|f| f.pfn()));
+        w.iter_u8(
+            self.frames.len(),
+            self.frames.iter().map(|f| size_code(f.size())),
+        );
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+    }
+
+    /// Restores state written by [`PomTlb::ckpt_save`] into this
+    /// (config-constructed) array; recency is positional, so restoring
+    /// the key order restores it exactly. The L0 memo is invalidated.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.sets || r.u32()? != self.ways {
+            return Err(CkptError::Mismatch("pom-tlb geometry"));
+        }
+        let keys: Vec<u64> = r.vec_u64()?.into_iter().map(|k| k ^ EMPTY).collect();
+        let pfns = r.vec_u64()?;
+        if keys.len() != self.keys.len() || pfns.len() != self.frames.len() {
+            return Err(CkptError::Mismatch("pom-tlb slot count"));
+        }
+        let sizes = r.vec_u8()?;
+        if sizes.len() != self.frames.len() {
+            return Err(CkptError::Mismatch("pom-tlb size array"));
+        }
+        self.keys = keys;
+        for (dst, (pfn, &code)) in self.frames.iter_mut().zip(pfns.iter().zip(sizes.iter())) {
+            *dst = PhysFrame::from_pfn(*pfn, size_from_code(code)?);
+        }
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.l0.invalidate();
+        Ok(())
     }
 }
 

@@ -4,9 +4,28 @@
 
 use csalt_cache::SetReplacement;
 use csalt_types::{
-    Asid, Cycle, HitMissStats, L0Memo, L0Stats, PageSize, PhysFrame, ReplacementKind, TlbGeometry,
-    VirtPage,
+    Asid, CkptError, CkptReader, CkptWriter, Cycle, HitMissStats, L0Memo, L0Stats, PageSize,
+    PhysFrame, ReplacementKind, TlbGeometry, VirtPage,
 };
+
+/// Encodes a page size as a one-byte checkpoint code.
+pub(crate) fn size_code(size: PageSize) -> u8 {
+    match size {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    }
+}
+
+/// Decodes a checkpoint page-size code.
+pub(crate) fn size_from_code(code: u8) -> Result<PageSize, CkptError> {
+    match code {
+        0 => Ok(PageSize::Size4K),
+        1 => Ok(PageSize::Size2M),
+        2 => Ok(PageSize::Size1G),
+        _ => Err(CkptError::Corrupt("page size code")),
+    }
+}
 
 /// Full lookup key: virtual page (number + size) and address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -251,6 +270,52 @@ impl SramTlb {
     /// in `[0, 1]` — a telemetry gauge for reach-starvation diagnosis.
     pub fn utilization(&self) -> f64 {
         f64::from(self.valid_entries()) / f64::from(self.capacity())
+    }
+
+    /// Serializes geometry guards, packed keys, frames (PFN + size
+    /// code), per-set replacement state and hit/miss counters. The L0
+    /// memo is not serialized (restore invalidates it).
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u32(self.sets);
+        w.u32(self.ways);
+        w.slice_u64(&self.keys);
+        let pfns: Vec<u64> = self.frames.iter().map(|f| f.pfn()).collect();
+        w.slice_u64(&pfns);
+        let sizes: Vec<u8> = self.frames.iter().map(|f| size_code(f.size())).collect();
+        w.slice_u8(&sizes);
+        for set in &self.repl {
+            set.ckpt_save(w);
+        }
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+    }
+
+    /// Restores state written by [`SramTlb::ckpt_save`] into this
+    /// (geometry-constructed) TLB; the L0 memo is invalidated.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u32()? != self.sets || r.u32()? != self.ways {
+            return Err(CkptError::Mismatch("sram-tlb geometry"));
+        }
+        let keys = r.vec_u64()?;
+        let pfns = r.vec_u64()?;
+        if keys.len() != self.keys.len() || pfns.len() != self.frames.len() {
+            return Err(CkptError::Mismatch("sram-tlb slot count"));
+        }
+        let sizes = r.vec_u8()?;
+        if sizes.len() != self.frames.len() {
+            return Err(CkptError::Mismatch("sram-tlb size array"));
+        }
+        self.keys = keys;
+        for (dst, (pfn, &code)) in self.frames.iter_mut().zip(pfns.iter().zip(sizes.iter())) {
+            *dst = PhysFrame::from_pfn(*pfn, size_from_code(code)?);
+        }
+        for set in &mut self.repl {
+            set.ckpt_load(r)?;
+        }
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.l0.invalidate();
+        Ok(())
     }
 }
 

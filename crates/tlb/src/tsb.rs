@@ -21,9 +21,10 @@
 //! the access path (ASIDs are small integers; the old map-based layout
 //! hashed the ASID twice per access).
 
-use crate::sram::{pack, TlbKey};
+use crate::sram::{pack, size_code, size_from_code, TlbKey};
 use csalt_types::{
-    Asid, HitMissStats, L0Memo, L0Stats, LineAddr, PageSize, PhysAddr, PhysFrame, VirtPage,
+    Asid, CkptError, CkptReader, CkptWriter, HitMissStats, L0Memo, L0Stats, LineAddr, PageSize,
+    PhysAddr, PhysFrame, VirtPage,
 };
 use std::ops::Deref;
 
@@ -317,6 +318,100 @@ impl Tsb {
         } else {
             1
         }
+    }
+
+    /// Serializes config guards, the dense ASID index, every table in
+    /// first-touch order (slot = flag + packed page + frame), and the
+    /// hit/miss counters. The L0 memo is not serialized.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.u64(self.entries_per_table);
+        w.u64(self.entry_bytes);
+        w.u64(self.base);
+        w.bool(self.virtualized);
+        let index: Vec<u64> = self.asid_index.iter().map(|&i| u64::from(i)).collect();
+        w.slice_u64(&index);
+        w.len64(self.tables.len());
+        for table in &self.tables {
+            for slot in &table.slots {
+                match slot {
+                    Some(s) => {
+                        w.u8(1);
+                        w.u64(s.page.vpn());
+                        w.u8(size_code(s.page.size()));
+                        w.u64(s.frame.pfn());
+                        w.u8(size_code(s.frame.size()));
+                    }
+                    None => {
+                        w.u8(0);
+                        w.u64(0);
+                        w.u8(0);
+                        w.u64(0);
+                        w.u8(0);
+                    }
+                }
+            }
+        }
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+    }
+
+    /// Restores state written by [`Tsb::ckpt_save`]; table positions
+    /// (first-touch order) are restored exactly, so aperture offsets —
+    /// and thus every walk line — reproduce. The L0 memo is invalidated.
+    pub fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        if r.u64()? != self.entries_per_table
+            || r.u64()? != self.entry_bytes
+            || r.u64()? != self.base
+            || r.bool()? != self.virtualized
+        {
+            return Err(CkptError::Mismatch("tsb configuration"));
+        }
+        let index = r.vec_u64()?;
+        let table_count = r.len64()?;
+        let mut asid_index = Vec::with_capacity(index.len());
+        for v in index {
+            let i = u32::try_from(v).map_err(|_| CkptError::Corrupt("tsb asid index"))?;
+            if i != NO_TABLE && i as usize >= table_count {
+                return Err(CkptError::Corrupt("tsb asid index out of range"));
+            }
+            asid_index.push(i);
+        }
+        // Each slot is a fixed 19 bytes; bound the table count by the
+        // remaining payload before allocating anything.
+        let slot_bytes = self
+            .entries_per_table
+            .checked_mul(19)
+            .and_then(|b| b.checked_mul(table_count as u64))
+            .ok_or(CkptError::Truncated)?;
+        if slot_bytes > r.remaining() as u64 {
+            return Err(CkptError::Truncated);
+        }
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            let mut slots = vec![None; self.entries_per_table as usize].into_boxed_slice();
+            for slot in &mut slots {
+                let valid = r.u8()?;
+                let vpn = r.u64()?;
+                let psize = r.u8()?;
+                let pfn = r.u64()?;
+                let fsize = r.u8()?;
+                *slot = match valid {
+                    0 => None,
+                    1 => Some(TsbSlot {
+                        page: VirtPage::from_vpn(vpn, size_from_code(psize)?),
+                        frame: PhysFrame::from_pfn(pfn, size_from_code(fsize)?),
+                    }),
+                    _ => return Err(CkptError::Corrupt("tsb slot flag")),
+                };
+            }
+            tables.push(AsidTable { slots });
+        }
+        self.asid_index = asid_index;
+        self.tables = tables;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.l0.invalidate();
+        Ok(())
     }
 }
 

@@ -1,0 +1,604 @@
+//! Checkpoint serialization primitives: a versioned, fixed-width,
+//! length-validated binary format for `HierarchyCheckpoint` images.
+//!
+//! The framing mirrors the staged-trace v2 file format: an 8-byte
+//! magic, a `u32` version, a length-prefixed engine-fingerprint
+//! string, a `u64` payload length, the payload itself, and a trailing
+//! FNV-1a checksum over everything before it. Every length is
+//! validated against the remaining bytes *before* any allocation, so
+//! a torn tail or garbage header is rejected with a [`CkptError`]
+//! instead of an OOM or a panic — callers treat any error as "no
+//! checkpoint" and fall back to a cold run.
+//!
+//! The payload is a flat sequence of little-endian integers organized
+//! into tagged, length-framed sections (one per component). Floating
+//! point values never appear in the format: the few `f64` fields in
+//! simulator state are stored as `f64::to_bits` words by the callers,
+//! keeping this module integer-only.
+
+use std::fmt;
+
+/// File magic for checkpoint images.
+pub const CKPT_MAGIC: [u8; 8] = *b"CSALTCKP";
+
+/// Current checkpoint format version. Bumped whenever any section
+/// layout changes; older images are rejected (fall back to cold run).
+pub const CKPT_VERSION: u32 = 1;
+
+/// FNV-1a offset basis (matches the sweep cache's key hash).
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over a byte slice; used for the trailing checksum.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a checkpoint image was rejected. Every variant means the same
+/// thing to callers — ignore the file and run cold — but the variants
+/// are distinguished for tests and telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The first 8 bytes are not [`CKPT_MAGIC`].
+    BadMagic,
+    /// The version word is not [`CKPT_VERSION`].
+    BadVersion(u32),
+    /// The embedded engine fingerprint does not match the running
+    /// engine — the image was written by different code.
+    StaleFingerprint,
+    /// The file ends before a declared length is satisfied (torn
+    /// write), or a declared length exceeds the bytes present.
+    Truncated,
+    /// The trailing FNV-1a checksum does not match the content.
+    BadChecksum,
+    /// Structurally well-formed but internally inconsistent (bad
+    /// section tag, unconsumed section bytes, invalid enum tag).
+    Corrupt(&'static str),
+    /// The restored state does not match the receiving component's
+    /// configured geometry (e.g. way count or set count differs).
+    Mismatch(&'static str),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "checkpoint: bad magic"),
+            CkptError::BadVersion(v) => write!(f, "checkpoint: unsupported version {v}"),
+            CkptError::StaleFingerprint => write!(f, "checkpoint: stale engine fingerprint"),
+            CkptError::Truncated => write!(f, "checkpoint: truncated image"),
+            CkptError::BadChecksum => write!(f, "checkpoint: checksum mismatch"),
+            CkptError::Corrupt(what) => write!(f, "checkpoint: corrupt image ({what})"),
+            CkptError::Mismatch(what) => write!(f, "checkpoint: geometry mismatch ({what})"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Builder for a checkpoint image: accumulates the payload, then
+/// [`CkptWriter::finish`] wraps it in the header and checksum.
+#[derive(Debug, Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    /// New writer with an empty payload.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64`.
+    pub fn len64(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Append a length-prefixed byte slice (`u64` count + raw bytes).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.len64(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed `u64` slice in sparse form: a `u64`
+    /// element count, a presence bitmap (bit i set iff `v[i] != 0`,
+    /// `ceil(n / 8)` bytes), then only the nonzero words in order.
+    /// Checkpoint arrays are dominated by empty slots (untouched
+    /// DRAM-TLB entries, invalid cache lines), so this shrinks images
+    /// by more than an order of magnitude while dense arrays pay only
+    /// a 1/64 size overhead.
+    pub fn slice_u64(&mut self, v: &[u64]) {
+        self.iter_u64(v.len(), v.iter().copied());
+    }
+
+    /// Streaming form of [`CkptWriter::slice_u64`]: encodes `n` words
+    /// from an iterator in one pass (the presence bitmap is reserved
+    /// up front and patched in place), so callers can map large arrays
+    /// — sentinel-XOR'd keys, extracted frame numbers — without
+    /// collecting an intermediate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator does not yield exactly `n` items.
+    pub fn iter_u64<I: Iterator<Item = u64>>(&mut self, n: usize, values: I) {
+        self.len64(n);
+        let bm = self.buf.len();
+        self.buf.resize(bm + n.div_ceil(8), 0);
+        let mut i = 0usize;
+        for w in values {
+            if w != 0 {
+                self.buf[bm + i / 8] |= 1 << (i % 8);
+                self.buf.extend_from_slice(&w.to_le_bytes());
+            }
+            i += 1;
+        }
+        assert_eq!(i, n, "iter_u64 yielded {i} of {n} items");
+    }
+
+    /// Append a length-prefixed `u8` slice in sparse form (same scheme
+    /// as [`CkptWriter::slice_u64`]: count, presence bitmap, nonzero
+    /// bytes). For the mostly-zero code arrays (page-size codes, cache
+    /// line kinds, dirty bits, page-table slot tags) this stores ~1 bit
+    /// per empty slot instead of a byte.
+    pub fn slice_u8(&mut self, v: &[u8]) {
+        self.iter_u8(v.len(), v.iter().copied());
+    }
+
+    /// Streaming form of [`CkptWriter::slice_u8`] (see
+    /// [`CkptWriter::iter_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator does not yield exactly `n` items.
+    pub fn iter_u8<I: Iterator<Item = u8>>(&mut self, n: usize, values: I) {
+        self.len64(n);
+        let bm = self.buf.len();
+        self.buf.resize(bm + n.div_ceil(8), 0);
+        let mut i = 0usize;
+        for b in values {
+            if b != 0 {
+                self.buf[bm + i / 8] |= 1 << (i % 8);
+                self.buf.push(b);
+            }
+            i += 1;
+        }
+        assert_eq!(i, n, "iter_u8 yielded {i} of {n} items");
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Open a tagged section: writes the tag and a placeholder length,
+    /// returning a mark for [`CkptWriter::end_section`].
+    pub fn begin_section(&mut self, tag: u32) -> usize {
+        self.u32(tag);
+        self.u64(0); // placeholder, patched by end_section
+        self.buf.len()
+    }
+
+    /// Close a section opened at `mark`, patching its byte length.
+    pub fn end_section(&mut self, mark: usize) {
+        let len = (self.buf.len() - mark) as u64;
+        self.buf[mark - 8..mark].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Assemble the final image: header (magic, version, fingerprint,
+    /// payload length), payload, and trailing checksum.
+    pub fn finish(self, fingerprint: &str) -> Vec<u8> {
+        let fp = fingerprint.as_bytes();
+        let mut out = Vec::with_capacity(8 + 4 + 4 + fp.len() + 8 + self.buf.len() + 8);
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(fp.len() as u32).to_le_bytes());
+        out.extend_from_slice(fp);
+        out.extend_from_slice(&(self.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        let sum = fnv1a_bytes(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+}
+
+/// Cursor over a validated checkpoint image. [`CkptReader::open`]
+/// checks magic, version, fingerprint, payload length, and checksum
+/// before handing out a reader positioned at the payload start.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Validate the image header and checksum against the running
+    /// engine's fingerprint; on success the reader covers the payload.
+    ///
+    /// Validation order: magic → version → fingerprint → declared
+    /// payload length vs. bytes present → trailing checksum. Every
+    /// length is checked against the remaining bytes before use.
+    pub fn open(data: &'a [u8], expected_fingerprint: &str) -> Result<Self, CkptError> {
+        // Fixed prefix: magic(8) + version(4) + fp_len(4).
+        if data.len() < 16 {
+            return Err(if data.len() >= 8 && data[..8] != CKPT_MAGIC {
+                CkptError::BadMagic
+            } else {
+                CkptError::Truncated
+            });
+        }
+        if data[..8] != CKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != CKPT_VERSION {
+            return Err(CkptError::BadVersion(version));
+        }
+        let fp_len = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+        // fp + payload_len word must fit before any slicing.
+        if data.len() < 16 + fp_len + 8 {
+            return Err(CkptError::Truncated);
+        }
+        let fp = &data[16..16 + fp_len];
+        if fp != expected_fingerprint.as_bytes() {
+            return Err(CkptError::StaleFingerprint);
+        }
+        let at = 16 + fp_len;
+        let payload_len =
+            u64::from_le_bytes(data[at..at + 8].try_into().expect("8 bytes")) as usize;
+        let payload_start = at + 8;
+        // payload + trailing checksum(8) must be exactly the rest.
+        let want = payload_start
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8))
+            .ok_or(CkptError::Truncated)?;
+        if data.len() < want {
+            return Err(CkptError::Truncated);
+        }
+        if data.len() != want {
+            return Err(CkptError::Corrupt("trailing garbage after checksum"));
+        }
+        let body_end = payload_start + payload_len;
+        let declared = u64::from_le_bytes(data[body_end..body_end + 8].try_into().expect("8"));
+        if fnv1a_bytes(&data[..body_end]) != declared {
+            return Err(CkptError::BadChecksum);
+        }
+        Ok(Self {
+            payload: &data[payload_start..body_end],
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.pos.checked_add(n).ok_or(CkptError::Truncated)?;
+        if end > self.payload.len() {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.payload[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.pos
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a `u64` and convert to `usize`.
+    pub fn len64(&mut self) -> Result<usize, CkptError> {
+        usize::try_from(self.u64()?).map_err(|_| CkptError::Truncated)
+    }
+
+    /// Read a bool (rejecting anything but 0/1).
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CkptError::Corrupt("bool byte not 0/1")),
+        }
+    }
+
+    /// Read a length-prefixed byte slice. The count is validated
+    /// against the remaining bytes before any allocation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.len64()?;
+        if n > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        self.take(n)
+    }
+
+    /// Read a sparse length-prefixed `u64` vector (see
+    /// [`CkptWriter::slice_u64`] for the encoding). The bitmap length
+    /// — `ceil(count / 8)` — is validated against the remaining bytes
+    /// *before* the result vector is allocated, bounding the
+    /// allocation to 64x the bytes actually present; the nonzero-word
+    /// count implied by the bitmap is then validated the same way.
+    pub fn vec_u64(&mut self) -> Result<Vec<u64>, CkptError> {
+        let n = self.len64()?;
+        let bitmap_len = n.div_ceil(8);
+        if bitmap_len > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        let bitmap = self.take(bitmap_len)?;
+        let set: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        let byte_len = set.checked_mul(8).ok_or(CkptError::Truncated)?;
+        if byte_len > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        // Bits beyond the declared element count must be clear, or two
+        // different images would decode to the same vector.
+        if n % 8 != 0 && bitmap[n / 8] >> (n % 8) != 0 {
+            return Err(CkptError::Corrupt("bitmap bits past element count"));
+        }
+        let raw = self.take(byte_len)?;
+        let mut words = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8")));
+        let mut out = vec![0u64; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                let w = words.next().ok_or(CkptError::Truncated)?;
+                if w == 0 {
+                    return Err(CkptError::Corrupt("zero word marked present"));
+                }
+                *slot = w;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read a sparse length-prefixed `u8` vector (see
+    /// [`CkptWriter::slice_u8`]), with the same validate-before-allocate
+    /// bounds as [`CkptReader::vec_u64`].
+    pub fn vec_u8(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.len64()?;
+        let bitmap_len = n.div_ceil(8);
+        if bitmap_len > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        let bitmap = self.take(bitmap_len)?;
+        let set: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+        if set > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        if n % 8 != 0 && bitmap[n / 8] >> (n % 8) != 0 {
+            return Err(CkptError::Corrupt("bitmap bits past element count"));
+        }
+        let raw = self.take(set)?;
+        let mut bytes = raw.iter().copied();
+        let mut out = vec![0u8; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                let b = bytes.next().ok_or(CkptError::Truncated)?;
+                if b == 0 {
+                    return Err(CkptError::Corrupt("zero byte marked present"));
+                }
+                *slot = b;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CkptError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| CkptError::Corrupt("non-UTF-8 string"))
+    }
+
+    /// Open a section: checks the tag, validates the declared byte
+    /// length against the remainder, and returns the payload offset
+    /// where the section must end (pass to [`CkptReader::end_section`]).
+    pub fn begin_section(&mut self, tag: u32) -> Result<usize, CkptError> {
+        let got = self.u32()?;
+        if got != tag {
+            return Err(CkptError::Corrupt("unexpected section tag"));
+        }
+        let len = self.len64()?;
+        if len > self.remaining() {
+            return Err(CkptError::Truncated);
+        }
+        Ok(self.pos + len)
+    }
+
+    /// Close a section: the cursor must sit exactly at the recorded
+    /// end offset, i.e. the section body was fully consumed.
+    pub fn end_section(&mut self, end: usize) -> Result<(), CkptError> {
+        if self.pos != end {
+            return Err(CkptError::Corrupt("section length mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Finish reading: the whole payload must have been consumed.
+    pub fn finish(self) -> Result<(), CkptError> {
+        if self.pos != self.payload.len() {
+            return Err(CkptError::Corrupt("unconsumed payload bytes"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> Vec<u8> {
+        let mut w = CkptWriter::new();
+        let m = w.begin_section(0x11);
+        w.u64(42);
+        w.slice_u64(&[1, 2, 3]);
+        w.slice_u8(&[0, 5, 0, 0, 7]);
+        w.bool(true);
+        w.str("hello");
+        w.end_section(m);
+        w.finish("v0-test")
+    }
+
+    #[test]
+    fn round_trip() {
+        let img = image();
+        let mut r = CkptReader::open(&img, "v0-test").expect("opens");
+        let end = r.begin_section(0x11).expect("section");
+        assert_eq!(r.u64().expect("u64"), 42);
+        assert_eq!(r.vec_u64().expect("vec_u64"), vec![1, 2, 3]);
+        assert_eq!(r.vec_u8().expect("vec_u8"), vec![0, 5, 0, 0, 7]);
+        assert!(r.bool().expect("bool"));
+        assert_eq!(r.str().expect("str"), "hello");
+        r.end_section(end).expect("consumed");
+        r.finish().expect("done");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut img = image();
+        img[0] ^= 0xff;
+        assert_eq!(
+            CkptReader::open(&img, "v0-test").err(),
+            Some(CkptError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut img = image();
+        img[8] = 0xee;
+        assert!(matches!(
+            CkptReader::open(&img, "v0-test"),
+            Err(CkptError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_stale_fingerprint() {
+        let img = image();
+        assert_eq!(
+            CkptReader::open(&img, "v1-other").err(),
+            Some(CkptError::StaleFingerprint)
+        );
+    }
+
+    #[test]
+    fn rejects_torn_tail_at_every_length() {
+        let img = image();
+        for cut in 0..img.len() {
+            let torn = &img[..cut];
+            assert!(
+                CkptReader::open(torn, "v0-test").is_err(),
+                "torn image of {cut} bytes must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_flipped_payload_byte() {
+        let mut img = image();
+        let mid = img.len() / 2;
+        img[mid] ^= 0x5a;
+        assert!(CkptReader::open(&img, "v0-test").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_vec_count() {
+        // Hand-build a payload whose vec count wildly exceeds the
+        // remaining bytes; the reader must reject before allocating.
+        let mut w = CkptWriter::new();
+        w.u64(u64::MAX / 2); // bogus element count
+        let img = w.finish("v0-test");
+        let mut r = CkptReader::open(&img, "v0-test").expect("frame is valid");
+        assert!(r.vec_u64().is_err());
+    }
+
+    #[test]
+    fn sparse_slices_round_trip_at_the_extremes() {
+        let cases_u64: &[&[u64]] = &[&[], &[0; 100], &[u64::MAX; 9], &[0, 1, 0, u64::MAX, 0]];
+        let cases_u8: &[&[u8]] = &[&[], &[0; 100], &[0xff; 9], &[0, 1, 0, 0xff, 0]];
+        for (words, bytes) in cases_u64.iter().zip(cases_u8) {
+            let mut w = CkptWriter::new();
+            w.slice_u64(words);
+            w.slice_u8(bytes);
+            let img = w.finish("v0-test");
+            let mut r = CkptReader::open(&img, "v0-test").expect("opens");
+            assert_eq!(r.vec_u64().expect("vec_u64"), *words);
+            assert_eq!(r.vec_u8().expect("vec_u8"), *bytes);
+            r.finish().expect("done");
+        }
+        // All-zero runs shrink to ~1 bit per element.
+        let mut w = CkptWriter::new();
+        w.slice_u64(&[0; 1024]);
+        let img = w.finish("v0-test");
+        assert!(img.len() < 8 + 1024 / 8 + 64, "zero run must stay sparse");
+    }
+
+    #[test]
+    fn rejects_unconsumed_section() {
+        let mut w = CkptWriter::new();
+        let m = w.begin_section(7);
+        w.u64(1);
+        w.u64(2);
+        w.end_section(m);
+        let img = w.finish("v0-test");
+        let mut r = CkptReader::open(&img, "v0-test").expect("opens");
+        let end = r.begin_section(7).expect("section");
+        let _ = r.u64().expect("u64");
+        assert_eq!(
+            r.end_section(end),
+            Err(CkptError::Corrupt("section length mismatch"))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let garbage = vec![0xabu8; 64];
+        assert!(CkptReader::open(&garbage, "v0-test").is_err());
+        assert!(CkptReader::open(&[], "v0-test").is_err());
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod ckpt;
 pub mod config;
 pub mod error;
 pub mod hint;
@@ -39,6 +40,7 @@ pub mod request;
 pub mod stats;
 
 pub use addr::{LineAddr, PageSize, PhysAddr, PhysFrame, VirtAddr, VirtPage, LINE_BYTES};
+pub use ckpt::{CkptError, CkptReader, CkptWriter};
 pub use config::{
     CacheGeometry, DramKind, DramTimings, PomTlbConfig, PscConfig, ReplacementKind, SystemConfig,
     TlbGeometry, TranslationScheme,

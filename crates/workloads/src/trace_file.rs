@@ -72,8 +72,12 @@ const V2_RECORD_BYTES: usize = 32;
 #[derive(Debug, Clone)]
 pub struct TraceFile {
     /// Wire words per record: `vaddr`, `gap << 1 | is_write`, and (for
-    /// staged traces) the two packed TLB keys.
-    records: Vec<[u64; 4]>,
+    /// staged traces) the two packed TLB keys. Shared behind an `Arc`
+    /// so cloning a trace for replay (the staged-trace store hands the
+    /// same recorded tuple to every scheme) is a cursor copy, not a
+    /// buffer copy; `restage` for a new ASID is the only
+    /// copy-on-write.
+    records: std::sync::Arc<Vec<[u64; 4]>>,
     /// Whether words 2/3 hold valid packed keys (v2 traces, or after
     /// [`TraceFile::restage`]).
     staged: bool,
@@ -159,7 +163,7 @@ impl TraceFile {
         }
         let mut w = BufWriter::new(File::create(path)?);
         write_v2_header(&mut w, self.records.len() as u64, Asid::new(self.asid))?;
-        for rec in &self.records {
+        for rec in self.records.iter() {
             write_v2_record(&mut w, rec)?;
         }
         w.flush()
@@ -240,7 +244,7 @@ impl TraceFile {
             }
         }
         Ok(Self {
-            records,
+            records: std::sync::Arc::new(records),
             staged,
             asid,
             version,
@@ -269,7 +273,7 @@ impl TraceFile {
             })
             .collect();
         Self {
-            records,
+            records: std::sync::Arc::new(records),
             staged: false,
             asid: 0,
             version: V1,
@@ -286,7 +290,7 @@ impl TraceFile {
         if self.staged && self.asid == asid.raw() {
             return;
         }
-        for rec in &mut self.records {
+        for rec in std::sync::Arc::make_mut(&mut self.records).iter_mut() {
             let hint = TranslationHint::compute(VirtAddr::new(rec[0]), asid);
             rec[2] = hint.packed_4k;
             rec[3] = hint.packed_2m;
@@ -341,6 +345,16 @@ impl TraceFile {
                 packed_2m: rec[3],
             },
         )
+    }
+
+    /// Advances the replay cursor by `n` records in O(1) — exactly what
+    /// `n` calls to [`TraceFile::next_staged`] would do to the cursor,
+    /// with the same wrap-around, but without touching the records.
+    /// Checkpoint restore uses this to fast-forward a stream past a
+    /// warmup prefix that was never re-simulated.
+    pub fn skip(&mut self, n: u64) {
+        let len = self.records.len() as u64;
+        self.pos = ((self.pos as u64 + n % len) % len) as usize;
     }
 
     /// Number of recorded accesses.

@@ -1,0 +1,195 @@
+//! Checkpoint-image integrity tests: property-based round-trips of
+//! [`HierarchyCheckpoint`] over reachable simulator states, plus the
+//! rejection guarantees the fork-from-snapshot sweep relies on — a
+//! torn tail at *every* byte length, a garbage header, and a stale
+//! engine fingerprint must all decode to a clean error (never a panic,
+//! never a silently wrong hierarchy).
+
+use csalt::core::MemoryHierarchy;
+use csalt::ptw::HugePagePolicy;
+use csalt::sim::checkpoint::HierarchyCheckpoint;
+use csalt::types::{CoreId, MemAccess, SystemConfig, TranslationScheme, VirtAddr};
+use proptest::prelude::*;
+
+/// A shrunken two-core machine: same shapes as `skylake()`, but small
+/// enough that whole-image scans (every torn-tail length) stay cheap.
+fn small_config() -> SystemConfig {
+    let mut cfg = SystemConfig::skylake();
+    cfg.cores = 2;
+    cfg.l2.size_bytes = 64 << 10;
+    cfg.l3.size_bytes = 256 << 10;
+    cfg.pom_tlb.size_bytes = 64 << 10;
+    cfg.epoch_accesses = 10_000;
+    cfg
+}
+
+fn hier(cfg: &SystemConfig, scheme: TranslationScheme, virtualized: bool) -> MemoryHierarchy {
+    MemoryHierarchy::new(cfg, scheme, virtualized, HugePagePolicy::NONE, 1)
+}
+
+/// Drives `h` through `addrs`, alternating cores and contexts. Each
+/// tuple is `(address, selector, write)` where the selector's low bit
+/// picks the core and the next bit the context.
+fn drive(h: &mut MemoryHierarchy, cores: usize, vms: usize, addrs: &[(u64, usize, bool)]) {
+    let ctxs: Vec<_> = (0..vms).map(|_| h.add_context()).collect();
+    for &(addr, sel, write) in addrs {
+        let a = VirtAddr::new(addr & !0x3f);
+        let acc = if write {
+            MemAccess::write(a, 4)
+        } else {
+            MemAccess::read(a, 4)
+        };
+        h.access(
+            CoreId::new((sel % cores) as u8),
+            ctxs[(sel / cores) % vms],
+            acc,
+        );
+    }
+}
+
+/// A reference image over a nontrivial state: the richest scheme
+/// (csalt-cd, virtualized) after a mixed read/write stream.
+fn reference_image() -> (SystemConfig, Vec<u8>) {
+    let cfg = small_config();
+    let mut h = hier(&cfg, TranslationScheme::CsaltCd, true);
+    let addrs: Vec<(u64, usize, bool)> = (0..600)
+        .map(|i: u64| ((i * 0x1_013) << 6, (i % 4) as usize, i.is_multiple_of(5)))
+        .collect();
+    drive(&mut h, 2, 2, &addrs);
+    let meta = HierarchyCheckpoint {
+        current_vms: vec![1, 0],
+        pops: vec![vec![300, 150], vec![75, 75]],
+    };
+    (cfg.clone(), meta.encode(&h, "fp-reference"))
+}
+
+proptest! {
+    /// Encode → decode-into-fresh → re-encode is the identity on the
+    /// image, for arbitrary reachable states across schemes and both
+    /// native/virtualized walkers: the decoded hierarchy contains
+    /// exactly the serialized state, and the scheduling metadata
+    /// round-trips field-for-field.
+    #[test]
+    fn image_round_trips_over_reachable_states(
+        scheme_idx in 0usize..4,
+        virtualized in any::<bool>(),
+        vm0 in 0u32..2,
+        vm1 in 0u32..2,
+        pops in prop::collection::vec(prop::collection::vec(0u64..1_000, 2), 2),
+        addrs in prop::collection::vec(
+            (0u64..(1u64 << 32), 0usize..4, any::<bool>()),
+            1..250,
+        ),
+    ) {
+        let schemes = [
+            TranslationScheme::Conventional,
+            TranslationScheme::PomTlb,
+            TranslationScheme::CsaltD,
+            TranslationScheme::CsaltCd,
+        ];
+        let cfg = small_config();
+        let mut h = hier(&cfg, schemes[scheme_idx], virtualized);
+        drive(&mut h, 2, 2, &addrs);
+        let meta = HierarchyCheckpoint { current_vms: vec![vm0, vm1], pops };
+        let image = meta.encode(&h, "fp-prop");
+
+        let mut fresh = hier(&cfg, schemes[scheme_idx], virtualized);
+        for _ in 0..2 {
+            fresh.add_context();
+        }
+        let got = HierarchyCheckpoint::decode_into(&image, "fp-prop", &mut fresh, 2, 2)
+            .expect("image decodes into a same-shape hierarchy");
+        prop_assert_eq!(&got, &meta, "scheduling metadata round-trips");
+        prop_assert_eq!(
+            got.encode(&fresh, "fp-prop"),
+            image,
+            "restored hierarchy re-encodes to the identical image"
+        );
+    }
+}
+
+/// Every proper prefix of a valid image — a write torn at any byte —
+/// must be rejected. The decoder validates lengths before it allocates
+/// or copies, so this also bounds allocation on hostile input.
+#[test]
+fn torn_tail_rejected_at_every_length() {
+    let (cfg, image) = reference_image();
+    let mut scratch = hier(&cfg, TranslationScheme::CsaltCd, true);
+    for _ in 0..2 {
+        scratch.add_context();
+    }
+    for len in 0..image.len() {
+        let r = HierarchyCheckpoint::decode_into(&image[..len], "fp-reference", &mut scratch, 2, 2);
+        assert!(
+            r.is_err(),
+            "truncation to {len} of {} bytes must fail",
+            image.len()
+        );
+    }
+    // The untruncated image still decodes — the scratch hierarchy's
+    // partial overwrites never make it unusable as a decode target.
+    HierarchyCheckpoint::decode_into(&image, "fp-reference", &mut scratch, 2, 2)
+        .expect("full image decodes after every torn-tail attempt");
+}
+
+/// A corrupted header (any damage to the leading magic/version bytes)
+/// is rejected outright.
+#[test]
+fn garbage_header_rejected() {
+    let (cfg, image) = reference_image();
+    let mut scratch = hier(&cfg, TranslationScheme::CsaltCd, true);
+    for _ in 0..2 {
+        scratch.add_context();
+    }
+    for byte in 0..16.min(image.len()) {
+        let mut bad = image.clone();
+        bad[byte] ^= 0xa5;
+        let r = HierarchyCheckpoint::decode_into(&bad, "fp-reference", &mut scratch, 2, 2);
+        assert!(r.is_err(), "flipping header byte {byte} must fail");
+    }
+    // All-garbage input of various sizes: clean errors, no panics.
+    for n in [0usize, 1, 7, 16, 64, 4096] {
+        let junk = vec![0x5au8; n];
+        assert!(
+            HierarchyCheckpoint::decode_into(&junk, "fp-reference", &mut scratch, 2, 2).is_err(),
+            "{n} bytes of junk must fail"
+        );
+    }
+}
+
+/// An image saved under a different engine fingerprint — a stale cache
+/// entry surviving an engine change — must be rejected, and the exact
+/// same bytes must decode under the fingerprint they were saved with.
+#[test]
+fn stale_fingerprint_rejected() {
+    let (cfg, image) = reference_image();
+    let mut scratch = hier(&cfg, TranslationScheme::CsaltCd, true);
+    for _ in 0..2 {
+        scratch.add_context();
+    }
+    assert!(
+        HierarchyCheckpoint::decode_into(&image, "fp-other-engine", &mut scratch, 2, 2).is_err(),
+        "stale fingerprint must be rejected"
+    );
+    HierarchyCheckpoint::decode_into(&image, "fp-reference", &mut scratch, 2, 2)
+        .expect("the matching fingerprint still decodes");
+}
+
+/// Shape mismatches between the image and the receiving run — wrong
+/// core count or VM count — are rejected before any state is trusted.
+#[test]
+fn shape_mismatch_rejected() {
+    let (cfg, image) = reference_image();
+    let mut scratch = hier(&cfg, TranslationScheme::CsaltCd, true);
+    for _ in 0..2 {
+        scratch.add_context();
+    }
+    assert!(
+        HierarchyCheckpoint::decode_into(&image, "fp-reference", &mut scratch, 4, 2).is_err(),
+        "wrong core count must be rejected"
+    );
+    assert!(
+        HierarchyCheckpoint::decode_into(&image, "fp-reference", &mut scratch, 2, 3).is_err(),
+        "wrong vm count must be rejected"
+    );
+}

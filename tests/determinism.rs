@@ -159,6 +159,97 @@ fn pinned_fingerprints_hold_with_l0_memo_off_and_on() {
     std::env::remove_var("CSALT_L0");
 }
 
+/// The pinned run on native (non-virtualized) translation — one-level
+/// walks, no nested dimension — so the checkpoint matrix below covers
+/// both walker shapes.
+fn native_config(scheme: TranslationScheme) -> SimConfig {
+    let mut cfg = config(scheme);
+    cfg.virtualized = false;
+    cfg
+}
+
+/// Pinned values for the native run. Regenerate with
+/// `print_native_fingerprints`.
+fn expected_native(scheme: TranslationScheme) -> Fingerprint {
+    let v: [u64; 8] = match scheme {
+        TranslationScheme::Conventional => [705913, 2420298, 6286, 557622, 2437, 6286, 1418730, 33],
+        TranslationScheme::PomTlb => [1230380, 2472333, 2574, 461154, 2486, 6456, 1985107, 47],
+        TranslationScheme::CsaltD => [1240092, 2474184, 2573, 462180, 2486, 6450, 1995255, 47],
+        TranslationScheme::CsaltCd => [1236905, 2476614, 2574, 461982, 2485, 6446, 1992685, 47],
+        TranslationScheme::Dip => [1225903, 2476431, 2571, 460191, 2484, 6450, 1981671, 47],
+        TranslationScheme::Tsb => [1172979, 2391240, 2718, 456363, 2599, 5963, 1899816, 44],
+        TranslationScheme::StaticPartition { .. } => {
+            [1425118, 2432748, 2546, 460758, 2497, 6289, 2177220, 51]
+        }
+        TranslationScheme::TsbCsalt => [1164361, 2409015, 2719, 457326, 2601, 5969, 1895870, 44],
+        TranslationScheme::Drrip => [1214624, 2478867, 2568, 457899, 2480, 6441, 1967036, 45],
+    };
+    Fingerprint {
+        translation_cycles: v[0],
+        data_cycles: v[1],
+        page_walks: v[2],
+        page_walk_cycles: v[3],
+        l2_tlb_hits: v[4],
+        l2_tlb_misses: v[5],
+        total_core_cycles: v[6],
+        context_switches: v[7],
+    }
+}
+
+/// Prints the native fingerprint table in the exact form
+/// `expected_native` wants.
+#[test]
+#[ignore = "regeneration helper, run with --ignored --nocapture"]
+fn print_native_fingerprints() {
+    for scheme in schemes() {
+        let r = run(&native_config(scheme));
+        let f = fingerprint(&r);
+        println!(
+            "TranslationScheme::{scheme:?} => [{}, {}, {}, {}, {}, {}, {}, {}],",
+            f.translation_cycles,
+            f.data_cycles,
+            f.page_walks,
+            f.page_walk_cycles,
+            f.l2_tlb_hits,
+            f.l2_tlb_misses,
+            f.total_core_cycles,
+            f.context_switches,
+        );
+    }
+}
+
+/// The checkpointed-warmup contract: restored runs are bit-identical to
+/// straight-through runs. Every scheme × virtualized/native runs twice
+/// per `CSALT_CKPT` setting — with checkpointing on, the first pass of
+/// a warmup prefix saves the snapshot and the second restores it, so
+/// both the save path and the restore path must reproduce the pinned
+/// tables byte-for-byte. (As with the L0 matrix above, env-var races
+/// between parallel tests are harmless precisely because both settings
+/// produce identical counters.)
+#[test]
+fn pinned_fingerprints_hold_with_checkpointing_off_and_on() {
+    for setting in ["off", "on"] {
+        std::env::set_var("CSALT_CKPT", setting);
+        for scheme in schemes() {
+            for pass in 0..2 {
+                let r = run(&config(scheme));
+                assert_eq!(
+                    fingerprint(&r),
+                    expected(scheme),
+                    "scheme {scheme:?} diverged with CSALT_CKPT={setting} (pass {pass})"
+                );
+                let r = run(&native_config(scheme));
+                assert_eq!(
+                    fingerprint(&r),
+                    expected_native(scheme),
+                    "native {scheme:?} diverged with CSALT_CKPT={setting} (pass {pass})"
+                );
+            }
+        }
+    }
+    std::env::remove_var("CSALT_CKPT");
+}
+
 /// The same fixed-seed run with functional (state-only) warmup and
 /// SMARTS-style sampled measurement windows — the fast-forward path's
 /// own pinned table. The access stream is identical to the timed run;
